@@ -1,0 +1,108 @@
+// tgopt-data generates the synthetic Table 2 workloads and exports them
+// in the TGAT artifact's CSV format, plus binary feature tables (our
+// substitution for the artifact's .npy files).
+//
+//	tgopt-data list
+//	tgopt-data gen -d jodie-wiki --scale 0.01 -o data/
+//	tgopt-data stats -d snap-msg --scale 0.01
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"tgopt/internal/dataset"
+	"tgopt/internal/npy"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	name := fs.String("d", "snap-msg", "dataset name")
+	scale := fs.Float64("scale", 0.004, "scale factor")
+	dim := fs.Int("dim", 32, "feature width")
+	out := fs.String("o", "data", "output directory")
+	if err := fs.Parse(os.Args[2:]); err != nil {
+		os.Exit(2)
+	}
+
+	switch cmd {
+	case "list":
+		for _, s := range dataset.Specs() {
+			kind := "homogeneous"
+			if s.Bipartite {
+				kind = "bipartite"
+			}
+			fmt.Printf("%-14s %-12s |V|=%-7d |E|=%-9d d_e=%-4d max(t)=%.2g\n",
+				s.Name, kind, s.NumNodes(), s.Edges, s.NativeEdgeDim, s.MaxTime)
+		}
+	case "gen":
+		spec, err := dataset.SpecByName(*name)
+		if err != nil {
+			fatal(err)
+		}
+		spec = spec.Scale(*scale)
+		ds, err := dataset.Generate(spec, dataset.Options{FeatureDim: *dim})
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			fatal(err)
+		}
+		// The artifact's exact layout: ml_{name}.csv edge list,
+		// ml_{name}.npy edge features, ml_{name}_node.npy node features.
+		csvPath := filepath.Join(*out, "ml_"+*name+".csv")
+		if err := dataset.SaveCSV(csvPath, ds.Graph); err != nil {
+			fatal(err)
+		}
+		nodePath := filepath.Join(*out, "ml_"+*name+"_node.npy")
+		edgePath := filepath.Join(*out, "ml_"+*name+".npy")
+		if err := npy.WriteFile(nodePath, ds.NodeFeat); err != nil {
+			fatal(err)
+		}
+		if err := npy.WriteFile(edgePath, ds.EdgeFeat); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s (%d edges), %s, %s\n", csvPath, ds.Graph.NumEdges(), nodePath, edgePath)
+	case "stats":
+		spec, err := dataset.SpecByName(*name)
+		if err != nil {
+			fatal(err)
+		}
+		spec = spec.Scale(*scale)
+		ds, err := dataset.Generate(spec, dataset.Options{FeatureDim: *dim})
+		if err != nil {
+			fatal(err)
+		}
+		g := ds.Graph
+		fmt.Printf("%s @ scale %g: |V|=%d |E|=%d max(t)=%.4g\n",
+			*name, *scale, g.NumNodes(), g.NumEdges(), g.MaxTime())
+		maxDeg, sumDeg := 0, 0
+		for v := int32(1); v <= int32(g.NumNodes()); v++ {
+			d := g.Degree(v)
+			sumDeg += d
+			if d > maxDeg {
+				maxDeg = d
+			}
+		}
+		fmt.Printf("degree: mean %.1f, max %d\n", float64(sumDeg)/float64(g.NumNodes()), maxDeg)
+	default:
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: tgopt-data <list|gen|stats> [flags]")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tgopt-data:", err)
+	os.Exit(1)
+}

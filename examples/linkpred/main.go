@@ -1,0 +1,90 @@
+// Link prediction end to end: generate a Wikipedia-edit-like dynamic
+// graph, train a TGAT model on the chronological prefix, evaluate on the
+// suffix, save the checkpoint, and serve predictions with the TGOpt
+// engine — the workload TGAT was designed for and the paper's §5.1
+// training procedure.
+//
+//	go run ./examples/linkpred
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"tgopt/internal/core"
+	"tgopt/internal/dataset"
+	"tgopt/internal/graph"
+	"tgopt/internal/tensor"
+	"tgopt/internal/tgat"
+	"tgopt/internal/trainer"
+)
+
+func main() {
+	spec, err := dataset.SpecByName("jodie-wiki")
+	if err != nil {
+		log.Fatal(err)
+	}
+	ds, err := dataset.Generate(spec.Scale(0.003), dataset.Options{FeatureDim: 16})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dataset: %d nodes, %d edges\n", ds.Graph.NumNodes(), ds.Graph.NumEdges())
+
+	cfg := tgat.Config{Layers: 1, Heads: 2, NodeDim: 16, EdgeDim: 16, TimeDim: 16, NumNeighbors: 8, Seed: 3}
+	model, err := tgat.NewModel(cfg, ds.NodeFeat, ds.EdgeFeat)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sampler := graph.NewSampler(ds.Graph, cfg.NumNeighbors, graph.MostRecent, 0)
+
+	res, err := trainer.Train(model, ds.Graph, sampler, trainer.Config{
+		Epochs: 8, BatchSize: 100, LR: 3e-3, TrainFrac: 0.75, Seed: 1,
+		Logf: func(format string, args ...any) { fmt.Printf("  "+format+"\n", args...) },
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("validation: AP %.3f, accuracy %.3f (random baseline would be ~0.5)\n",
+		res.ValAP, res.ValAcc)
+
+	// Persist and reload, as a deployment would.
+	dir, err := os.MkdirTemp("", "tgopt-linkpred")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	ckpt := filepath.Join(dir, "wiki.bin")
+	if err := model.SaveParams(ckpt); err != nil {
+		log.Fatal(err)
+	}
+	served, err := tgat.NewModel(cfg, ds.NodeFeat, ds.EdgeFeat)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := served.LoadParams(ckpt); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("checkpoint reloaded:", ckpt)
+
+	// Serve with TGOpt: score a handful of candidate links "now".
+	engine := core.NewEngine(served, sampler, core.OptAll())
+	now := ds.Graph.MaxTime() + 1
+	users := []int32{1, 2, 3}
+	item := int32(spec.Scale(0.003).Users + 1) // the first (most popular rank) item
+	var nodes []int32
+	var times []float64
+	for _, u := range users {
+		nodes = append(nodes, u, item)
+		times = append(times, now, now)
+	}
+	h := engine.Embed(nodes, times)
+	d := cfg.NodeDim
+	for i, u := range users {
+		hu := tensor.FromSlice(h.Data()[2*i*d:(2*i+1)*d], 1, d)
+		hv := tensor.FromSlice(h.Data()[(2*i+1)*d:(2*i+2)*d], 1, d)
+		score := served.Score(hu, hv).At(0, 0)
+		fmt.Printf("P(user %d interacts with item %d next) logit = %+.3f\n", u, item, score)
+	}
+}

@@ -1,0 +1,3 @@
+module tgopt
+
+go 1.22

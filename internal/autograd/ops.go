@@ -1,0 +1,253 @@
+package autograd
+
+import (
+	"math"
+
+	"tgopt/internal/tensor"
+)
+
+// CosAffine computes the TGAT time encoding out[i,j] = cos(dt_i·ω_j + φ_j)
+// with gradients flowing into ω and φ:
+//
+//	∂L/∂ω_j = Σ_i −sin(dt_i·ω_j + φ_j) · dt_i · dout[i,j]
+//	∂L/∂φ_j = Σ_i −sin(dt_i·ω_j + φ_j) · dout[i,j]
+func CosAffine(omega, phi *Value, dts []float64) *Value {
+	d := omega.T.Len()
+	out := tensor.New(len(dts), d)
+	om, ph := omega.T.Data(), phi.T.Data()
+	args := make([]float64, len(dts)*d) // kept for the backward pass
+	for i, dt := range dts {
+		for j := 0; j < d; j++ {
+			a := dt*float64(om[j]) + float64(ph[j])
+			args[i*d+j] = a
+			out.Data()[i*d+j] = float32(math.Cos(a))
+		}
+	}
+	o := newOp(out, nil, omega, phi)
+	if o.requiresGrad {
+		o.back = func() {
+			var gom, gph []float32
+			if omega.requiresGrad {
+				gom = omega.ensureGrad().Data()
+			}
+			if phi.requiresGrad {
+				gph = phi.ensureGrad().Data()
+			}
+			od := o.grad.Data()
+			for i, dt := range dts {
+				for j := 0; j < d; j++ {
+					s := -math.Sin(args[i*d+j]) * float64(od[i*d+j])
+					if gom != nil {
+						gom[j] += float32(s * dt)
+					}
+					if gph != nil {
+						gph[j] += float32(s)
+					}
+				}
+			}
+		}
+	}
+	return o
+}
+
+// Attend is the scaled dot-product temporal attention kernel with a
+// hand-written backward pass. q is (n, e) with one query per target; k
+// and v are (n*slots, e); mask marks valid neighbor slots. heads must
+// divide e. Targets with no valid slots produce a zero context row (and
+// receive no gradient through this op), matching nn.TemporalAttention.
+func Attend(q, k, v *Value, slots int, mask []bool, heads int) *Value {
+	n := q.T.Dim(0)
+	e := q.T.Dim(1)
+	if e%heads != 0 {
+		panic("autograd: Attend embed dim not divisible by heads")
+	}
+	hd := e / heads
+	scale := 1 / math.Sqrt(float64(hd))
+	out := tensor.New(n, e)
+	// Cache the attention weights for the backward pass.
+	alphas := make([]float32, n*heads*slots)
+
+	qd, kd, vd, od := q.T.Data(), k.T.Data(), v.T.Data(), out.Data()
+	for i := 0; i < n; i++ {
+		for h := 0; h < heads; h++ {
+			qrow := qd[i*e+h*hd : i*e+(h+1)*hd]
+			maxv := math.Inf(-1)
+			any := false
+			scores := make([]float64, slots)
+			for j := 0; j < slots; j++ {
+				p := i*slots + j
+				if !mask[p] {
+					continue
+				}
+				krow := kd[p*e+h*hd : p*e+(h+1)*hd]
+				var s float64
+				for dd := range qrow {
+					s += float64(qrow[dd]) * float64(krow[dd])
+				}
+				s *= scale
+				scores[j] = s
+				any = true
+				if s > maxv {
+					maxv = s
+				}
+			}
+			if !any {
+				continue
+			}
+			var sum float64
+			for j := 0; j < slots; j++ {
+				if !mask[i*slots+j] {
+					continue
+				}
+				ex := math.Exp(scores[j] - maxv)
+				scores[j] = ex
+				sum += ex
+			}
+			orow := od[i*e+h*hd : i*e+(h+1)*hd]
+			for j := 0; j < slots; j++ {
+				p := i*slots + j
+				if !mask[p] {
+					continue
+				}
+				a := float32(scores[j] / sum)
+				alphas[(i*heads+h)*slots+j] = a
+				vrow := vd[p*e+h*hd : p*e+(h+1)*hd]
+				for dd := range orow {
+					orow[dd] += a * vrow[dd]
+				}
+			}
+		}
+	}
+
+	o := newOp(out, nil, q, k, v)
+	if o.requiresGrad {
+		o.back = func() {
+			var gq, gk, gv []float32
+			if q.requiresGrad {
+				gq = q.ensureGrad().Data()
+			}
+			if k.requiresGrad {
+				gk = k.ensureGrad().Data()
+			}
+			if v.requiresGrad {
+				gv = v.ensureGrad().Data()
+			}
+			od := o.grad.Data()
+			dalpha := make([]float64, slots)
+			for i := 0; i < n; i++ {
+				for h := 0; h < heads; h++ {
+					base := (i*heads + h) * slots
+					dctx := od[i*e+h*hd : i*e+(h+1)*hd]
+					// dα_j = v_j · dctx ; dv_j += α_j dctx
+					var dot float64 // Σ_l α_l dα_l
+					for j := 0; j < slots; j++ {
+						p := i*slots + j
+						a := float64(alphas[base+j])
+						if a == 0 && !mask[p] {
+							dalpha[j] = 0
+							continue
+						}
+						vrow := vd[p*e+h*hd : p*e+(h+1)*hd]
+						var da float64
+						for dd := range dctx {
+							da += float64(vrow[dd]) * float64(dctx[dd])
+						}
+						dalpha[j] = da
+						dot += a * da
+						if gv != nil {
+							gvrow := gv[p*e+h*hd : p*e+(h+1)*hd]
+							for dd := range dctx {
+								gvrow[dd] += float32(a * float64(dctx[dd]))
+							}
+						}
+					}
+					// dscore_j = α_j (dα_j − Σ α dα); fold into q, k.
+					qrow := qd[i*e+h*hd : i*e+(h+1)*hd]
+					for j := 0; j < slots; j++ {
+						p := i*slots + j
+						a := float64(alphas[base+j])
+						if a == 0 {
+							continue
+						}
+						ds := a * (dalpha[j] - dot) * scale
+						krow := kd[p*e+h*hd : p*e+(h+1)*hd]
+						if gq != nil {
+							gqrow := gq[i*e+h*hd : i*e+(h+1)*hd]
+							for dd := range krow {
+								gqrow[dd] += float32(ds * float64(krow[dd]))
+							}
+						}
+						if gk != nil {
+							gkrow := gk[p*e+h*hd : p*e+(h+1)*hd]
+							for dd := range qrow {
+								gkrow[dd] += float32(ds * float64(qrow[dd]))
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return o
+}
+
+// Dropout zeroes each element with probability p and scales survivors
+// by 1/(1−p) (inverted dropout), so activations keep their expectation.
+// The mask is drawn from r and reused by the backward pass. p outside
+// (0,1) returns x unchanged — the inference configuration. TGAT trains
+// with dropout 0.1 by default.
+func Dropout(x *Value, p float64, r *tensor.RNG) *Value {
+	if p <= 0 || p >= 1 {
+		return x
+	}
+	keep := float32(1 / (1 - p))
+	mask := make([]bool, x.T.Len())
+	out := tensor.New(x.T.Shape()...)
+	for i, v := range x.T.Data() {
+		if r.Float64() >= p {
+			mask[i] = true
+			out.Data()[i] = v * keep
+		}
+	}
+	o := newOp(out, nil, x)
+	if o.requiresGrad {
+		o.back = func() {
+			g := x.ensureGrad().Data()
+			od := o.grad.Data()
+			for i, keepIt := range mask {
+				if keepIt {
+					g[i] += od[i] * keep
+				}
+			}
+		}
+	}
+	return o
+}
+
+// BCEWithLogits computes the mean binary cross-entropy of logits
+// (n elements) against {0,1} labels as a scalar value, with the standard
+// gradient (σ(x)−y)/n.
+func BCEWithLogits(logits *Value, labels []float32) *Value {
+	if logits.T.Len() != len(labels) {
+		panic("autograd: BCEWithLogits length mismatch")
+	}
+	var total float64
+	for i, x := range logits.T.Data() {
+		xf, y := float64(x), float64(labels[i])
+		total += math.Max(xf, 0) - xf*y + math.Log1p(math.Exp(-math.Abs(xf)))
+	}
+	n := float64(len(labels))
+	out := tensor.Scalar(float32(total / n))
+	o := newOp(out, nil, logits)
+	if o.requiresGrad {
+		o.back = func() {
+			g := logits.ensureGrad().Data()
+			seed := float64(o.grad.Data()[0])
+			for i, x := range logits.T.Data() {
+				s := 1 / (1 + math.Exp(-float64(x)))
+				g[i] += float32(seed * (s - float64(labels[i])) / n)
+			}
+		}
+	}
+	return o
+}

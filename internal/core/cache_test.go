@@ -1,0 +1,232 @@
+package core
+
+import (
+	"sync"
+	"testing"
+	"tgopt/internal/parallel"
+
+	"tgopt/internal/tensor"
+)
+
+func TestCacheStoreLookupRoundTrip(t *testing.T) {
+	c := NewCache(100, 4, 4)
+	keys := []uint64{1, 2, 3}
+	h := tensor.FromSlice([]float32{
+		1, 1, 1, 1,
+		2, 2, 2, 2,
+		3, 3, 3, 3,
+	}, 3, 4)
+	c.Store(keys, h)
+	if c.Len() != 3 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	dst := tensor.New(4, 4)
+	hits, n := c.Lookup([]uint64{2, 99, 3, 1}, dst)
+	if n != 3 {
+		t.Fatalf("hits = %d", n)
+	}
+	if !hits[0] || hits[1] || !hits[2] || !hits[3] {
+		t.Fatalf("hit mask %v", hits)
+	}
+	if dst.At(0, 0) != 2 || dst.At(2, 0) != 3 || dst.At(3, 0) != 1 {
+		t.Fatalf("looked-up rows wrong: %v", dst.Data())
+	}
+	// Miss row untouched (stays zero).
+	if dst.At(1, 0) != 0 {
+		t.Fatal("miss row was written")
+	}
+}
+
+func TestCacheStoreCopiesRows(t *testing.T) {
+	c := NewCache(10, 2, 1)
+	h := tensor.FromSlice([]float32{7, 7}, 1, 2)
+	c.Store([]uint64{1}, h)
+	h.Set(0, 0, 0) // mutate the source after store
+	dst := tensor.New(1, 2)
+	c.Lookup([]uint64{1}, dst)
+	if dst.At(0, 0) != 7 {
+		t.Fatal("cache aliased caller storage")
+	}
+}
+
+func TestCacheRefreshExistingKey(t *testing.T) {
+	c := NewCache(10, 2, 1)
+	c.Store([]uint64{5}, tensor.FromSlice([]float32{1, 1}, 1, 2))
+	c.Store([]uint64{5}, tensor.FromSlice([]float32{9, 9}, 1, 2))
+	if c.Len() != 1 {
+		t.Fatalf("Len after refresh = %d", c.Len())
+	}
+	dst := tensor.New(1, 2)
+	c.Lookup([]uint64{5}, dst)
+	if dst.At(0, 0) != 9 {
+		t.Fatal("refresh did not update value")
+	}
+}
+
+func TestCacheFIFOEviction(t *testing.T) {
+	// Single shard so FIFO order is exact.
+	c := NewCache(3, 1, 1)
+	for k := uint64(1); k <= 3; k++ {
+		c.Store([]uint64{k}, tensor.FromSlice([]float32{float32(k)}, 1, 1))
+	}
+	if c.Len() != 3 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	// Inserting a 4th evicts the oldest (key 1).
+	c.Store([]uint64{4}, tensor.FromSlice([]float32{4}, 1, 1))
+	if c.Len() != 3 {
+		t.Fatalf("Len after eviction = %d", c.Len())
+	}
+	if c.Contains(1) {
+		t.Fatal("oldest entry not evicted")
+	}
+	for _, k := range []uint64{2, 3, 4} {
+		if !c.Contains(k) {
+			t.Fatalf("key %d missing after eviction", k)
+		}
+	}
+}
+
+func TestCacheLimitNeverExceeded(t *testing.T) {
+	c := NewCache(64, 2, 8)
+	r := tensor.NewRNG(1)
+	for batch := 0; batch < 50; batch++ {
+		n := 20
+		keys := make([]uint64, n)
+		for i := range keys {
+			keys[i] = r.Uint64()
+		}
+		c.Store(keys, tensor.Rand(r, n, 2))
+		// Per-shard limits can round the global cap up by at most one
+		// item per shard.
+		if c.Len() > 64+8 {
+			t.Fatalf("cache grew to %d, cap 64 (+8 shard slack)", c.Len())
+		}
+	}
+	if c.UsedBytes() <= 0 {
+		t.Fatal("UsedBytes not positive")
+	}
+}
+
+func TestCacheClear(t *testing.T) {
+	c := NewCache(10, 1, 2)
+	c.Store([]uint64{1, 2}, tensor.Ones(2, 1))
+	c.Clear()
+	if c.Len() != 0 || c.Contains(1) {
+		t.Fatal("Clear left entries")
+	}
+}
+
+func TestCacheValidation(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewCache(0, 1, 1) },
+		func() { NewCache(1, 0, 1) },
+		func() {
+			c := NewCache(1, 2, 1)
+			c.Lookup([]uint64{1}, tensor.New(2, 2))
+		},
+		func() {
+			c := NewCache(1, 2, 1)
+			c.Store([]uint64{1, 2}, tensor.New(1, 2))
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("invalid cache call did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestCacheShardRounding(t *testing.T) {
+	c := NewCache(100, 1, 5) // rounds shards up to 8
+	if len(c.shards) != 8 {
+		t.Fatalf("shards = %d, want 8", len(c.shards))
+	}
+	if c.Limit() != 100 || c.Dim() != 1 {
+		t.Fatal("accessors wrong")
+	}
+	d := NewCache(100, 1, 0)
+	if len(d.shards) != 16 {
+		t.Fatalf("default shards = %d, want 16", len(d.shards))
+	}
+}
+
+func TestCacheConcurrentStoreLookup(t *testing.T) {
+	prevDeg := parallel.SetDegree(4)
+	defer parallel.SetDegree(prevDeg)
+	c := NewCache(10000, 4, 16)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r := tensor.NewRNG(uint64(w))
+			for iter := 0; iter < 50; iter++ {
+				n := 64
+				keys := make([]uint64, n)
+				h := tensor.New(n, 4)
+				for i := range keys {
+					k := uint64(r.Intn(2000))
+					keys[i] = k
+					for j := 0; j < 4; j++ {
+						h.Set(float32(k), i, j)
+					}
+				}
+				c.Store(keys, h)
+				dst := tensor.New(n, 4)
+				hits, _ := c.Lookup(keys, dst)
+				for i := range keys {
+					if hits[i] && dst.At(i, 0) != float32(keys[i]) {
+						t.Errorf("value/key mismatch under concurrency")
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestCacheLargeBatchParallelPath(t *testing.T) {
+	prevDeg := parallel.SetDegree(4)
+	defer parallel.SetDegree(prevDeg)
+	c := NewCache(100000, 2, 16)
+	n := cacheParallelThreshold + 1000
+	keys := make([]uint64, n)
+	h := tensor.New(n, 2)
+	for i := range keys {
+		keys[i] = uint64(i)
+		h.Set(float32(i), i, 0)
+	}
+	c.Store(keys, h)
+	dst := tensor.New(n, 2)
+	hits, nh := c.Lookup(keys, dst)
+	if nh != n {
+		t.Fatalf("parallel lookup hits = %d, want %d", nh, n)
+	}
+	for i := 0; i < n; i += 997 {
+		if !hits[i] || dst.At(i, 0) != float32(i) {
+			t.Fatalf("parallel row %d wrong", i)
+		}
+	}
+}
+
+func TestCacheFifoCompaction(t *testing.T) {
+	// Force many evictions through one shard to exercise head compaction.
+	c := NewCache(4, 1, 1)
+	for k := uint64(0); k < 5000; k++ {
+		c.Store([]uint64{k}, tensor.FromSlice([]float32{1}, 1, 1))
+	}
+	if c.Len() != 4 {
+		t.Fatalf("Len = %d after churn", c.Len())
+	}
+	s := &c.shards[0]
+	if len(s.fifo)-s.head > 16 {
+		t.Fatalf("fifo grew unbounded: len=%d head=%d", len(s.fifo), s.head)
+	}
+}

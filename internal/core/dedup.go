@@ -1,0 +1,122 @@
+package core
+
+import (
+	"sort"
+
+	"tgopt/internal/tensor"
+)
+
+// DedupResult is the output of a deduplication filter: the unique
+// node–timestamp pairs and the inverse index mapping each original
+// position to its row in the unique list.
+type DedupResult struct {
+	Nodes  []int32
+	Times  []float64
+	InvIdx []int32
+}
+
+// Unique returns the number of unique pairs.
+func (d *DedupResult) Unique() int { return len(d.Nodes) }
+
+// DedupFilter removes duplicate ⟨node, t⟩ pairs from the batch in a
+// single pass, following Algorithm 2 of the paper: it operates jointly
+// on the two parallel arrays (never materializing an intermediate 2-D
+// tensor) and identifies duplicates with the collision-free 64-bit Key.
+// The inverse index lets DedupInvert restore the original batch shape
+// after computation.
+func DedupFilter(nodes []int32, ts []float64) *DedupResult {
+	if len(nodes) != len(ts) {
+		panic("core: DedupFilter nodes/ts length mismatch")
+	}
+	res := &DedupResult{
+		Nodes:  make([]int32, 0, len(nodes)),
+		Times:  make([]float64, 0, len(nodes)),
+		InvIdx: make([]int32, len(nodes)),
+	}
+	processed := make(map[uint64]int32, len(nodes))
+	for i := range nodes {
+		key := Key(nodes[i], ts[i])
+		if idx, ok := processed[key]; ok {
+			res.InvIdx[i] = idx
+			continue
+		}
+		idx := int32(len(res.Nodes))
+		res.InvIdx[i] = idx
+		res.Nodes = append(res.Nodes, nodes[i])
+		res.Times = append(res.Times, ts[i])
+		processed[key] = idx
+	}
+	return res
+}
+
+// DedupInvert expands the unique-row tensor H (unique, d) back to the
+// original batch shape using the inverse index, duplicating rows so the
+// output is elementwise identical to what the unoptimized computation
+// would have produced (§4.1).
+func DedupInvert(h *tensor.Tensor, invIdx []int32) *tensor.Tensor {
+	d := h.Dim(1)
+	out := tensor.New(len(invIdx), d)
+	src := h.Data()
+	dst := out.Data()
+	for i, r := range invIdx {
+		copy(dst[i*d:(i+1)*d], src[int(r)*d:(int(r)+1)*d])
+	}
+	return out
+}
+
+// DedupFilterSorted is an alternative deduplication strategy used by the
+// ablation benchmarks: sort key order, then compact. It produces the
+// same unique *set* but in key order rather than first-appearance order;
+// the inverse index still restores the original batch exactly. It
+// allocates O(n) scratch and is typically slower than the hash-based
+// single pass for the batch sizes TGAT uses, which is why the paper's
+// Algorithm 2 is hash-based.
+func DedupFilterSorted(nodes []int32, ts []float64) *DedupResult {
+	if len(nodes) != len(ts) {
+		panic("core: DedupFilterSorted nodes/ts length mismatch")
+	}
+	n := len(nodes)
+	keys := make([]uint64, n)
+	order := make([]int32, n)
+	for i := range nodes {
+		keys[i] = Key(nodes[i], ts[i])
+		order[i] = int32(i)
+	}
+	sort.Slice(order, func(a, b int) bool { return keys[order[a]] < keys[order[b]] })
+	res := &DedupResult{InvIdx: make([]int32, n)}
+	var prev uint64
+	for rank, oi := range order {
+		k := keys[oi]
+		if rank == 0 || k != prev {
+			res.Nodes = append(res.Nodes, nodes[oi])
+			res.Times = append(res.Times, ts[oi])
+			prev = k
+		}
+		res.InvIdx[oi] = int32(len(res.Nodes) - 1)
+	}
+	return res
+}
+
+// DuplicationRatio reports the fraction of a batch that DedupFilter
+// would remove — the metric of the paper's Table 1.
+func DuplicationRatio(nodes []int32, ts []float64) float64 {
+	if len(nodes) == 0 {
+		return 0
+	}
+	res := DedupFilter(nodes, ts)
+	return 1 - float64(res.Unique())/float64(len(nodes))
+}
+
+// NodeDuplicationRatio is DuplicationRatio ignoring timestamps — the
+// layer-0 rule of §3.1, where only the node id matters because features
+// are static.
+func NodeDuplicationRatio(nodes []int32) float64 {
+	if len(nodes) == 0 {
+		return 0
+	}
+	seen := make(map[int32]struct{}, len(nodes))
+	for _, v := range nodes {
+		seen[v] = struct{}{}
+	}
+	return 1 - float64(len(seen))/float64(len(nodes))
+}

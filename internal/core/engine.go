@@ -1,0 +1,473 @@
+package core
+
+import (
+	"time"
+
+	"tgopt/internal/device"
+	"tgopt/internal/graph"
+	"tgopt/internal/stats"
+	"tgopt/internal/tensor"
+	"tgopt/internal/tgat"
+)
+
+// Options configure the TGOpt engine. The zero value disables every
+// optimization, making the engine an instrumented re-implementation of
+// the baseline; OptAll enables everything with the paper's defaults.
+type Options struct {
+	// EnableDedup turns on the §4.1 deduplication filter.
+	EnableDedup bool
+	// EnableCache turns on the §4.2 embedding memoization cache.
+	EnableCache bool
+	// EnableTimePrecompute turns on the §4.3 precomputed time encodings.
+	EnableTimePrecompute bool
+
+	// CacheLimit bounds the total cached embeddings (default 2,000,000,
+	// the paper's setting). With more than one cached layer the limit is
+	// split evenly across per-layer caches.
+	CacheLimit int
+	// CacheShards controls cache concurrency (default 16).
+	CacheShards int
+	// TimeWindow is the precomputed Δt window (default 10,000).
+	TimeWindow int
+
+	// Collector receives per-operation timings (Table 3). Optional.
+	Collector *stats.Collector
+	// HitRate receives per-lookup hit statistics (Figure 7). Optional.
+	HitRate *stats.HitRate
+
+	// Device, when non-nil, simulates running on an accelerator: op
+	// timings recorded into Collector are converted by the device cost
+	// model and cache/table data movements are charged and counted.
+	Device *device.Sim
+	// CacheOnDevice stores cached embeddings in simulated device memory
+	// instead of host memory (the Table 5 comparison). Only meaningful
+	// with Device set.
+	CacheOnDevice bool
+
+	// TrackDependencies records which node and edge features each
+	// memoized embedding consumed, enabling the §7 extension of
+	// selective cache invalidation on node-feature changes and edge
+	// deletions (Engine.InvalidateNode / InvalidateEdge). Costs extra
+	// memory proportional to cached items × (k+1).
+	TrackDependencies bool
+}
+
+// OptAll returns Options with all three optimizations enabled at the
+// paper's default settings.
+func OptAll() Options {
+	return Options{
+		EnableDedup:          true,
+		EnableCache:          true,
+		EnableTimePrecompute: true,
+		CacheLimit:           2_000_000,
+		TimeWindow:           10_000,
+	}
+}
+
+func (o Options) withDefaults() Options {
+	if o.CacheLimit <= 0 {
+		o.CacheLimit = 2_000_000
+	}
+	if o.CacheShards <= 0 {
+		o.CacheShards = 16
+	}
+	if o.TimeWindow <= 0 {
+		o.TimeWindow = 10_000
+	}
+	return o
+}
+
+// Engine computes TGAT temporal embeddings with the redundancy-aware
+// optimizations of Algorithm 1. It is a drop-in replacement for the
+// baseline tgat.Model.Embed: same inputs, same outputs within
+// floating-point tolerance.
+type Engine struct {
+	model   *tgat.Model
+	sampler *graph.Sampler
+	opt     Options
+	// caches[l] is the memoization cache for layer l outputs; only
+	// layers 1..L-1 are cached (§4.2.2: the top layer's output is never
+	// re-consumed, so caching it would waste the budget).
+	caches []*Cache
+	ttable *TimeTable
+	deps   *DepTracker
+}
+
+// NewEngine creates an engine over a trained model and a most-recent
+// sampler. Using a Uniform sampler with EnableCache panics: memoization
+// is only sound when re-sampling a target reproduces the same temporal
+// subgraph (§3.2, §7).
+func NewEngine(m *tgat.Model, s *graph.Sampler, opt Options) *Engine {
+	opt = opt.withDefaults()
+	e := &Engine{model: m, sampler: s, opt: opt}
+	if s.K() != m.Cfg.NumNeighbors {
+		panic("core: sampler k differs from model NumNeighbors")
+	}
+	if opt.EnableCache {
+		if s.Strategy() != graph.MostRecent {
+			panic("core: the memoization cache requires most-recent sampling (§3.2)")
+		}
+		cached := m.Cfg.Layers - 1
+		if cached < 1 {
+			cached = 1 // single-layer models cache their only layer
+		}
+		per := opt.CacheLimit / cached
+		if per < 1 {
+			per = 1
+		}
+		e.caches = make([]*Cache, m.Cfg.Layers+1)
+		top := m.Cfg.Layers - 1
+		if m.Cfg.Layers == 1 {
+			top = 1
+		}
+		for l := 1; l <= top; l++ {
+			e.caches[l] = NewCache(per, m.Cfg.NodeDim, opt.CacheShards)
+		}
+	}
+	if opt.TrackDependencies && opt.EnableCache {
+		e.deps = NewDepTracker()
+	}
+	if opt.EnableTimePrecompute {
+		e.ttable = NewTimeTable(m.Time, opt.TimeWindow)
+		// Table residency: on a device run the table ships to device
+		// memory once, charged here.
+		if opt.Device != nil {
+			d := opt.Device.TransferTime(device.HtoD, e.ttable.Bytes(), 1)
+			opt.Collector.Add(stats.OpTransfer, d)
+		}
+	}
+	return e
+}
+
+// Options returns the engine's (defaulted) options.
+func (e *Engine) Options() Options { return e.opt }
+
+// Model returns the underlying TGAT model.
+func (e *Engine) Model() *tgat.Model { return e.model }
+
+// CacheFor returns the memoization cache serving layer l, or nil.
+func (e *Engine) CacheFor(l int) *Cache {
+	if e.caches == nil || l < 1 || l >= len(e.caches) {
+		return nil
+	}
+	return e.caches[l]
+}
+
+// CacheLen returns the total number of cached embeddings across layers.
+func (e *Engine) CacheLen() int {
+	total := 0
+	for _, c := range e.caches {
+		if c != nil {
+			total += c.Len()
+		}
+	}
+	return total
+}
+
+// CacheBytes returns the estimated resident footprint of all caches.
+func (e *Engine) CacheBytes() int64 {
+	var total int64
+	for _, c := range e.caches {
+		if c != nil {
+			total += c.UsedBytes()
+		}
+	}
+	return total
+}
+
+// TimeTable returns the precomputed encoding table, or nil.
+func (e *Engine) TimeTable() *TimeTable { return e.ttable }
+
+// Deps returns the dependency tracker, or nil when
+// Options.TrackDependencies is off.
+func (e *Engine) Deps() *DepTracker { return e.deps }
+
+// InvalidateNode drops every memoized embedding whose computation
+// consumed node v's features — call it after mutating v's feature row
+// (the §7 node-feature-change event). The layer-1 cache is invalidated
+// selectively through the dependency tracker; deeper cached layers (for
+// models with L > 2) lack transitive key-to-key dependencies and are
+// cleared conservatively. Returns the number of entries removed
+// selectively. Panics unless dependency tracking is enabled.
+func (e *Engine) InvalidateNode(v int32) int {
+	if e.deps == nil {
+		panic("core: InvalidateNode requires Options.TrackDependencies")
+	}
+	removed := 0
+	if c := e.CacheFor(1); c != nil {
+		removed = c.Remove(e.deps.KeysForNode(v))
+	}
+	e.clearDeepCaches()
+	return removed
+}
+
+// InvalidateEdge drops every memoized embedding whose sampled temporal
+// subgraph included the 1-based edge id — call it after deleting the
+// interaction (the §7 edge-deletion event; see graph.Dynamic.DeleteEdge).
+// Embeddings that never sampled the edge are untouched: deleting an
+// interaction outside a target's most-recent-k window does not change
+// its sampled subgraph, so maximal reuse is preserved. Semantics as
+// InvalidateNode.
+func (e *Engine) InvalidateEdge(eidx int32) int {
+	if e.deps == nil {
+		panic("core: InvalidateEdge requires Options.TrackDependencies")
+	}
+	removed := 0
+	if c := e.CacheFor(1); c != nil {
+		removed = c.Remove(e.deps.KeysForEdge(eidx))
+	}
+	e.clearDeepCaches()
+	return removed
+}
+
+func (e *Engine) clearDeepCaches() {
+	for l := 2; l < len(e.caches); l++ {
+		if e.caches[l] != nil {
+			e.caches[l].Clear()
+		}
+	}
+}
+
+// EmbedFunc adapts the engine to the inference driver's signature.
+func (e *Engine) EmbedFunc() tgat.EmbedFunc { return e.Embed }
+
+// Embed computes top-layer temporal embeddings for the given targets —
+// the paper's Algorithm 1.
+func (e *Engine) Embed(nodes []int32, ts []float64) *tensor.Tensor {
+	if len(nodes) != len(ts) {
+		panic("core: Embed nodes/ts length mismatch")
+	}
+	return e.embed(e.model.Cfg.Layers, nodes, ts)
+}
+
+// timeOp measures an operation's host wall time, converts it through
+// the device model when one is configured, and records it under op.
+func (e *Engine) timeOp(op string, kind device.OpKind, launches int) func() {
+	if e.opt.Collector == nil && e.opt.Device == nil {
+		return func() {}
+	}
+	start := time.Now()
+	return func() {
+		wall := time.Since(start)
+		e.opt.Collector.Add(op, e.opt.Device.OpTime(kind, wall, launches))
+	}
+}
+
+// chargeTransfer charges a simulated data movement against op.
+func (e *Engine) chargeTransfer(op string, dir device.Direction, bytes int64, calls int) {
+	if e.opt.Device == nil || bytes == 0 {
+		return
+	}
+	e.opt.Collector.Add(op, e.opt.Device.TransferTime(dir, bytes, calls))
+}
+
+func (e *Engine) embed(l int, nodes []int32, ts []float64) *tensor.Tensor {
+	cfg := e.model.Cfg
+	d := cfg.NodeDim
+	if l == 0 {
+		stop := e.timeOp(stats.OpFeatLookup, device.HostOp, 0)
+		h := gatherRows32(e.model.NodeFeat, nodes)
+		stop()
+		e.chargeTransfer(stats.OpFeatLookup, device.HtoD, int64(len(nodes)*d*4), 1)
+		return h
+	}
+
+	// §4.1 — deduplicate targets. Applied for l > 0 only, as in the
+	// paper: layer 0 is a pure gather, so deduplicating it buys nothing.
+	var inv []int32
+	if e.opt.EnableDedup {
+		stop := e.timeOp(stats.OpDedupFilter, device.HostOp, 0)
+		res := DedupFilter(nodes, ts)
+		stop()
+		nodes, ts, inv = res.Nodes, res.Times, res.InvIdx
+	}
+
+	n := len(nodes)
+	h := tensor.New(n, d)
+
+	// §4.2 — look up memoized embeddings.
+	cache := e.CacheFor(l)
+	var keys []uint64
+	var hitMask []bool
+	nhits := 0
+	if cache != nil {
+		stop := e.timeOp(stats.OpComputeKeys, device.HostOp, 0)
+		keys = ComputeKeys(nodes, ts)
+		stop()
+		stop = e.timeOp(stats.OpCacheLookup, device.HostOp, 0)
+		hitMask, nhits = cache.Lookup(keys, h)
+		stop()
+		if e.opt.CacheOnDevice {
+			// Device-resident cache: every hit is a small on-device copy.
+			e.chargeTransfer(stats.OpCacheLookup, device.DtoD, int64(nhits*d*4), nhits)
+		} else {
+			// Host-resident cache: assemble on host, ship once (§4.2.2).
+			e.chargeTransfer(stats.OpCacheLookup, device.HtoD, int64(n*d*4), 1)
+		}
+		e.opt.HitRate.Record(nhits, n)
+		e.opt.Collector.Count("cache_hits", int64(nhits))
+		e.opt.Collector.Count("cache_lookups", int64(n))
+	}
+
+	if nhits < n {
+		// Shrink to the misses (line 10 of Algorithm 1).
+		missNodes, missTs := nodes, ts
+		var missPos []int32
+		var missKeys []uint64
+		if nhits > 0 {
+			nm := n - nhits
+			missNodes = make([]int32, 0, nm)
+			missTs = make([]float64, 0, nm)
+			missPos = make([]int32, 0, nm)
+			if keys != nil {
+				missKeys = make([]uint64, 0, nm)
+			}
+			for i := 0; i < n; i++ {
+				if hitMask[i] {
+					continue
+				}
+				missNodes = append(missNodes, nodes[i])
+				missTs = append(missTs, ts[i])
+				missPos = append(missPos, int32(i))
+				if keys != nil {
+					missKeys = append(missKeys, keys[i])
+				}
+			}
+		} else if keys != nil {
+			missKeys = keys
+		}
+		nm := len(missNodes)
+		k := cfg.NumNeighbors
+
+		stop := e.timeOp(stats.OpNghLookup, device.HostOp, 0)
+		b := e.sampler.Sample(missNodes, missTs)
+		stop()
+
+		// Recurse over targets ∪ neighbors (line 12).
+		allNodes := make([]int32, nm+nm*k)
+		allTs := make([]float64, nm+nm*k)
+		copy(allNodes, missNodes)
+		copy(allTs, missTs)
+		copy(allNodes[nm:], b.Nghs)
+		copy(allTs[nm:], b.Times)
+		hAll := e.embed(l-1, allNodes, allTs)
+		hTgt := tensor.FromSlice(hAll.Data()[:nm*d], nm, d)
+		hNgh := tensor.FromSlice(hAll.Data()[nm*d:], nm*k, d)
+
+		tEnc0 := e.encodeZeros(nm)
+		tEncD := e.encodeDeltas(missTs, b, nm, k)
+
+		stop = e.timeOp(stats.OpFeatLookup, device.HostOp, 0)
+		eFeat := gatherRows32(e.model.EdgeFeat, b.EIdxs)
+		stop()
+		e.chargeTransfer(stats.OpFeatLookup, device.HtoD, int64(nm*k*cfg.EdgeDim*4), 1)
+
+		stop = e.timeOp(stats.OpAttention, device.TensorOp, 8)
+		hm := e.model.LayerForward(l, hTgt, hNgh, eFeat, tEnc0, tEncD, b.Valid)
+		stop()
+
+		if cache != nil {
+			if e.deps != nil {
+				for i := 0; i < nm; i++ {
+					depNodes := make([]int32, 0, k+1)
+					depNodes = append(depNodes, missNodes[i])
+					depNodes = append(depNodes, b.Nghs[i*k:(i+1)*k]...)
+					e.deps.Record(missKeys[i], depNodes, b.EIdxs[i*k:(i+1)*k])
+				}
+			}
+			stop = e.timeOp(stats.OpCacheStore, device.HostOp, 0)
+			cache.Store(missKeys, hm)
+			stop()
+			if e.opt.CacheOnDevice {
+				e.chargeTransfer(stats.OpCacheStore, device.DtoD, int64(nm*d*4), nm)
+			} else {
+				e.chargeTransfer(stats.OpCacheStore, device.DtoH, int64(nm*d*4), 1)
+			}
+		}
+
+		// Copy miss results into the output (line 18).
+		if missPos == nil {
+			h = hm
+		} else {
+			dst := h.Data()
+			src := hm.Data()
+			for j, p := range missPos {
+				copy(dst[int(p)*d:(int(p)+1)*d], src[j*d:(j+1)*d])
+			}
+		}
+	}
+
+	// §4.1 — restore the original batch shape (line 20).
+	if inv != nil {
+		stop := e.timeOp(stats.OpDedupInvert, device.HostOp, 0)
+		h = DedupInvert(h, inv)
+		stop()
+	}
+	return h
+}
+
+// encodeZeros produces Φ(0) rows for n targets, from the precomputed
+// table when enabled (§3.3: the zero encoding never changes at
+// inference time).
+func (e *Engine) encodeZeros(n int) *tensor.Tensor {
+	d := e.model.Cfg.TimeDim
+	out := tensor.New(n, d)
+	if e.ttable != nil {
+		stop := e.timeOp(stats.OpTimeEncZero, device.HostOp, 0)
+		e.ttable.EncodeZerosInto(n, out)
+		stop()
+		// Device run: the Φ(0) row is already resident; replicating it is
+		// an on-device broadcast.
+		e.chargeTransfer(stats.OpTimeEncZero, device.DtoD, int64(n*d*4), 1)
+		return out
+	}
+	stop := e.timeOp(stats.OpTimeEncZero, device.TensorOp, 2)
+	e.model.Time.EncodeInto(make([]float64, n), out)
+	stop()
+	// Baseline on device: materialize the zero-delta tensor host-side
+	// and ship it, then encode (the intermediate-tensor cost the paper
+	// measures for TimeEncode(0) on GPU).
+	e.chargeTransfer(stats.OpTimeEncZero, device.HtoD, int64(n*8+n*d*4), 2)
+	return out
+}
+
+// encodeDeltas produces Φ(t − t_j) for every neighbor slot.
+func (e *Engine) encodeDeltas(ts []float64, b *graph.Batch, n, k int) *tensor.Tensor {
+	d := e.model.Cfg.TimeDim
+	deltas := make([]float64, n*k)
+	for i := 0; i < n; i++ {
+		for j := 0; j < k; j++ {
+			deltas[i*k+j] = ts[i] - b.Times[i*k+j]
+		}
+	}
+	out := tensor.New(n*k, d)
+	if e.ttable != nil {
+		stop := e.timeOp(stats.OpTimeEncDelta, device.HostOp, 0)
+		hits := e.ttable.EncodeInto(deltas, out)
+		stop()
+		e.opt.Collector.Count("ttable_hits", int64(hits))
+		e.opt.Collector.Count("ttable_lookups", int64(len(deltas)))
+		// Table rows are gathered host-side and shipped to the device —
+		// the per-batch overhead behind the paper's observed GPU
+		// regression for this optimization.
+		e.chargeTransfer(stats.OpTimeEncDelta, device.HtoD, int64(n*k*d*4), 1)
+		return out
+	}
+	stop := e.timeOp(stats.OpTimeEncDelta, device.TensorOp, 2)
+	e.model.Time.EncodeInto(deltas, out)
+	stop()
+	e.chargeTransfer(stats.OpTimeEncDelta, device.HtoD, int64(n*k*8), 1)
+	return out
+}
+
+// gatherRows32 copies rows of t selected by 32-bit indices.
+func gatherRows32(t *tensor.Tensor, idx []int32) *tensor.Tensor {
+	w := t.Dim(1)
+	out := tensor.New(len(idx), w)
+	src := t.Data()
+	dst := out.Data()
+	for i, r := range idx {
+		copy(dst[i*w:(i+1)*w], src[int(r)*w:(int(r)+1)*w])
+	}
+	return out
+}

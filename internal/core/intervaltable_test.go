@@ -1,0 +1,96 @@
+package core
+
+import (
+	"testing"
+
+	"tgopt/internal/nn"
+	"tgopt/internal/tensor"
+)
+
+func TestIntervalTableQuantizes(t *testing.T) {
+	enc := nn.NewTimeEncoder(8)
+	it := NewIntervalTimeTable(enc, 128, 10_000)
+	if it.Intervals() != 128 {
+		t.Fatalf("Intervals = %d", it.Intervals())
+	}
+	// Every delta within one interval maps to the same encoding.
+	a := it.Encode([]float64{10})
+	b := it.Encode([]float64{50}) // same 78.125-wide interval as 10
+	if !a.AllClose(b, 0) {
+		t.Fatal("same-interval deltas encoded differently")
+	}
+	// Representative (midpoint) deltas are exact.
+	mid := 10_000.0 / 128 / 2
+	exact := enc.Encode([]float64{mid})
+	if !it.Encode([]float64{mid}).AllClose(exact, 1e-7) {
+		t.Fatal("midpoint encoding not exact")
+	}
+}
+
+func TestIntervalTableClamps(t *testing.T) {
+	enc := nn.NewTimeEncoder(4)
+	it := NewIntervalTimeTable(enc, 8, 100)
+	lo := it.Encode([]float64{-5})
+	first := it.Encode([]float64{0})
+	if !lo.AllClose(first, 0) {
+		t.Fatal("negative delta did not clamp to first interval")
+	}
+	hi := it.Encode([]float64{1e9})
+	last := it.Encode([]float64{99.9})
+	if !hi.AllClose(last, 0) {
+		t.Fatal("overflow delta did not clamp to last interval")
+	}
+}
+
+// TestIntervalTableAltersSemanticsButTGOptDoesNot is the related-work
+// contrast at the heart of §4.3 and §6: the 128-interval table of Zhou
+// et al. [41] introduces real encoding error, while TGOpt's dense
+// window is exact on the same inputs.
+func TestIntervalTableAltersSemanticsButTGOptDoesNot(t *testing.T) {
+	enc := nn.NewTimeEncoder(16)
+	interval := NewIntervalTimeTable(enc, 128, 10_000)
+	window := NewTimeTable(enc, 10_000)
+
+	r := tensor.NewRNG(1)
+	dts := make([]float64, 2000)
+	for i := range dts {
+		dts[i] = float64(r.Intn(10_000))
+	}
+	_, maxErr := interval.QuantizationError(dts)
+	if maxErr < 1e-3 {
+		t.Fatalf("interval table suspiciously accurate: max error %g", maxErr)
+	}
+	out, hits := window.Encode(dts)
+	if hits != len(dts) {
+		t.Fatalf("window hits = %d, want all", hits)
+	}
+	if !out.AllClose(enc.Encode(dts), 0) {
+		t.Fatal("TGOpt window table is not exact")
+	}
+}
+
+func TestIntervalTableValidation(t *testing.T) {
+	enc := nn.NewTimeEncoder(4)
+	for _, f := range []func(){
+		func() { NewIntervalTimeTable(enc, 0, 100) },
+		func() { NewIntervalTimeTable(enc, 8, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("invalid interval table accepted")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestIntervalTableQuantizationErrorEmpty(t *testing.T) {
+	enc := nn.NewTimeEncoder(4)
+	it := NewIntervalTimeTable(enc, 8, 100)
+	mean, max := it.QuantizationError(nil)
+	if mean != 0 || max != 0 {
+		t.Fatal("empty error not zero")
+	}
+}

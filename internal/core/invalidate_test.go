@@ -1,0 +1,280 @@
+package core
+
+import (
+	"testing"
+
+	"tgopt/internal/graph"
+	"tgopt/internal/tensor"
+	"tgopt/internal/tgat"
+)
+
+func TestDepTrackerRecordAndDrain(t *testing.T) {
+	d := NewDepTracker()
+	d.Record(101, []int32{1, 2, 0}, []int32{7, 0})
+	d.Record(102, []int32{2}, nil)
+	if d.Recorded() != 2 {
+		t.Fatalf("Recorded = %d", d.Recorded())
+	}
+	k1 := d.KeysForNode(2)
+	if len(k1) != 2 {
+		t.Fatalf("node 2 keys = %v", k1)
+	}
+	// Draining forgets.
+	if len(d.KeysForNode(2)) != 0 {
+		t.Fatal("KeysForNode did not drain")
+	}
+	if len(d.KeysForNode(0)) != 0 {
+		t.Fatal("padding node recorded")
+	}
+	if got := d.KeysForEdge(7); len(got) != 1 || got[0] != 101 {
+		t.Fatalf("edge 7 keys = %v", got)
+	}
+	d.Reset()
+	if d.Recorded() != 0 || len(d.KeysForNode(1)) != 0 {
+		t.Fatal("Reset incomplete")
+	}
+}
+
+func TestCacheRemove(t *testing.T) {
+	c := NewCache(10, 2, 2)
+	c.Store([]uint64{1, 2, 3}, tensor.Ones(3, 2))
+	if n := c.Remove([]uint64{2, 99}); n != 1 {
+		t.Fatalf("Remove returned %d, want 1", n)
+	}
+	if c.Contains(2) || !c.Contains(1) || !c.Contains(3) {
+		t.Fatal("Remove removed the wrong entries")
+	}
+	// Eviction still works after removals churn the FIFO.
+	c2 := NewCache(2, 1, 1)
+	c2.Store([]uint64{1, 2}, tensor.Ones(2, 1))
+	c2.Remove([]uint64{1})
+	c2.Store([]uint64{3}, tensor.Ones(1, 1))
+	c2.Store([]uint64{4}, tensor.Ones(1, 1)) // must evict 2 (1 is stale in FIFO)
+	if c2.Contains(2) || !c2.Contains(3) || !c2.Contains(4) {
+		t.Fatal("eviction confused by removed FIFO entries")
+	}
+}
+
+// invalidationSetup builds a model over a Dynamic graph with dependency
+// tracking enabled and runs one warming pass.
+func invalidationSetup(t *testing.T) (*tgat.Model, *graph.Dynamic, *Engine, []graph.Edge) {
+	t.Helper()
+	r := tensor.NewRNG(5)
+	const nodes, total = 25, 600
+	stream := make([]graph.Edge, 0, total)
+	clock := 0.0
+	for len(stream) < total {
+		clock += 1 + r.Float64()*10
+		src := int32(1 + r.Intn(nodes))
+		dst := int32(1 + r.Intn(nodes))
+		if src == dst {
+			continue
+		}
+		stream = append(stream, graph.Edge{Src: src, Dst: dst, Time: clock, Idx: int32(len(stream) + 1)})
+	}
+	nodeFeat := tensor.Randn(r, nodes+1, 16)
+	edgeFeat := tensor.Randn(r, total+1, 16)
+	for j := 0; j < 16; j++ {
+		nodeFeat.Set(0, 0, j)
+		edgeFeat.Set(0, 0, j)
+	}
+	cfg := tgat.Config{Layers: 2, Heads: 2, NodeDim: 16, EdgeDim: 16, TimeDim: 16, NumNeighbors: 5, Seed: 11}
+	m, err := tgat.NewModel(cfg, nodeFeat, edgeFeat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dyn := graph.NewDynamic(nodes)
+	for _, e := range stream {
+		if _, err := dyn.Append(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	opt := OptAll()
+	opt.TrackDependencies = true
+	eng := NewEngine(m, graph.NewDynamicSampler(dyn, cfg.NumNeighbors, graph.MostRecent, 0), opt)
+	// Warm the cache over the whole stream.
+	for start := 0; start < total; start += 100 {
+		batch := stream[start : start+100]
+		ns := make([]int32, 2*len(batch))
+		ts := make([]float64, 2*len(batch))
+		for i, e := range batch {
+			ns[i], ns[len(batch)+i] = e.Src, e.Dst
+			ts[i], ts[len(batch)+i] = e.Time, e.Time
+		}
+		eng.Embed(ns, ts)
+	}
+	if eng.CacheLen() == 0 || eng.Deps().Recorded() == 0 {
+		t.Fatal("warming pass cached nothing / recorded no deps")
+	}
+	return m, dyn, eng, stream
+}
+
+// freshBaseline recomputes embeddings from scratch on the current graph
+// state, bypassing every cache.
+func freshBaseline(t *testing.T, m *tgat.Model, dyn *graph.Dynamic, ns []int32, ts []float64) *tensor.Tensor {
+	t.Helper()
+	s := graph.NewDynamicSampler(dyn, m.Cfg.NumNeighbors, graph.MostRecent, 0)
+	return m.Embed(s, ns, ts, nil)
+}
+
+func TestInvalidateNodeFeatureChange(t *testing.T) {
+	m, dyn, eng, stream := invalidationSetup(t)
+	victim := stream[100].Src
+	queryT := dyn.MaxTime() + 1
+	ns := []int32{victim, stream[100].Dst, 1}
+	ts := []float64{queryT, queryT, queryT}
+
+	// Sanity: warm engine agrees with fresh baseline before the change.
+	if d := eng.Embed(ns, ts).MaxAbsDiff(freshBaseline(t, m, dyn, ns, ts)); d > 1e-5 {
+		t.Fatalf("pre-change disagreement %g", d)
+	}
+
+	// Mutate the victim's feature row (the §7 node-feature-change event).
+	row := m.NodeFeat.Row(int(victim))
+	for j := range row {
+		row[j] += 3
+	}
+
+	// Without invalidation the cache is stale.
+	stale := eng.Embed(ns, ts)
+	fresh := freshBaseline(t, m, dyn, ns, ts)
+	if stale.MaxAbsDiff(fresh) <= 1e-5 {
+		t.Fatal("feature change had no effect (test is vacuous)")
+	}
+
+	// Selective invalidation restores exactness.
+	before := eng.CacheLen()
+	removed := eng.InvalidateNode(victim)
+	if removed == 0 {
+		t.Fatal("nothing invalidated for an active node")
+	}
+	if eng.CacheLen() != before-removed {
+		t.Fatalf("cache len %d, want %d", eng.CacheLen(), before-removed)
+	}
+	if removed == before {
+		t.Fatal("invalidation was not selective (entire cache dropped)")
+	}
+	got := eng.Embed(ns, ts)
+	if d := got.MaxAbsDiff(fresh); d > 1e-5 {
+		t.Fatalf("post-invalidation disagreement %g", d)
+	}
+}
+
+func TestInvalidateEdgeDeletion(t *testing.T) {
+	m, dyn, eng, stream := invalidationSetup(t)
+	// Pick a mid-stream interaction: those sit inside the most-recent
+	// windows of many later cached targets. Probe until one with
+	// recorded dependents is found (the probe itself performs the
+	// selective invalidation).
+	var victim graph.Edge
+	removed := 0
+	for _, e := range stream[len(stream)/2:] {
+		if r := eng.InvalidateEdge(e.Idx); r > 0 {
+			victim, removed = e, r
+			break
+		}
+	}
+	if removed == 0 {
+		t.Fatal("no mid-stream edge had cached dependents")
+	}
+	if !dyn.DeleteEdge(victim.Idx) {
+		t.Fatal("DeleteEdge failed")
+	}
+	if dyn.DeleteEdge(victim.Idx) {
+		t.Fatal("double delete succeeded")
+	}
+	queryT := dyn.MaxTime() + 1
+	ns := []int32{victim.Src, victim.Dst}
+	ts := []float64{queryT, queryT}
+	fresh := freshBaseline(t, m, dyn, ns, ts)
+	got := eng.Embed(ns, ts)
+	if d := got.MaxAbsDiff(fresh); d > 1e-5 {
+		t.Fatalf("post-deletion disagreement %g", d)
+	}
+	// Also verify at the timestamps that were actually cached: replay
+	// the stream's queries and compare against fresh computation.
+	for start := 0; start < len(stream); start += 150 {
+		batch := stream[start : start+150]
+		bns := make([]int32, 2*len(batch))
+		bts := make([]float64, 2*len(batch))
+		for i, e := range batch {
+			bns[i], bns[len(batch)+i] = e.Src, e.Dst
+			bts[i], bts[len(batch)+i] = e.Time, e.Time
+		}
+		if d := eng.Embed(bns, bts).MaxAbsDiff(freshBaseline(t, m, dyn, bns, bts)); d > 1e-5 {
+			t.Fatalf("replay at offset %d disagrees by %g after deletion", start, d)
+		}
+	}
+}
+
+func TestInvalidateEdgeOutsideWindowsPreservesReuse(t *testing.T) {
+	// Deleting an interaction that no cached embedding sampled must not
+	// drop anything: "maximizing reuse" (§7).
+	_, dyn, eng, stream := invalidationSetup(t)
+	// Edge 1 is the oldest; busy endpoints' most-recent-5 windows at the
+	// times that were cached are very unlikely to still include it —
+	// but rather than assume, pick an edge whose deps list is empty.
+	var target int32 = -1
+	for _, e := range stream[:50] {
+		// Peek without draining by checking a copy via KeysForEdge on a
+		// cloned id is impossible; instead use an edge and accept either
+		// outcome, requiring at least one zero-removal case among the
+		// oldest edges.
+		if removed := eng.InvalidateEdge(e.Idx); removed == 0 {
+			target = e.Idx
+			break
+		}
+	}
+	if target == -1 {
+		t.Skip("every probed old edge was still inside a cached window")
+	}
+	if !dyn.DeleteEdge(target) {
+		t.Fatal("DeleteEdge failed")
+	}
+	if eng.CacheLen() == 0 {
+		t.Fatal("cache emptied by no-op invalidation")
+	}
+}
+
+func TestInvalidateRequiresTracking(t *testing.T) {
+	ds, m, s := engineTestSetup(t, 200)
+	eng := NewEngine(m, s, OptAll())
+	_ = ds
+	defer func() {
+		if recover() == nil {
+			t.Fatal("InvalidateNode without tracking did not panic")
+		}
+	}()
+	eng.InvalidateNode(1)
+}
+
+func TestInvalidateDeepCachesCleared(t *testing.T) {
+	// A 3-layer model caches layers 1 and 2; invalidation must clear the
+	// layer-2 cache conservatively.
+	ds, _, _ := engineTestSetup(t, 300)
+	cfg := engineTestConfig()
+	cfg.Layers = 3
+	m, err := tgat.NewModel(cfg, ds.NodeFeat, ds.EdgeFeat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := graph.NewSampler(ds.Graph, cfg.NumNeighbors, graph.MostRecent, 0)
+	opt := OptAll()
+	opt.TrackDependencies = true
+	eng := NewEngine(m, s, opt)
+	edges := ds.Graph.Edges()[:60]
+	ns := make([]int32, 2*len(edges))
+	ts := make([]float64, 2*len(edges))
+	for i, e := range edges {
+		ns[i], ns[len(edges)+i] = e.Src, e.Dst
+		ts[i], ts[len(edges)+i] = e.Time, e.Time
+	}
+	eng.Embed(ns, ts)
+	if eng.CacheFor(2) == nil || eng.CacheFor(2).Len() == 0 {
+		t.Fatal("layer-2 cache not populated")
+	}
+	eng.InvalidateNode(edges[0].Src)
+	if eng.CacheFor(2).Len() != 0 {
+		t.Fatal("layer-2 cache not conservatively cleared")
+	}
+}

@@ -1,0 +1,203 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+)
+
+// Cache persistence: a production deployment restarting its serving
+// process would otherwise pay the full warm-up cost again (Figure 7
+// shows hit rates take a while to climb). The format is little-endian:
+//
+//	magic   uint32 = 0x54474343 ("TGCC")
+//	dim     uint32
+//	count   uint32
+//	entries count × { key uint64, vec [dim]float32 }
+
+const cacheMagic uint32 = 0x54474343
+
+// WriteTo serializes every cached entry. Entries are written in shard
+// order; on load they re-enter FIFO order as written, which preserves
+// the limit semantics approximately (exact FIFO age does not survive a
+// restart, matching the usual warm-cache tradeoff).
+func (c *Cache) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	put32 := func(v uint32) error {
+		var buf [4]byte
+		binary.LittleEndian.PutUint32(buf[:], v)
+		k, err := bw.Write(buf[:])
+		n += int64(k)
+		return err
+	}
+	if err := put32(cacheMagic); err != nil {
+		return n, err
+	}
+	if err := put32(uint32(c.dim)); err != nil {
+		return n, err
+	}
+	if err := put32(uint32(c.Len())); err != nil {
+		return n, err
+	}
+	rec := make([]byte, 8+4*c.dim)
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		// Write in FIFO order so ages are approximately preserved.
+		for _, key := range s.fifo[s.head:] {
+			v, ok := s.m[key]
+			if !ok {
+				continue
+			}
+			binary.LittleEndian.PutUint64(rec, key)
+			for j, f := range v {
+				binary.LittleEndian.PutUint32(rec[8+4*j:], math.Float32bits(f))
+			}
+			k, err := bw.Write(rec)
+			n += int64(k)
+			if err != nil {
+				s.mu.Unlock()
+				return n, err
+			}
+		}
+		s.mu.Unlock()
+	}
+	return n, bw.Flush()
+}
+
+// ReadFrom loads entries written by WriteTo into the cache (on top of
+// any existing contents, evicting per the usual FIFO policy if the
+// limit is exceeded). The stored dimension must match.
+func (c *Cache) ReadFrom(r io.Reader) (int64, error) {
+	br := bufio.NewReader(r)
+	var n int64
+	get32 := func() (uint32, error) {
+		var buf [4]byte
+		k, err := io.ReadFull(br, buf[:])
+		n += int64(k)
+		return binary.LittleEndian.Uint32(buf[:]), err
+	}
+	magic, err := get32()
+	if err != nil {
+		return n, err
+	}
+	if magic != cacheMagic {
+		return n, fmt.Errorf("core: bad cache magic %#x", magic)
+	}
+	dim, err := get32()
+	if err != nil {
+		return n, err
+	}
+	if int(dim) != c.dim {
+		return n, fmt.Errorf("core: cached dim %d, cache expects %d", dim, c.dim)
+	}
+	count, err := get32()
+	if err != nil {
+		return n, err
+	}
+	rec := make([]byte, 8+4*c.dim)
+	vec := make([]float32, c.dim)
+	for i := uint32(0); i < count; i++ {
+		k, err := io.ReadFull(br, rec)
+		n += int64(k)
+		if err != nil {
+			return n, fmt.Errorf("core: cache entry %d: %w", i, err)
+		}
+		key := binary.LittleEndian.Uint64(rec)
+		for j := range vec {
+			vec[j] = math.Float32frombits(binary.LittleEndian.Uint32(rec[8+4*j:]))
+		}
+		c.storeOne(key, vec)
+	}
+	return n, nil
+}
+
+// storeOne inserts a single entry under the normal limit/eviction
+// rules, copying vec.
+func (c *Cache) storeOne(key uint64, vec []float32) {
+	s := c.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if old, ok := s.m[key]; ok {
+		copy(old, vec)
+		return
+	}
+	if len(s.m) >= c.perShardLimit {
+		s.evictOldestLocked()
+	}
+	v := make([]float32, len(vec))
+	copy(v, vec)
+	s.m[key] = v
+	s.fifo = append(s.fifo, key)
+}
+
+// SaveCaches persists the engine's per-layer caches to path.
+func (e *Engine) SaveCaches(path string) error {
+	if e.caches == nil {
+		return fmt.Errorf("core: engine has no caches to save")
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	// Header: number of cached layers, then (layer, cache blob) pairs.
+	var live []int
+	for l, c := range e.caches {
+		if c != nil {
+			live = append(live, l)
+		}
+	}
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(live)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	for _, l := range live {
+		binary.LittleEndian.PutUint32(hdr[:], uint32(l))
+		if _, err := w.Write(hdr[:]); err != nil {
+			return err
+		}
+		if _, err := e.caches[l].WriteTo(w); err != nil {
+			return err
+		}
+	}
+	return w.Flush()
+}
+
+// LoadCaches restores caches saved by SaveCaches. The engine's
+// architecture (cached layers and embedding width) must match.
+func (e *Engine) LoadCaches(path string) error {
+	if e.caches == nil {
+		return fmt.Errorf("core: engine has no caches to load into")
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return err
+	}
+	layers := binary.LittleEndian.Uint32(hdr[:])
+	for i := uint32(0); i < layers; i++ {
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			return err
+		}
+		l := int(binary.LittleEndian.Uint32(hdr[:]))
+		if l < 0 || l >= len(e.caches) || e.caches[l] == nil {
+			return fmt.Errorf("core: snapshot has cache for layer %d, engine does not", l)
+		}
+		if _, err := e.caches[l].ReadFrom(r); err != nil {
+			return fmt.Errorf("core: layer %d: %w", l, err)
+		}
+	}
+	return nil
+}

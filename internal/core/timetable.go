@@ -1,0 +1,112 @@
+package core
+
+import (
+	"math"
+
+	"tgopt/internal/nn"
+	"tgopt/internal/tensor"
+)
+
+// TimeTable is the precomputed time-encoding store of §4.3. Unlike the
+// 128-interval lookup table of Zhou et al. (which alters semantics),
+// TGOpt precomputes Φ(Δt) exactly for every integral Δt in a contiguous
+// window starting at 0, so the Δt value itself indexes a dense tensor
+// and the lookup is semantics-preserving. Misses (fractional, negative,
+// or beyond-window deltas) fall back to the original computation.
+type TimeTable struct {
+	enc    *nn.TimeEncoder
+	window int
+	table  *tensor.Tensor // (window, d)
+	phi0   []float32      // Φ(0) row, kept separately for the z_i path
+}
+
+// NewTimeTable precomputes the window [0, window) of time encodings.
+// The paper uses a 10,000-wide window.
+func NewTimeTable(enc *nn.TimeEncoder, window int) *TimeTable {
+	if window < 1 {
+		panic("core: time table window must be >= 1")
+	}
+	tt := &TimeTable{enc: enc, window: window}
+	dts := make([]float64, window)
+	for i := range dts {
+		dts[i] = float64(i)
+	}
+	tt.table = enc.Encode(dts)
+	tt.phi0 = make([]float32, enc.Dim())
+	copy(tt.phi0, tt.table.Data()[:enc.Dim()])
+	return tt
+}
+
+// Window returns the precomputed range length.
+func (tt *TimeTable) Window() int { return tt.window }
+
+// Dim returns the encoding width d_t.
+func (tt *TimeTable) Dim() int { return tt.enc.Dim() }
+
+// EncodeZerosInto fills the n rows of dst with the precomputed Φ(0) —
+// the "compute once, reuse indefinitely" optimization for z_i(t) of
+// §3.3.
+func (tt *TimeTable) EncodeZerosInto(n int, dst *tensor.Tensor) {
+	d := tt.Dim()
+	data := dst.Data()
+	for i := 0; i < n; i++ {
+		copy(data[i*d:(i+1)*d], tt.phi0)
+	}
+}
+
+// EncodeInto fills dst (len(dts), d) with time encodings, copying
+// precomputed rows for integral in-window deltas and computing the rest
+// with the original encoder. It returns the number of table hits
+// (instrumented by the breakdown analysis).
+func (tt *TimeTable) EncodeInto(dts []float64, dst *tensor.Tensor) int {
+	d := tt.Dim()
+	data := dst.Data()
+	tab := tt.table.Data()
+	hitCount := 0
+	var missIdx []int
+	for i, dt := range dts {
+		idx := int(dt)
+		if dt >= 0 && float64(idx) == dt && idx < tt.window {
+			copy(data[i*d:(i+1)*d], tab[idx*d:(idx+1)*d])
+			hitCount++
+			continue
+		}
+		missIdx = append(missIdx, i)
+	}
+	if len(missIdx) > 0 {
+		missDts := make([]float64, len(missIdx))
+		for j, i := range missIdx {
+			missDts[j] = dts[i]
+		}
+		missEnc := tt.enc.Encode(missDts)
+		for j, i := range missIdx {
+			copy(data[i*d:(i+1)*d], missEnc.Data()[j*d:(j+1)*d])
+		}
+	}
+	return hitCount
+}
+
+// Encode is EncodeInto with allocation.
+func (tt *TimeTable) Encode(dts []float64) (*tensor.Tensor, int) {
+	out := tensor.New(len(dts), tt.Dim())
+	hits := tt.EncodeInto(dts, out)
+	return out, hits
+}
+
+// Bytes returns the memory footprint of the precomputed table.
+func (tt *TimeTable) Bytes() int64 { return int64(tt.table.Len()+len(tt.phi0)) * 4 }
+
+// Verify checks that every table row matches a fresh encoder evaluation
+// within tol (used by the self-test and property tests).
+func (tt *TimeTable) Verify(tol float64) bool {
+	d := tt.Dim()
+	for i := 0; i < tt.window; i++ {
+		fresh := tt.enc.EncodeScalar(float64(i))
+		for j := 0; j < d; j++ {
+			if math.Abs(float64(tt.table.At(i, j))-float64(fresh.At(j))) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"tgopt/internal/nn"
+	"tgopt/internal/tensor"
+)
+
+func TestTimeTableVerify(t *testing.T) {
+	enc := nn.NewTimeEncoder(8)
+	tt := NewTimeTable(enc, 100)
+	if !tt.Verify(0) {
+		t.Fatal("precomputed rows differ from fresh encoding")
+	}
+	if tt.Window() != 100 || tt.Dim() != 8 {
+		t.Fatalf("accessors wrong: %d %d", tt.Window(), tt.Dim())
+	}
+	if tt.Bytes() <= 0 {
+		t.Fatal("Bytes not positive")
+	}
+}
+
+func TestTimeTableZeroRow(t *testing.T) {
+	enc := nn.NewTimeEncoder(4)
+	tt := NewTimeTable(enc, 10)
+	dst := tensor.New(3, 4)
+	tt.EncodeZerosInto(3, dst)
+	want := enc.EncodeScalar(0)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 4; j++ {
+			if dst.At(i, j) != want.At(j) {
+				t.Fatalf("zero row (%d,%d) = %v, want %v", i, j, dst.At(i, j), want.At(j))
+			}
+		}
+	}
+}
+
+func TestTimeTableHitsAndMisses(t *testing.T) {
+	enc := nn.NewTimeEncoder(4)
+	tt := NewTimeTable(enc, 10)
+	dts := []float64{0, 5, 9, 10, 2.5, -1, 1e9}
+	out, hits := tt.Encode(dts)
+	if hits != 3 { // 0, 5, 9 in window; 10 (== window) is out; 2.5 fractional; -1 negative
+		t.Fatalf("hits = %d, want 3", hits)
+	}
+	want := enc.Encode(dts)
+	if !out.AllClose(want, 0) {
+		t.Fatalf("table output differs from direct encoding: %g", out.MaxAbsDiff(want))
+	}
+}
+
+func TestTimeTableSemanticsPreservingProperty(t *testing.T) {
+	enc := nn.NewTimeEncoder(16)
+	tt := NewTimeTable(enc, 1000)
+	prop := func(raw []int16, frac bool) bool {
+		dts := make([]float64, len(raw))
+		for i, v := range raw {
+			dts[i] = float64(v)
+			if frac {
+				dts[i] += 0.5
+			}
+		}
+		out, _ := tt.Encode(dts)
+		return out.AllClose(enc.Encode(dts), 0)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimeTableAllMisses(t *testing.T) {
+	enc := nn.NewTimeEncoder(4)
+	tt := NewTimeTable(enc, 2)
+	out, hits := tt.Encode([]float64{100, 200})
+	if hits != 0 {
+		t.Fatalf("hits = %d", hits)
+	}
+	if !out.AllClose(enc.Encode([]float64{100, 200}), 0) {
+		t.Fatal("miss fallback wrong")
+	}
+}
+
+func TestTimeTableWindowPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("window 0 did not panic")
+		}
+	}()
+	NewTimeTable(nn.NewTimeEncoder(4), 0)
+}

@@ -1,0 +1,131 @@
+package dataset
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"tgopt/internal/graph"
+)
+
+// WriteCSV writes the dataset's edge list in the TGAT artifact's
+// ml_{name}.csv layout: a header line followed by
+// "idx,u,i,ts,label,idx" rows (label is always 0 here; the artifact
+// carries state labels we do not use). The leading unnamed column is the
+// pandas row index the original files contain.
+func WriteCSV(w io.Writer, g *graph.Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, ",u,i,ts,label,idx"); err != nil {
+		return err
+	}
+	for i, e := range g.Edges() {
+		if _, err := fmt.Fprintf(bw, "%d,%d,%d,%g,0,%d\n", i, e.Src, e.Dst, e.Time, e.Idx); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// SaveCSV writes the edge list to path via WriteCSV.
+func SaveCSV(path string, g *graph.Graph) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteCSV(f, g); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadCSV parses an edge list in the TGAT artifact format. It accepts
+// both the full "idx,u,i,ts,label,idx" layout (with or without the
+// leading unnamed index column) and a minimal "u,i,ts" layout. Column
+// positions are resolved from the header. Node ids must be positive.
+func ReadCSV(r io.Reader) (*graph.Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("dataset: empty CSV")
+	}
+	header := strings.Split(sc.Text(), ",")
+	uCol, iCol, tsCol, idxCol := -1, -1, -1, -1
+	for c, name := range header {
+		switch strings.TrimSpace(name) {
+		case "u":
+			uCol = c
+		case "i":
+			iCol = c
+		case "ts":
+			tsCol = c
+		case "idx":
+			idxCol = c
+		}
+	}
+	if uCol < 0 || iCol < 0 || tsCol < 0 {
+		return nil, fmt.Errorf("dataset: CSV header %q missing u/i/ts columns", sc.Text())
+	}
+	var edges []graph.Edge
+	maxNode := int32(0)
+	line := 1
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		fields := strings.Split(text, ",")
+		if len(fields) <= tsCol || len(fields) <= uCol || len(fields) <= iCol {
+			return nil, fmt.Errorf("dataset: CSV line %d has %d fields", line, len(fields))
+		}
+		u, err := strconv.ParseInt(strings.TrimSpace(fields[uCol]), 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: CSV line %d: bad u: %w", line, err)
+		}
+		v, err := strconv.ParseInt(strings.TrimSpace(fields[iCol]), 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: CSV line %d: bad i: %w", line, err)
+		}
+		ts, err := strconv.ParseFloat(strings.TrimSpace(fields[tsCol]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: CSV line %d: bad ts: %w", line, err)
+		}
+		var idx int64
+		if idxCol >= 0 && idxCol < len(fields) {
+			idx, err = strconv.ParseInt(strings.TrimSpace(fields[idxCol]), 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: CSV line %d: bad idx: %w", line, err)
+			}
+		}
+		e := graph.Edge{Src: int32(u), Dst: int32(v), Time: ts, Idx: int32(idx)}
+		if e.Src > maxNode {
+			maxNode = e.Src
+		}
+		if e.Dst > maxNode {
+			maxNode = e.Dst
+		}
+		edges = append(edges, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return graph.NewGraph(int(maxNode), edges)
+}
+
+// LoadCSV reads an edge list from path via ReadCSV.
+func LoadCSV(path string) (*graph.Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	g, err := ReadCSV(f)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: loading %s: %w", path, err)
+	}
+	return g, nil
+}

@@ -1,0 +1,368 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"tgopt/internal/tensor"
+)
+
+func tinySpec() Spec {
+	return Spec{
+		Name: "tiny", Bipartite: true, Users: 20, Items: 10, Edges: 500,
+		MaxTime: 1e5, Repeat: 0.6, ZipfExponent: 1.1, ParetoAlpha: 1.2, Seed: 1,
+	}
+}
+
+func TestSpecsMatchTable2(t *testing.T) {
+	specs := Specs()
+	if len(specs) != 7 {
+		t.Fatalf("got %d specs, want 7", len(specs))
+	}
+	// Spot-check the published counts.
+	byName := map[string]Spec{}
+	for _, s := range specs {
+		byName[s.Name] = s
+	}
+	if s := byName["jodie-lastfm"]; s.NumNodes() != 1980 || s.Edges != 1293103 {
+		t.Fatalf("jodie-lastfm stats wrong: %+v", s)
+	}
+	if s := byName["snap-msg"]; s.NumNodes() != 1899 || s.Edges != 59835 || s.Bipartite {
+		t.Fatalf("snap-msg stats wrong: %+v", s)
+	}
+	if s := byName["snap-reddit"]; s.NumNodes() != 67180 || s.NativeEdgeDim != 86 {
+		t.Fatalf("snap-reddit stats wrong: %+v", s)
+	}
+	// jodie-* must have higher repetition than snap-* (the behavioural
+	// property §5.2.1 ties to their higher speedups).
+	for _, j := range []string{"jodie-lastfm", "jodie-mooc", "jodie-reddit", "jodie-wiki"} {
+		for _, s := range []string{"snap-email", "snap-msg", "snap-reddit"} {
+			if byName[j].Repeat <= byName[s].Repeat {
+				t.Fatalf("%s repeat %v not above %s repeat %v", j, byName[j].Repeat, s, byName[s].Repeat)
+			}
+		}
+	}
+}
+
+func TestSpecByNameAndNames(t *testing.T) {
+	if _, err := SpecByName("jodie-wiki"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SpecByName("nope"); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+	if len(Names()) != 7 || Names()[0] != "jodie-lastfm" {
+		t.Fatalf("Names() = %v", Names())
+	}
+}
+
+func TestScalePreservesShape(t *testing.T) {
+	s, _ := SpecByName("jodie-lastfm")
+	half := s.Scale(0.5)
+	if half.Edges != s.Edges/2 {
+		t.Fatalf("scaled edges = %d", half.Edges)
+	}
+	if math.Abs(half.MaxTime-s.MaxTime/2) > 1 {
+		t.Fatalf("scaled MaxTime = %v", half.MaxTime)
+	}
+	if half.Repeat != s.Repeat {
+		t.Fatal("Scale changed behavioural parameters")
+	}
+	tinyScale := s.Scale(1e-9)
+	if tinyScale.Edges < 50 || tinyScale.Users < 10 {
+		t.Fatalf("Scale under-clamped: %+v", tinyScale)
+	}
+	if same := s.Scale(1); same.Edges != s.Edges {
+		t.Fatal("Scale(1) changed the spec")
+	}
+}
+
+func TestGenerateBasicInvariants(t *testing.T) {
+	ds, err := Generate(tinySpec(), Options{FeatureDim: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := ds.Graph
+	if g.NumEdges() != 500 {
+		t.Fatalf("edges = %d", g.NumEdges())
+	}
+	if g.NumNodes() != 30 {
+		t.Fatalf("nodes = %d", g.NumNodes())
+	}
+	if g.MaxTime() > 1e5+1 {
+		t.Fatalf("MaxTime = %v exceeds spec", g.MaxTime())
+	}
+	// Timestamps must be integral (§4.1's 32-bit hash relies on it).
+	for _, e := range g.Edges() {
+		if e.Time != math.Trunc(e.Time) {
+			t.Fatalf("non-integral timestamp %v", e.Time)
+		}
+		if e.Time < 0 {
+			t.Fatalf("negative timestamp %v", e.Time)
+		}
+	}
+	// Feature tables have the padding row and requested width.
+	if ds.NodeFeat.Dim(0) != 31 || ds.NodeFeat.Dim(1) != 8 {
+		t.Fatalf("node feat shape %v", ds.NodeFeat.Shape())
+	}
+	if ds.EdgeFeat.Dim(0) != 501 || ds.EdgeFeat.Dim(1) != 8 {
+		t.Fatalf("edge feat shape %v", ds.EdgeFeat.Shape())
+	}
+	for j := 0; j < 8; j++ {
+		if ds.EdgeFeat.At(0, j) != 0 || ds.NodeFeat.At(0, j) != 0 {
+			t.Fatal("padding row not zero")
+		}
+	}
+	// Paper: node features are zero vectors by default.
+	for i := 0; i < ds.NodeFeat.Len(); i++ {
+		if ds.NodeFeat.Data()[i] != 0 {
+			t.Fatal("default node features not zero")
+		}
+	}
+}
+
+func TestGenerateBipartiteRespectsPartition(t *testing.T) {
+	spec := tinySpec()
+	ds, err := Generate(spec, Options{FeatureDim: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ds.Graph.Edges() {
+		if e.Src < 1 || e.Src > int32(spec.Users) {
+			t.Fatalf("source %d outside user partition", e.Src)
+		}
+		if e.Dst <= int32(spec.Users) || e.Dst > int32(spec.Users+spec.Items) {
+			t.Fatalf("destination %d outside item partition", e.Dst)
+		}
+	}
+}
+
+func TestGenerateHomogeneousNoSelfLoops(t *testing.T) {
+	spec := Spec{Name: "h", Users: 15, Edges: 400, MaxTime: 1e5, Repeat: 0.3, ZipfExponent: 1.1, ParetoAlpha: 1.1, Seed: 2}
+	ds, err := Generate(spec, Options{FeatureDim: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ds.Graph.Edges() {
+		if e.Src == e.Dst {
+			t.Fatal("self loop generated")
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(tinySpec(), Options{FeatureDim: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(tinySpec(), Options{FeatureDim: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ea, eb := a.Graph.Edges(), b.Graph.Edges()
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatalf("edge %d differs across same-seed generations", i)
+		}
+	}
+	if !a.EdgeFeat.AllClose(b.EdgeFeat, 0) {
+		t.Fatal("edge features differ across same-seed generations")
+	}
+}
+
+func TestGenerateRepeatBehaviour(t *testing.T) {
+	// With high Repeat, consecutive interactions of a user frequently hit
+	// the same item; with Repeat=0 they rarely should. Measure the
+	// fraction of edges whose (src,dst) equals the src's previous edge.
+	measure := func(repeat float64) float64 {
+		spec := tinySpec()
+		spec.Repeat = repeat
+		spec.Edges = 3000
+		spec.Users, spec.Items = 50, 200
+		ds, err := Generate(spec, Options{FeatureDim: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		last := map[int32]int32{}
+		repeats := 0
+		for _, e := range ds.Graph.Edges() {
+			if last[e.Src] == e.Dst {
+				repeats++
+			}
+			last[e.Src] = e.Dst
+		}
+		return float64(repeats) / float64(len(ds.Graph.Edges()))
+	}
+	hi, lo := measure(0.8), measure(0.0)
+	if hi < 0.5 {
+		t.Fatalf("high-repeat fraction = %v, want > 0.5", hi)
+	}
+	if lo > 0.2 {
+		t.Fatalf("zero-repeat fraction = %v, want small", lo)
+	}
+}
+
+func TestGenerateInterEventTimesHeavyTailed(t *testing.T) {
+	// Figure 4's property: Δt between consecutive events clusters near 0
+	// with a long tail — median well below mean.
+	spec := tinySpec()
+	spec.Edges = 5000
+	ds, err := Generate(spec, Options{FeatureDim: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges := ds.Graph.Edges()
+	deltas := make([]float64, 0, len(edges)-1)
+	for i := 1; i < len(edges); i++ {
+		deltas = append(deltas, edges[i].Time-edges[i-1].Time)
+	}
+	mean := 0.0
+	for _, d := range deltas {
+		mean += d
+	}
+	mean /= float64(len(deltas))
+	// Median via counting below mean: heavy tail ⇒ most deltas below mean.
+	below := 0
+	for _, d := range deltas {
+		if d < mean {
+			below++
+		}
+	}
+	if frac := float64(below) / float64(len(deltas)); frac < 0.6 {
+		t.Fatalf("only %v of deltas below mean; distribution not heavy-tailed", frac)
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := Generate(tinySpec(), Options{}); err == nil {
+		t.Fatal("FeatureDim 0 accepted")
+	}
+	bad := tinySpec()
+	bad.Edges = 0
+	if _, err := Generate(bad, Options{FeatureDim: 4}); err == nil {
+		t.Fatal("0-edge spec accepted")
+	}
+}
+
+func TestGenerateRandomNodeFeatures(t *testing.T) {
+	ds, err := Generate(tinySpec(), Options{FeatureDim: 4, RandomNodeFeatures: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nonzero := false
+	for _, v := range ds.NodeFeat.Data() {
+		if v != 0 {
+			nonzero = true
+		}
+	}
+	if !nonzero {
+		t.Fatal("RandomNodeFeatures produced all zeros")
+	}
+	for j := 0; j < 4; j++ {
+		if ds.NodeFeat.At(0, j) != 0 {
+			t.Fatal("padding row 0 not zero with random features")
+		}
+	}
+}
+
+func TestZipfHeavyHead(t *testing.T) {
+	r := newTestRNG()
+	z := newZipf(r, 1000, 1.2)
+	counts := make([]int, 1000)
+	// Undo the shuffle by counting rank popularity through the perm.
+	inv := make([]int, 1000)
+	for rank, id := range z.perm {
+		inv[id] = rank
+	}
+	for i := 0; i < 50000; i++ {
+		counts[inv[z.Sample(r)]]++
+	}
+	if counts[0] < counts[500]*5 {
+		t.Fatalf("Zipf head not heavy: rank0=%d rank500=%d", counts[0], counts[500])
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	ds, err := Generate(tinySpec(), Options{FeatureDim: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, ds.Graph); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadCSV(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumEdges() != ds.Graph.NumEdges() {
+		t.Fatalf("edge count changed: %d vs %d", g2.NumEdges(), ds.Graph.NumEdges())
+	}
+	ea, eb := ds.Graph.Edges(), g2.Edges()
+	for i := range ea {
+		if ea[i].Src != eb[i].Src || ea[i].Dst != eb[i].Dst || ea[i].Time != eb[i].Time || ea[i].Idx != eb[i].Idx {
+			t.Fatalf("edge %d changed: %+v vs %+v", i, ea[i], eb[i])
+		}
+	}
+}
+
+func TestReadCSVMinimalHeader(t *testing.T) {
+	src := "u,i,ts\n1,2,10\n2,3,20\n"
+	g, err := ReadCSV(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 2 || g.NumNodes() != 3 {
+		t.Fatalf("minimal CSV parsed wrong: %d edges %d nodes", g.NumEdges(), g.NumNodes())
+	}
+	// Auto-assigned edge ids.
+	if g.Edges()[0].Idx != 1 {
+		t.Fatalf("edge idx = %d", g.Edges()[0].Idx)
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []string{
+		"",                    // empty
+		"a,b,c\n1,2,3\n",      // missing columns
+		"u,i,ts\n1,2\n",       // short row
+		"u,i,ts\nx,2,3\n",     // bad u
+		"u,i,ts\n1,y,3\n",     // bad i
+		"u,i,ts\n1,2,z\n",     // bad ts
+		"u,i,ts,idx\n1,2,3,w", // bad idx
+	}
+	for i, src := range cases {
+		if _, err := ReadCSV(strings.NewReader(src)); err == nil {
+			t.Fatalf("case %d accepted: %q", i, src)
+		}
+	}
+	// Blank lines are tolerated.
+	if g, err := ReadCSV(strings.NewReader("u,i,ts\n1,2,3\n\n")); err != nil || g.NumEdges() != 1 {
+		t.Fatalf("blank line handling: %v", err)
+	}
+}
+
+func TestCSVFileRoundTrip(t *testing.T) {
+	ds, err := Generate(tinySpec(), Options{FeatureDim: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/edges.csv"
+	if err := SaveCSV(path, ds.Graph); err != nil {
+		t.Fatal(err)
+	}
+	g, err := LoadCSV(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != ds.Graph.NumEdges() {
+		t.Fatal("file round trip lost edges")
+	}
+	if _, err := LoadCSV(path + ".missing"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func newTestRNG() *tensor.RNG { return tensor.NewRNG(42) }

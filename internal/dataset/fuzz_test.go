@@ -1,0 +1,42 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV exercises the edge-list parser with arbitrary input: it
+// must never panic, and any graph it does accept must satisfy the
+// structural invariants (chronological edges, endpoints in range).
+func FuzzReadCSV(f *testing.F) {
+	f.Add("u,i,ts\n1,2,10\n2,3,20\n")
+	f.Add(",u,i,ts,label,idx\n0,1,2,10,0,1\n")
+	f.Add("u,i,ts\n")
+	f.Add("u,i,ts\n1,2,1e9\n")
+	f.Add("x,y\n1,2\n")
+	f.Add("u,i,ts\n-5,2,1\n")
+	f.Add("u,i,ts\n1,2,notanumber\n")
+	f.Add(strings.Repeat("u,i,ts\n1,2,3\n", 3))
+	f.Fuzz(func(t *testing.T, input string) {
+		g, err := ReadCSV(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		prev := -1.0
+		for _, e := range g.Edges() {
+			if e.Time < prev {
+				t.Fatal("accepted graph has unsorted edges")
+			}
+			prev = e.Time
+			if e.Src < 1 || int(e.Src) > g.NumNodes() || e.Dst < 1 || int(e.Dst) > g.NumNodes() {
+				t.Fatal("accepted graph has out-of-range endpoints")
+			}
+		}
+		// Accepted graphs must round-trip through the writer.
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, g); err != nil {
+			t.Fatalf("cannot re-serialize accepted graph: %v", err)
+		}
+	})
+}

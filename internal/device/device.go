@@ -1,0 +1,202 @@
+// Package device provides a simulated accelerator for the paper's GPU
+// experiments (Figure 5 right, Figure 6 bottom, Table 3 GPU section,
+// Table 5). No GPU exists in this environment, so — per the
+// substitution rule documented in DESIGN.md — this package models one:
+// tensor kernels are executed on the host but *charged* at accelerated
+// rates with per-kernel launch overhead, host-side bookkeeping is
+// charged at host speed, and every cache/table data movement is charged
+// PCIe- or HBM-like transfer costs and counted per direction
+// (host-to-device, device-to-host, device-to-device).
+//
+// The simulation preserves the two behaviours the paper's GPU results
+// hinge on: dense math being relatively cheap (so redundancy elimination
+// saves less than on CPU, and the time-encoding table lookup can be a
+// net regression), and on-device cache storage drowning in many small
+// device-to-device copies (Table 5).
+package device
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// OpKind classifies where an operation runs under the device model.
+type OpKind int
+
+const (
+	// HostOp runs on the host CPU regardless of device (sampling,
+	// deduplication, hash-table operations, table gathers).
+	HostOp OpKind = iota
+	// TensorOp is dense math that the accelerator executes (attention
+	// projections, time-encoding kernels, the affinity head).
+	TensorOp
+)
+
+// Direction labels a memory transfer.
+type Direction int
+
+const (
+	HtoD Direction = iota // host to device
+	DtoH                  // device to host
+	DtoD                  // within device
+)
+
+// String implements fmt.Stringer.
+func (d Direction) String() string {
+	switch d {
+	case HtoD:
+		return "HtoD"
+	case DtoH:
+		return "DtoH"
+	case DtoD:
+		return "DtoD"
+	default:
+		return "unknown"
+	}
+}
+
+// CostModel holds the simulated accelerator's performance parameters.
+type CostModel struct {
+	// TensorSpeedup divides the host wall time of TensorOps.
+	TensorSpeedup float64
+	// HostSlowdown multiplies the host wall time of HostOps (the
+	// paper's GPU machine had slower CPU cores than the CPU server).
+	HostSlowdown float64
+	// LaunchOverhead is charged once per kernel launch.
+	LaunchOverhead time.Duration
+	// PCIeBytesPerSec is the HtoD/DtoH bandwidth.
+	PCIeBytesPerSec float64
+	// DtoDBytesPerSec is the on-device copy bandwidth.
+	DtoDBytesPerSec float64
+	// TransferLatency is charged once per transfer call; many small
+	// copies are dominated by it, which is exactly the pathology the
+	// paper observes for GPU-resident caches.
+	TransferLatency time.Duration
+}
+
+// DefaultCostModel returns parameters loosely shaped after a V100-class
+// card on PCIe 3.0 relative to a single Xeon core: large dense-math
+// speedup, ~10 µs launch overhead, ~12 GB/s PCIe, ~300 GB/s effective
+// small-copy DtoD with ~4 µs per-call latency.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		TensorSpeedup:   12,
+		HostSlowdown:    1.15,
+		LaunchOverhead:  10 * time.Microsecond,
+		PCIeBytesPerSec: 12e9,
+		DtoDBytesPerSec: 300e9,
+		TransferLatency: 4 * time.Microsecond,
+	}
+}
+
+// Transfer is an accumulated per-direction transfer account.
+type Transfer struct {
+	Calls int64
+	Bytes int64
+	Time  time.Duration
+}
+
+// Sim is a simulated device accumulating charged time and transfer
+// accounts. It is safe for concurrent use. A nil *Sim means "no device":
+// OpTime returns wall time unchanged and transfers are free.
+type Sim struct {
+	model CostModel
+
+	mu    sync.Mutex
+	total time.Duration
+	xfers [3]Transfer
+}
+
+// NewSim creates a simulated device with the given cost model.
+func NewSim(model CostModel) *Sim { return &Sim{model: model} }
+
+// Model returns the cost model.
+func (s *Sim) Model() CostModel { return s.model }
+
+// OpTime converts a measured host wall duration into the simulated
+// device duration for an operation of the given kind with the given
+// number of kernel launches, accumulates it, and returns it. For a nil
+// Sim it returns wall unchanged.
+func (s *Sim) OpTime(kind OpKind, wall time.Duration, launches int) time.Duration {
+	if s == nil {
+		return wall
+	}
+	var sim time.Duration
+	switch kind {
+	case TensorOp:
+		sim = time.Duration(float64(wall)/s.model.TensorSpeedup) +
+			time.Duration(launches)*s.model.LaunchOverhead
+	default:
+		sim = time.Duration(float64(wall) * s.model.HostSlowdown)
+	}
+	s.mu.Lock()
+	s.total += sim
+	s.mu.Unlock()
+	return sim
+}
+
+// TransferTime charges `calls` transfers moving `bytes` total in the
+// given direction, accumulates both the account and the simulated time,
+// and returns the simulated duration. Nil Sim: free.
+func (s *Sim) TransferTime(dir Direction, bytes int64, calls int) time.Duration {
+	if s == nil {
+		return 0
+	}
+	bw := s.model.PCIeBytesPerSec
+	if dir == DtoD {
+		bw = s.model.DtoDBytesPerSec
+	}
+	sim := time.Duration(float64(bytes)/bw*float64(time.Second)) +
+		time.Duration(calls)*s.model.TransferLatency
+	s.mu.Lock()
+	s.total += sim
+	t := &s.xfers[dir]
+	t.Calls += int64(calls)
+	t.Bytes += bytes
+	t.Time += sim
+	s.mu.Unlock()
+	return sim
+}
+
+// Total returns the accumulated simulated time.
+func (s *Sim) Total() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.total
+}
+
+// Transfers returns the accumulated per-direction transfer accounts
+// indexed by Direction.
+func (s *Sim) Transfers() [3]Transfer {
+	if s == nil {
+		return [3]Transfer{}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.xfers
+}
+
+// Reset clears the accumulated time and transfer accounts.
+func (s *Sim) Reset() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.total = 0
+	s.xfers = [3]Transfer{}
+}
+
+// String summarizes the transfer accounts.
+func (s *Sim) String() string {
+	if s == nil {
+		return "<no device>"
+	}
+	x := s.Transfers()
+	return fmt.Sprintf("HtoD %dB/%v  DtoH %dB/%v  DtoD %dB/%v",
+		x[HtoD].Bytes, x[HtoD].Time, x[DtoH].Bytes, x[DtoH].Time, x[DtoD].Bytes, x[DtoD].Time)
+}

@@ -1,0 +1,130 @@
+package device
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestOpTimeTensorSpeedup(t *testing.T) {
+	s := NewSim(CostModel{TensorSpeedup: 10, HostSlowdown: 2, LaunchOverhead: time.Millisecond})
+	got := s.OpTime(TensorOp, 100*time.Millisecond, 2)
+	want := 10*time.Millisecond + 2*time.Millisecond
+	if got != want {
+		t.Fatalf("TensorOp time = %v, want %v", got, want)
+	}
+	host := s.OpTime(HostOp, 100*time.Millisecond, 0)
+	if host != 200*time.Millisecond {
+		t.Fatalf("HostOp time = %v, want 200ms", host)
+	}
+	if s.Total() != got+host {
+		t.Fatalf("Total = %v, want %v", s.Total(), got+host)
+	}
+}
+
+func TestTransferTimeBandwidthAndLatency(t *testing.T) {
+	s := NewSim(CostModel{PCIeBytesPerSec: 1e9, DtoDBytesPerSec: 10e9, TransferLatency: time.Microsecond})
+	got := s.TransferTime(HtoD, 1e9, 1)
+	want := time.Second + time.Microsecond
+	if got != want {
+		t.Fatalf("HtoD transfer = %v, want %v", got, want)
+	}
+	dd := s.TransferTime(DtoD, 1e9, 1000)
+	wantDD := 100*time.Millisecond + 1000*time.Microsecond
+	if dd != wantDD {
+		t.Fatalf("DtoD transfer = %v, want %v", dd, wantDD)
+	}
+	x := s.Transfers()
+	if x[HtoD].Bytes != 1e9 || x[HtoD].Calls != 1 || x[HtoD].Time != want {
+		t.Fatalf("HtoD account %+v", x[HtoD])
+	}
+	if x[DtoD].Calls != 1000 {
+		t.Fatalf("DtoD calls = %d", x[DtoD].Calls)
+	}
+	if x[DtoH].Bytes != 0 {
+		t.Fatal("DtoH should be untouched")
+	}
+}
+
+func TestManySmallCopiesDominatedByLatency(t *testing.T) {
+	// The Table 5 pathology: the same bytes in many small copies cost
+	// far more than one large copy.
+	s := NewSim(DefaultCostModel())
+	one := s.TransferTime(DtoD, 1<<20, 1)
+	s.Reset()
+	many := s.TransferTime(DtoD, 1<<20, 4096)
+	if many < 100*one {
+		t.Fatalf("4096 small copies (%v) not ≫ one large copy (%v)", many, one)
+	}
+}
+
+func TestNilSimIsFree(t *testing.T) {
+	var s *Sim
+	if s.OpTime(TensorOp, time.Second, 5) != time.Second {
+		t.Fatal("nil Sim should pass wall time through")
+	}
+	if s.TransferTime(HtoD, 1e9, 1) != 0 {
+		t.Fatal("nil Sim transfer should be free")
+	}
+	if s.Total() != 0 {
+		t.Fatal("nil Total should be 0")
+	}
+	if s.Transfers() != ([3]Transfer{}) {
+		t.Fatal("nil Transfers should be zero")
+	}
+	s.Reset() // must not panic
+	if s.String() != "<no device>" {
+		t.Fatal("nil String wrong")
+	}
+}
+
+func TestResetClears(t *testing.T) {
+	s := NewSim(DefaultCostModel())
+	s.OpTime(TensorOp, time.Second, 1)
+	s.TransferTime(HtoD, 1000, 1)
+	s.Reset()
+	if s.Total() != 0 || s.Transfers()[HtoD].Bytes != 0 {
+		t.Fatal("Reset incomplete")
+	}
+}
+
+func TestDirectionString(t *testing.T) {
+	if HtoD.String() != "HtoD" || DtoH.String() != "DtoH" || DtoD.String() != "DtoD" || Direction(9).String() != "unknown" {
+		t.Fatal("Direction strings wrong")
+	}
+}
+
+func TestDefaultCostModelShape(t *testing.T) {
+	m := DefaultCostModel()
+	if m.TensorSpeedup <= 1 {
+		t.Fatal("accelerator should speed up tensor math")
+	}
+	if m.HostSlowdown < 1 {
+		t.Fatal("GPU-machine host cores should not be faster")
+	}
+	if m.DtoDBytesPerSec <= m.PCIeBytesPerSec {
+		t.Fatal("on-device bandwidth should exceed PCIe")
+	}
+}
+
+func TestSimConcurrentUse(t *testing.T) {
+	s := NewSim(DefaultCostModel())
+	var wg sync.WaitGroup
+	for i := 0; i < 20; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				s.OpTime(HostOp, time.Microsecond, 0)
+				s.TransferTime(DtoH, 100, 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if s.Transfers()[DtoH].Calls != 2000 {
+		t.Fatalf("lost transfer calls: %d", s.Transfers()[DtoH].Calls)
+	}
+	if s.String() == "" {
+		t.Fatal("String empty")
+	}
+}

@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"tgopt/internal/plot"
+)
+
+// Figure3SVG renders the reuse-vs-recompute trend as a two-series line
+// chart, the shape of the paper's Figure 3.
+func Figure3SVG(name string, points []Figure3Point) string {
+	reused := plot.Series{Name: "reused"}
+	recomputed := plot.Series{Name: "recomputed"}
+	for _, p := range points {
+		reused.X = append(reused.X, p.Time)
+		reused.Y = append(reused.Y, float64(p.Reused))
+		recomputed.X = append(recomputed.X, p.Time)
+		recomputed.Y = append(recomputed.Y, float64(p.Recomputed))
+	}
+	return plot.LineChart("Embeddings reused vs recomputed ("+name+")",
+		"edge timestamp", "embeddings", []plot.Series{reused, recomputed})
+}
+
+// Figure4SVG renders the Δt histogram.
+func Figure4SVG(name string, buckets []Figure4Bucket) string {
+	labels := make([]string, len(buckets))
+	counts := make([]int64, len(buckets))
+	for i, b := range buckets {
+		labels[i] = fmt.Sprintf("<%.3g", b.Hi)
+		counts[i] = b.Count
+	}
+	return plot.Histogram("Time-delta distribution ("+name+")", "Δt (geometric bins)", labels, counts)
+}
+
+// Figure5SVG renders the runtime comparison as grouped bars with error
+// bars, one group per dataset.
+func Figure5SVG(rows []Figure5Row) string {
+	groups := make([]plot.BarGroup, len(rows))
+	device := "cpu"
+	for i, r := range rows {
+		device = r.Device.String()
+		groups[i] = plot.BarGroup{
+			Label:  fmt.Sprintf("%s (%.1fx)", r.Dataset, r.Speedup()),
+			Values: []float64{r.Baseline.Seconds(), r.Optimized.Seconds()},
+			Errs:   []float64{r.BaselineStd.Seconds(), r.OptimizedStd.Seconds()},
+		}
+	}
+	return plot.BarChart("Inference runtime, baseline vs TGOpt ("+device+")",
+		"seconds", []string{"baseline", "tgopt"}, groups)
+}
+
+// Figure6SVG renders the accumulative ablation speedups.
+func Figure6SVG(rows []Figure6Row) string {
+	if len(rows) == 0 {
+		return plot.BarChart("Ablation", "speedup", nil, nil)
+	}
+	groups := make([]plot.BarGroup, len(rows))
+	for i, r := range rows {
+		groups[i] = plot.BarGroup{Label: r.Dataset, Values: r.Speedups}
+	}
+	return plot.BarChart("Accumulative ablation speedup ("+rows[0].Device.String()+")",
+		"speedup vs baseline", rows[0].Labels, groups)
+}
+
+// Figure7SVG renders hit-rate evolution, one series per dataset.
+func Figure7SVG(series []Figure7Series) string {
+	var ss []plot.Series
+	for _, s := range series {
+		ps := plot.Series{Name: s.Dataset}
+		for i, r := range s.Rates {
+			ps.X = append(ps.X, float64(i))
+			ps.Y = append(ps.Y, 100*r)
+		}
+		ss = append(ss, ps)
+	}
+	return plot.LineChart("Cache hit rate evolution (window 10)", "cache lookup", "hit rate (%)", ss)
+}
+
+// WriteSVG writes an SVG document into dir with the given base name,
+// creating dir if needed, and returns the full path.
+func WriteSVG(dir, name, svg string) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, name+".svg")
+	if err := os.WriteFile(path, []byte(svg), 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}

@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"io"
+
+	"tgopt/internal/core"
+)
+
+// Table1Row is the per-dataset duplication result: the fraction of each
+// layer's input batch that is duplicated, averaged over all batches of
+// the stream (paper Table 1; batches of 200 edges, 2-layer model).
+// Layer[L] is the starting layer's input (the packed edge batch),
+// Layer[0] the node-feature lookup (node-only duplication rule).
+type Table1Row struct {
+	Dataset string
+	Layer   []float64 // index = layer, length Layers+1
+}
+
+// Table1 measures per-layer batch duplication for the given datasets.
+// It mirrors the model's recursive batching: targets are deduplicated at
+// each layer before their neighborhoods are pooled for the next one —
+// the same discipline TGOpt applies — so the percentages compose the way
+// §3.1 describes.
+func Table1(w io.Writer, s Setup, names []string) ([]Table1Row, error) {
+	fprintf(w, "Table 1: %% duplication per batch of %d edges, per TGAT layer\n", s.BatchSize)
+	fprintf(w, "%-14s", "dataset")
+	for l := 0; l <= s.Layers; l++ {
+		fprintf(w, "  layer %d", l)
+	}
+	fprintf(w, "\n")
+	var rows []Table1Row
+	for _, name := range names {
+		wl, err := LoadWorkload(name, s)
+		if err != nil {
+			return nil, err
+		}
+		row := measureDuplication(wl, s)
+		rows = append(rows, row)
+		fprintf(w, "%-14s", name)
+		for l := 0; l <= s.Layers; l++ {
+			fprintf(w, "  %6.1f%%", 100*row.Layer[l])
+		}
+		fprintf(w, "\n")
+	}
+	return rows, nil
+}
+
+func measureDuplication(wl *Workload, s Setup) Table1Row {
+	edges := wl.DS.Graph.Edges()
+	L := s.Layers
+	sums := make([]float64, L+1)
+	batches := 0
+	for start := 0; start < len(edges); start += s.BatchSize {
+		end := start + s.BatchSize
+		if end > len(edges) {
+			end = len(edges)
+		}
+		batch := edges[start:end]
+		nb := len(batch)
+		nodes := make([]int32, 2*nb)
+		ts := make([]float64, 2*nb)
+		for i, e := range batch {
+			nodes[i], nodes[nb+i] = e.Src, e.Dst
+			ts[i], ts[nb+i] = e.Time, e.Time
+		}
+		// Walk down the layers: measure duplication of each layer's
+		// input, dedup, pool neighborhoods for the next.
+		for l := L; l >= 1; l-- {
+			sums[l] += core.DuplicationRatio(nodes, ts)
+			res := core.DedupFilter(nodes, ts)
+			b := wl.Sampler.Sample(res.Nodes, res.Times)
+			n := len(res.Nodes)
+			next := make([]int32, n+n*b.K)
+			nextTs := make([]float64, n+n*b.K)
+			copy(next, res.Nodes)
+			copy(nextTs, res.Times)
+			copy(next[n:], b.Nghs)
+			copy(nextTs[n:], b.Times)
+			nodes, ts = next, nextTs
+		}
+		// Layer 0: features are static, so only the node id matters.
+		sums[0] += core.NodeDuplicationRatio(nodes)
+		batches++
+	}
+	row := Table1Row{Dataset: wl.DS.Name, Layer: make([]float64, L+1)}
+	for l := range row.Layer {
+		row.Layer[l] = sums[l] / float64(batches)
+	}
+	return row
+}

@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"io"
+	"sort"
+	"time"
+
+	"tgopt/internal/stats"
+)
+
+// Table3Result is the per-operation cost breakdown of one dataset on
+// one device: baseline and TGOpt durations per Algorithm 1 operation,
+// plus the average cache hit rate and used cache size of the optimized
+// run (paper Table 3).
+type Table3Result struct {
+	Dataset    string
+	Device     DeviceKind
+	Baseline   map[string]time.Duration
+	Optimized  map[string]time.Duration
+	HitRate    float64
+	CacheBytes int64
+	CacheItems int
+}
+
+// Table3Ops is the row order of the paper's table.
+var Table3Ops = []string{
+	stats.OpNghLookup,
+	stats.OpDedupFilter,
+	stats.OpDedupInvert,
+	stats.OpTimeEncZero,
+	stats.OpTimeEncDelta,
+	stats.OpComputeKeys,
+	stats.OpCacheLookup,
+	stats.OpCacheStore,
+	stats.OpAttention,
+}
+
+// Table3 runs the breakdown analysis for each named dataset on the
+// given device kind.
+func Table3(w io.Writer, s Setup, names []string, kind DeviceKind) ([]Table3Result, error) {
+	var results []Table3Result
+	for _, name := range names {
+		wl, err := LoadWorkload(name, s)
+		if err != nil {
+			return nil, err
+		}
+		wl.SetBatchSize(s.BatchSize)
+		base := RunInference(wl, baselineOptions(), kind)
+		opt := RunInference(wl, optAllScaled(s), kind)
+		res := Table3Result{
+			Dataset:    name,
+			Device:     kind,
+			Baseline:   base.Collector.Durations(),
+			Optimized:  opt.Collector.Durations(),
+			HitRate:    opt.HitRate.Average(),
+			CacheBytes: opt.Engine.CacheBytes(),
+			CacheItems: opt.Engine.CacheLen(),
+		}
+		results = append(results, res)
+		fprintf(w, "Table 3 (%s, %s): total runtime of operations\n", name, kind)
+		fprintf(w, "%-16s %12s %12s\n", "operation", "base", "ours")
+		for _, op := range Table3Ops {
+			b, hasB := res.Baseline[op]
+			o, hasO := res.Optimized[op]
+			if !hasB && !hasO {
+				continue
+			}
+			fprintf(w, "%-16s %11.3fs %11.3fs\n", op, b.Seconds(), o.Seconds())
+		}
+		// Any remaining recorded ops (feature lookups, transfers).
+		var extra []string
+		for op := range res.Optimized {
+			if !contains(Table3Ops, op) {
+				extra = append(extra, op)
+			}
+		}
+		sort.Strings(extra)
+		for _, op := range extra {
+			fprintf(w, "%-16s %11.3fs %11.3fs\n", op, res.Baseline[op].Seconds(), res.Optimized[op].Seconds())
+		}
+		fprintf(w, "%-16s %11.2f%%\n", "avg hit rate", 100*res.HitRate)
+		fprintf(w, "%-16s %10.1fMiB (%d items)\n\n", "used cache size",
+			float64(res.CacheBytes)/(1<<20), res.CacheItems)
+	}
+	return results, nil
+}
+
+func contains(ss []string, s string) bool {
+	for _, x := range ss {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,182 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Dynamic is a continuous-time dynamic graph that grows by appending
+// chronological edge interactions — the streaming counterpart of the
+// immutable Graph, implementing the §7 assumption that "the graph only
+// evolves new edge interactions". Appends keep every per-node adjacency
+// time-sorted in O(1), so sampling stays a binary search plus a suffix
+// copy.
+//
+// Dynamic is safe for concurrent use: appends take a write lock,
+// sampling takes read locks. Because the temporal constraint t_j < t
+// excludes all future edges, embeddings memoized for a target ⟨i, t⟩
+// remain valid after any number of appends — the property (§3.2) that
+// makes TGOpt's cache sound on a live stream; the engine tests assert
+// it end to end.
+type Dynamic struct {
+	mu       sync.RWMutex
+	numNodes int
+	lastTime float64
+	edges    []Edge
+	adj      []dynAdj // index 0 is the padding node and stays empty
+}
+
+type dynAdj struct {
+	nghs  []int32
+	eidxs []int32
+	times []float64
+}
+
+// NewDynamic creates an empty dynamic graph over nodes 1..numNodes.
+func NewDynamic(numNodes int) *Dynamic {
+	return &Dynamic{numNodes: numNodes, adj: make([]dynAdj, numNodes+1)}
+}
+
+// NumNodes returns the current node count (excluding padding node 0).
+func (d *Dynamic) NumNodes() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.numNodes
+}
+
+// NumEdges returns the number of interactions appended so far.
+func (d *Dynamic) NumEdges() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.edges)
+}
+
+// MaxTime returns the latest appended timestamp.
+func (d *Dynamic) MaxTime() float64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.lastTime
+}
+
+// GrowNodes extends the node id space to newNumNodes (no-op if already
+// at least that large).
+func (d *Dynamic) GrowNodes(newNumNodes int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if newNumNodes <= d.numNodes {
+		return
+	}
+	for len(d.adj) < newNumNodes+1 {
+		d.adj = append(d.adj, dynAdj{})
+	}
+	d.numNodes = newNumNodes
+}
+
+// Append adds one undirected interaction. Timestamps must be
+// non-decreasing across calls (the CTDG stream order); an Idx of 0 is
+// assigned automatically as the 1-based stream position. It returns the
+// edge id used.
+func (d *Dynamic) Append(e Edge) (int32, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if e.Src < 1 || int(e.Src) > d.numNodes || e.Dst < 1 || int(e.Dst) > d.numNodes {
+		return 0, fmt.Errorf("graph: edge endpoints (%d,%d) out of range 1..%d", e.Src, e.Dst, d.numNodes)
+	}
+	if e.Time < d.lastTime {
+		return 0, fmt.Errorf("graph: edge time %v precedes stream time %v", e.Time, d.lastTime)
+	}
+	if e.Idx == 0 {
+		e.Idx = int32(len(d.edges) + 1)
+	}
+	src := &d.adj[e.Src]
+	src.nghs = append(src.nghs, e.Dst)
+	src.eidxs = append(src.eidxs, e.Idx)
+	src.times = append(src.times, e.Time)
+	dst := &d.adj[e.Dst]
+	dst.nghs = append(dst.nghs, e.Src)
+	dst.eidxs = append(dst.eidxs, e.Idx)
+	dst.times = append(dst.times, e.Time)
+	d.edges = append(d.edges, e)
+	d.lastTime = e.Time
+	return e.Idx, nil
+}
+
+// window returns the temporal prefix N(v, t), implementing the
+// adjacency interface. The returned slices are snapshots of the prefix
+// at call time; later appends do not affect them (appends only extend
+// the suffix, and slice headers pin the prefix).
+func (d *Dynamic) window(v int32, t float64) (nghs, eidxs []int32, times []float64) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if int(v) >= len(d.adj) {
+		return nil, nil, nil
+	}
+	a := &d.adj[v]
+	hi := sort.Search(len(a.times), func(k int) bool { return a.times[k] >= t })
+	return a.nghs[:hi], a.eidxs[:hi], a.times[:hi]
+}
+
+// TemporalDegree returns |N(v, t)|.
+func (d *Dynamic) TemporalDegree(v int32, t float64) int {
+	nghs, _, _ := d.window(v, t)
+	return len(nghs)
+}
+
+// DeleteEdge removes the interaction with the given 1-based edge id
+// from the graph — the §7 edge-deletion event. It reports whether the
+// edge existed. The removal is O(degree of the endpoints); deletions
+// are expected to be rare relative to appends. Callers holding a TGOpt
+// engine over this graph must invalidate dependent cache entries
+// (core.Engine.InvalidateEdge) to preserve semantics.
+func (d *Dynamic) DeleteEdge(eidx int32) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	pos := -1
+	for i := range d.edges {
+		if d.edges[i].Idx == eidx {
+			pos = i
+			break
+		}
+	}
+	if pos < 0 {
+		return false
+	}
+	e := d.edges[pos]
+	d.edges = append(d.edges[:pos], d.edges[pos+1:]...)
+	for _, v := range [2]int32{e.Src, e.Dst} {
+		a := &d.adj[v]
+		for i := range a.eidxs {
+			if a.eidxs[i] == eidx {
+				a.nghs = append(a.nghs[:i], a.nghs[i+1:]...)
+				a.eidxs = append(a.eidxs[:i], a.eidxs[i+1:]...)
+				a.times = append(a.times[:i], a.times[i+1:]...)
+				break
+			}
+		}
+		if e.Src == e.Dst {
+			break
+		}
+	}
+	return true
+}
+
+// Snapshot materializes the current state as an immutable Graph with
+// the same chronological edge stream.
+func (d *Dynamic) Snapshot() (*Graph, error) {
+	d.mu.RLock()
+	edges := make([]Edge, len(d.edges))
+	copy(edges, d.edges)
+	n := d.numNodes
+	d.mu.RUnlock()
+	return NewGraph(n, edges)
+}
+
+// Edges returns a copy of the appended edge stream in order.
+func (d *Dynamic) Edges() []Edge {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	out := make([]Edge, len(d.edges))
+	copy(out, d.edges)
+	return out
+}

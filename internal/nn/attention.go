@@ -1,0 +1,158 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"tgopt/internal/parallel"
+	"tgopt/internal/tensor"
+)
+
+// TemporalAttention is the multi-head self-attention operator M of the
+// paper (Eqs. 4–6): scaled dot-product attention where the single query
+// per target is z_i(t) = h_i ‖ Φ(0) and the keys/values are
+// z_j(t) = h_j ‖ e_ij ‖ Φ(t−t_j) over the k sampled temporal neighbors.
+//
+// The projection layout follows PyTorch's MultiheadAttention with
+// distinct kdim/vdim: queries, keys and values are all projected to
+// embedDim = qDim and split across heads.
+type TemporalAttention struct {
+	Heads    int
+	EmbedDim int // = qDim; must be divisible by Heads
+	QDim     int // node dim + time dim
+	KDim     int // node dim + edge dim + time dim
+
+	WQ, WK, WV *Linear // projections into embedDim
+	WO         *Linear // output projection embedDim -> embedDim
+}
+
+// NewTemporalAttention constructs the attention operator. qDim must be
+// divisible by heads.
+func NewTemporalAttention(r *tensor.RNG, heads, qDim, kDim int) *TemporalAttention {
+	if qDim%heads != 0 {
+		panic(fmt.Sprintf("nn: attention qDim %d not divisible by heads %d", qDim, heads))
+	}
+	return &TemporalAttention{
+		Heads:    heads,
+		EmbedDim: qDim,
+		QDim:     qDim,
+		KDim:     kDim,
+		WQ:       NewLinear(r, qDim, qDim, true),
+		WK:       NewLinear(r, kDim, qDim, true),
+		WV:       NewLinear(r, kDim, qDim, true),
+		WO:       NewLinear(r, qDim, qDim, true),
+	}
+}
+
+// Forward computes attention for n targets with k neighbor slots each.
+//
+//	q:    (n, qDim)   one query row per target
+//	kv:   (n*k, kDim) flattened neighbor messages, row i*k+j is slot j of
+//	      target i (keys and values coincide in TGAT)
+//	mask: len n*k, false marks padded slots
+//
+// It returns (n, embedDim) and, optionally, the attention weights
+// (n, heads, k) when wantWeights is set (used by tests and diagnostics).
+// Targets with no valid neighbors receive a zero attention output,
+// matching the baseline's masked-softmax behavior.
+func (a *TemporalAttention) Forward(q, kv *tensor.Tensor, k int, mask []bool, wantWeights bool) (*tensor.Tensor, *tensor.Tensor) {
+	n := q.Dim(0)
+	if kv.Dim(0) != n*k {
+		panic(fmt.Sprintf("nn: attention kv rows %d != n*k %d", kv.Dim(0), n*k))
+	}
+	if len(mask) != n*k {
+		panic(fmt.Sprintf("nn: attention mask len %d != n*k %d", len(mask), n*k))
+	}
+	qp := a.WQ.Forward(q)  // (n, embed)
+	kp := a.WK.Forward(kv) // (n*k, embed)
+	vp := a.WV.Forward(kv) // (n*k, embed)
+	hd := a.EmbedDim / a.Heads
+	scale := float32(1 / math.Sqrt(float64(hd)))
+
+	ctx := tensor.New(n, a.EmbedDim)
+	var weights *tensor.Tensor
+	if wantWeights {
+		weights = tensor.New(n, a.Heads, k)
+	}
+	scoresBuf := make([]float32, k) // reused per (i, h) in serial mode
+
+	body := func(lo, hi int) {
+		scores := scoresBuf
+		if lo != 0 || hi != n {
+			scores = make([]float32, k) // parallel chunk: private buffer
+		}
+		for i := lo; i < hi; i++ {
+			for h := 0; h < a.Heads; h++ {
+				qrow := qp.Data()[i*a.EmbedDim+h*hd : i*a.EmbedDim+(h+1)*hd]
+				// Scores for valid slots.
+				maxv := float32(math.Inf(-1))
+				any := false
+				for j := 0; j < k; j++ {
+					p := i*k + j
+					if !mask[p] {
+						continue
+					}
+					krow := kp.Data()[p*a.EmbedDim+h*hd : p*a.EmbedDim+(h+1)*hd]
+					var s float32
+					for d, qv := range qrow {
+						s += qv * krow[d]
+					}
+					s *= scale
+					scores[j] = s
+					any = true
+					if s > maxv {
+						maxv = s
+					}
+				}
+				out := ctx.Data()[i*a.EmbedDim+h*hd : i*a.EmbedDim+(h+1)*hd]
+				if !any {
+					continue // zero context for neighbor-less targets
+				}
+				// Stable softmax over valid slots.
+				var sum float64
+				for j := 0; j < k; j++ {
+					if !mask[i*k+j] {
+						continue
+					}
+					e := math.Exp(float64(scores[j] - maxv))
+					scores[j] = float32(e)
+					sum += e
+				}
+				inv := float32(1 / sum)
+				for j := 0; j < k; j++ {
+					p := i*k + j
+					if !mask[p] {
+						if wantWeights {
+							weights.Set(0, i, h, j)
+						}
+						continue
+					}
+					alpha := scores[j] * inv
+					if wantWeights {
+						weights.Set(alpha, i, h, j)
+					}
+					vrow := vp.Data()[p*a.EmbedDim+h*hd : p*a.EmbedDim+(h+1)*hd]
+					for d, vv := range vrow {
+						out[d] += alpha * vv
+					}
+				}
+			}
+		}
+	}
+	if n >= parallel.MinParallelWork {
+		parallel.ForChunked(n, 0, body)
+	} else {
+		body(0, n)
+	}
+	return a.WO.Forward(ctx), weights
+}
+
+// Params returns the trainable tensors of all projections.
+func (a *TemporalAttention) Params() []*tensor.Tensor {
+	var ps []*tensor.Tensor
+	ps = append(ps, a.WQ.Params()...)
+	ps = append(ps, a.WK.Params()...)
+	ps = append(ps, a.WV.Params()...)
+	ps = append(ps, a.WO.Params()...)
+	return ps
+}

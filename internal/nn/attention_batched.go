@@ -1,0 +1,74 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"tgopt/internal/tensor"
+)
+
+// ForwardBatched is an alternative attention kernel built on batched
+// matrix multiplication instead of the fused per-target loop of
+// Forward. It exists as a kernel ablation (DESIGN.md §6): the batched
+// formulation is how a tensor-framework implementation (like the
+// original PyTorch TGOpt) expresses attention, paying for operand
+// reshuffling into (batch, m, k) layout; the fused loop streams the
+// projections in place. Outputs are identical within float tolerance;
+// BenchmarkAttentionKernels compares their cost.
+func (a *TemporalAttention) ForwardBatched(q, kv *tensor.Tensor, k int, mask []bool) *tensor.Tensor {
+	n := q.Dim(0)
+	if kv.Dim(0) != n*k {
+		panic(fmt.Sprintf("nn: attention kv rows %d != n*k %d", kv.Dim(0), n*k))
+	}
+	if len(mask) != n*k {
+		panic(fmt.Sprintf("nn: attention mask len %d != n*k %d", len(mask), n*k))
+	}
+	qp := a.WQ.Forward(q)
+	kp := a.WK.Forward(kv)
+	vp := a.WV.Forward(kv)
+	h := a.Heads
+	hd := a.EmbedDim / h
+	scale := float32(1 / math.Sqrt(float64(hd)))
+
+	// Repack into (n*h, 1, hd) queries and (n*h, hd, k) transposed keys.
+	qb := tensor.New(n*h, 1, hd)
+	kb := tensor.New(n*h, hd, k)
+	vb := tensor.New(n*h, k, hd)
+	for i := 0; i < n; i++ {
+		for hh := 0; hh < h; hh++ {
+			b := i*h + hh
+			copy(qb.Data()[b*hd:(b+1)*hd], qp.Data()[i*a.EmbedDim+hh*hd:i*a.EmbedDim+(hh+1)*hd])
+			for j := 0; j < k; j++ {
+				p := i*k + j
+				krow := kp.Data()[p*a.EmbedDim+hh*hd : p*a.EmbedDim+(hh+1)*hd]
+				vrow := vp.Data()[p*a.EmbedDim+hh*hd : p*a.EmbedDim+(hh+1)*hd]
+				for d := 0; d < hd; d++ {
+					kb.Data()[b*hd*k+d*k+j] = krow[d]
+				}
+				copy(vb.Data()[b*k*hd+j*hd:b*k*hd+(j+1)*hd], vrow)
+			}
+		}
+	}
+
+	// scores: (n*h, 1, k) = qb × kb, then scale + masked softmax.
+	scores := tensor.BatchedMatMul(qb, kb)
+	tensor.ScaleInPlace(scores, scale)
+	smask := make([]bool, n*h*k)
+	for i := 0; i < n; i++ {
+		for hh := 0; hh < h; hh++ {
+			copy(smask[(i*h+hh)*k:(i*h+hh+1)*k], mask[i*k:(i+1)*k])
+		}
+	}
+	alpha := tensor.MaskedSoftmaxLastDim(scores, smask)
+
+	// Context: (n*h, 1, hd) = alpha × vb, reassembled to (n, embed).
+	ctxB := tensor.BatchedMatMul(alpha, vb)
+	ctx := tensor.New(n, a.EmbedDim)
+	for i := 0; i < n; i++ {
+		for hh := 0; hh < h; hh++ {
+			b := i*h + hh
+			copy(ctx.Data()[i*a.EmbedDim+hh*hd:i*a.EmbedDim+(hh+1)*hd], ctxB.Data()[b*hd:(b+1)*hd])
+		}
+	}
+	return a.WO.Forward(ctx)
+}

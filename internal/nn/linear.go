@@ -1,0 +1,71 @@
+package nn
+
+import (
+	"tgopt/internal/tensor"
+)
+
+// Linear is a fully connected layer y = x·Wᵀ + b with the PyTorch
+// nn.Linear weight layout W (out, in).
+type Linear struct {
+	W *tensor.Tensor // (out, in)
+	B *tensor.Tensor // (out), nil for no bias
+}
+
+// NewLinear creates a Xavier-initialized linear layer.
+func NewLinear(r *tensor.RNG, in, out int, bias bool) *Linear {
+	l := &Linear{W: tensor.New(out, in)}
+	tensor.XavierUniform(r, l.W)
+	if bias {
+		l.B = tensor.New(out)
+	}
+	return l
+}
+
+// In returns the input dimensionality.
+func (l *Linear) In() int { return l.W.Dim(1) }
+
+// Out returns the output dimensionality.
+func (l *Linear) Out() int { return l.W.Dim(0) }
+
+// Forward applies the layer to x of shape (n, in), producing (n, out).
+func (l *Linear) Forward(x *tensor.Tensor) *tensor.Tensor {
+	return tensor.Linear(x, l.W, l.B)
+}
+
+// Params returns the trainable tensors (bias omitted when absent).
+func (l *Linear) Params() []*tensor.Tensor {
+	if l.B == nil {
+		return []*tensor.Tensor{l.W}
+	}
+	return []*tensor.Tensor{l.W, l.B}
+}
+
+// MergeLayer is TGAT's two-layer feed-forward update network
+// FFN(a ‖ b) = W2·ReLU(W1·[a‖b] + b1) + b2 (Eq. 7 of the paper). It is
+// used both as the per-layer feature update and, with output dim 1, as
+// the link-prediction affinity head.
+type MergeLayer struct {
+	FC1 *Linear
+	FC2 *Linear
+}
+
+// NewMergeLayer builds a merge layer taking inputs of widths dim1 and
+// dim2, with hidden width hidden and output width out.
+func NewMergeLayer(r *tensor.RNG, dim1, dim2, hidden, out int) *MergeLayer {
+	return &MergeLayer{
+		FC1: NewLinear(r, dim1+dim2, hidden, true),
+		FC2: NewLinear(r, hidden, out, true),
+	}
+}
+
+// Forward computes the merge of a (n, dim1) and b (n, dim2).
+func (m *MergeLayer) Forward(a, b *tensor.Tensor) *tensor.Tensor {
+	x := tensor.ConcatCols(a, b)
+	h := tensor.ReLU(m.FC1.Forward(x))
+	return m.FC2.Forward(h)
+}
+
+// Params returns the trainable tensors of both sublayers.
+func (m *MergeLayer) Params() []*tensor.Tensor {
+	return append(m.FC1.Params(), m.FC2.Params()...)
+}

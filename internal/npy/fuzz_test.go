@@ -1,0 +1,46 @@
+package npy
+
+import (
+	"bytes"
+	"testing"
+
+	"tgopt/internal/tensor"
+)
+
+// FuzzRead exercises the .npy parser with arbitrary bytes: it must
+// never panic, and anything it accepts must round-trip through Write.
+func FuzzRead(f *testing.F) {
+	// Seed with a valid file and a few near-misses.
+	var valid bytes.Buffer
+	if err := Write(&valid, tensor.FromSlice([]float32{1, 2, 3, 4}, 2, 2)); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	f.Add([]byte("\x93NUMPY"))
+	f.Add([]byte("\x93NUMPY\x01\x00\x10\x00{'descr': '<f4'}"))
+	f.Add([]byte("not numpy at all"))
+	f.Add([]byte{})
+	corrupted := append([]byte(nil), valid.Bytes()...)
+	corrupted[10] ^= 0xFF
+	f.Add(corrupted)
+	f.Fuzz(func(t *testing.T, input []byte) {
+		got, err := Read(bytes.NewReader(input))
+		if err != nil {
+			return
+		}
+		if got.Rank() > 2 {
+			t.Fatalf("accepted rank-%d tensor", got.Rank())
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, got); err != nil {
+			t.Fatalf("cannot re-serialize accepted tensor: %v", err)
+		}
+		back, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("round trip of accepted tensor failed: %v", err)
+		}
+		if back.Len() != got.Len() {
+			t.Fatal("round trip changed element count")
+		}
+	})
+}

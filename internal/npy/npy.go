@@ -1,0 +1,255 @@
+// Package npy reads and writes NumPy .npy files (format version 1.0)
+// holding little-endian float32 or float64 matrices — the format the
+// TGAT artifact uses for its node and edge feature tables
+// (ml_{name}.npy, ml_{name}_node.npy). Supporting it lets the real
+// datasets drop into this implementation unchanged.
+//
+// Only C-order (non-Fortran) arrays of rank 1 or 2 are supported, which
+// covers every file the artifact ships.
+package npy
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+
+	"tgopt/internal/tensor"
+)
+
+var magic = []byte("\x93NUMPY")
+
+// Write serializes t as a .npy (version 1.0, dtype <f4, C order).
+func Write(w io.Writer, t *tensor.Tensor) error {
+	if t.Rank() > 2 {
+		return fmt.Errorf("npy: rank %d not supported", t.Rank())
+	}
+	var shape string
+	switch t.Rank() {
+	case 1:
+		shape = fmt.Sprintf("(%d,)", t.Dim(0))
+	case 2:
+		shape = fmt.Sprintf("(%d, %d)", t.Dim(0), t.Dim(1))
+	}
+	header := fmt.Sprintf("{'descr': '<f4', 'fortran_order': False, 'shape': %s, }", shape)
+	// Total of magic(6)+version(2)+hlen(2)+header must be a multiple of
+	// 64; pad with spaces and end with \n.
+	total := 6 + 2 + 2 + len(header) + 1
+	pad := (64 - total%64) % 64
+	header += strings.Repeat(" ", pad) + "\n"
+
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic); err != nil {
+		return err
+	}
+	if _, err := bw.Write([]byte{1, 0}); err != nil {
+		return err
+	}
+	var hlen [2]byte
+	binary.LittleEndian.PutUint16(hlen[:], uint16(len(header)))
+	if _, err := bw.Write(hlen[:]); err != nil {
+		return err
+	}
+	if _, err := bw.WriteString(header); err != nil {
+		return err
+	}
+	buf := make([]byte, 4*t.Len())
+	for i, v := range t.Data() {
+		binary.LittleEndian.PutUint32(buf[i*4:], math.Float32bits(v))
+	}
+	if _, err := bw.Write(buf); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// Read parses a .npy file into a tensor, converting float64 data to
+// float32.
+func Read(r io.Reader) (*tensor.Tensor, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, 8)
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, err
+	}
+	if !bytes.Equal(head[:6], magic) {
+		return nil, fmt.Errorf("npy: bad magic %q", head[:6])
+	}
+	major := head[6]
+	var hlen int
+	switch major {
+	case 1:
+		var b [2]byte
+		if _, err := io.ReadFull(br, b[:]); err != nil {
+			return nil, err
+		}
+		hlen = int(binary.LittleEndian.Uint16(b[:]))
+	case 2, 3:
+		var b [4]byte
+		if _, err := io.ReadFull(br, b[:]); err != nil {
+			return nil, err
+		}
+		hlen = int(binary.LittleEndian.Uint32(b[:]))
+	default:
+		return nil, fmt.Errorf("npy: unsupported version %d", major)
+	}
+	// A hostile or corrupt header length would otherwise drive a huge
+	// allocation; real headers are well under a kilobyte.
+	if hlen > 1<<20 {
+		return nil, fmt.Errorf("npy: implausible header length %d", hlen)
+	}
+	hdr := make([]byte, hlen)
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return nil, err
+	}
+	descr, fortran, shape, err := parseHeader(string(hdr))
+	if err != nil {
+		return nil, err
+	}
+	if fortran {
+		return nil, fmt.Errorf("npy: fortran_order arrays not supported")
+	}
+	var itemSize int
+	switch descr {
+	case "<f4":
+		itemSize = 4
+	case "<f8":
+		itemSize = 8
+	default:
+		return nil, fmt.Errorf("npy: unsupported dtype %q", descr)
+	}
+	n := 1
+	for _, d := range shape {
+		if d > 1<<28 {
+			return nil, fmt.Errorf("npy: implausible dimension %d", d)
+		}
+		n *= d
+	}
+	if n > 1<<28 {
+		return nil, fmt.Errorf("npy: implausible element count %d", n)
+	}
+	buf := make([]byte, n*itemSize)
+	if _, err := io.ReadFull(br, buf); err != nil {
+		return nil, err
+	}
+	data := make([]float32, n)
+	if itemSize == 4 {
+		for i := range data {
+			data[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[i*4:]))
+		}
+	} else {
+		for i := range data {
+			data[i] = float32(math.Float64frombits(binary.LittleEndian.Uint64(buf[i*8:])))
+		}
+	}
+	if len(shape) == 0 {
+		shape = []int{1}
+	}
+	return tensor.FromSlice(data, shape...), nil
+}
+
+// parseHeader extracts descr, fortran_order and shape from the Python
+// dict literal in the .npy header.
+func parseHeader(h string) (descr string, fortran bool, shape []int, err error) {
+	descr, err = extractQuoted(h, "'descr':")
+	if err != nil {
+		return "", false, nil, err
+	}
+	fo, err := extractToken(h, "'fortran_order':")
+	if err != nil {
+		return "", false, nil, err
+	}
+	fortran = strings.HasPrefix(fo, "True")
+	sh, err := extractParen(h, "'shape':")
+	if err != nil {
+		return "", false, nil, err
+	}
+	for _, part := range strings.Split(sh, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		d, err := strconv.Atoi(part)
+		if err != nil {
+			return "", false, nil, fmt.Errorf("npy: bad shape element %q", part)
+		}
+		if d < 0 {
+			return "", false, nil, fmt.Errorf("npy: negative dimension %d", d)
+		}
+		shape = append(shape, d)
+	}
+	if len(shape) > 2 {
+		return "", false, nil, fmt.Errorf("npy: rank %d not supported", len(shape))
+	}
+	return descr, fortran, shape, nil
+}
+
+func extractQuoted(h, key string) (string, error) {
+	i := strings.Index(h, key)
+	if i < 0 {
+		return "", fmt.Errorf("npy: header missing %s", key)
+	}
+	rest := h[i+len(key):]
+	a := strings.IndexByte(rest, '\'')
+	if a < 0 {
+		return "", fmt.Errorf("npy: malformed %s", key)
+	}
+	b := strings.IndexByte(rest[a+1:], '\'')
+	if b < 0 {
+		return "", fmt.Errorf("npy: malformed %s", key)
+	}
+	return rest[a+1 : a+1+b], nil
+}
+
+func extractToken(h, key string) (string, error) {
+	i := strings.Index(h, key)
+	if i < 0 {
+		return "", fmt.Errorf("npy: header missing %s", key)
+	}
+	return strings.TrimSpace(h[i+len(key):]), nil
+}
+
+func extractParen(h, key string) (string, error) {
+	i := strings.Index(h, key)
+	if i < 0 {
+		return "", fmt.Errorf("npy: header missing %s", key)
+	}
+	rest := h[i+len(key):]
+	a := strings.IndexByte(rest, '(')
+	b := strings.IndexByte(rest, ')')
+	if a < 0 || b < a {
+		return "", fmt.Errorf("npy: malformed %s", key)
+	}
+	return rest[a+1 : b], nil
+}
+
+// WriteFile writes t to path as .npy.
+func WriteFile(path string, t *tensor.Tensor) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Write(f, t); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadFile reads a .npy file from path.
+func ReadFile(path string) (*tensor.Tensor, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	t, err := Read(f)
+	if err != nil {
+		return nil, fmt.Errorf("npy: reading %s: %w", path, err)
+	}
+	return t, nil
+}

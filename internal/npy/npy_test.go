@@ -1,0 +1,172 @@
+package npy
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"tgopt/internal/tensor"
+)
+
+func TestRoundTrip2D(t *testing.T) {
+	r := tensor.NewRNG(1)
+	orig := tensor.Randn(r, 7, 5)
+	var buf bytes.Buffer
+	if err := Write(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.SameShape(orig) {
+		t.Fatalf("shape %v, want %v", back.Shape(), orig.Shape())
+	}
+	if !back.AllClose(orig, 0) {
+		t.Fatal("data changed in round trip")
+	}
+}
+
+func TestRoundTrip1D(t *testing.T) {
+	orig := tensor.FromSlice([]float32{1, 2, 3}, 3)
+	var buf bytes.Buffer
+	if err := Write(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Rank() != 1 || back.Dim(0) != 3 || back.At(2) != 3 {
+		t.Fatalf("1-D round trip wrong: %v", back)
+	}
+}
+
+func TestHeaderIsPaddedTo64(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, tensor.Ones(2, 2)); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	hlen := int(binary.LittleEndian.Uint16(data[8:10]))
+	if (10+hlen)%64 != 0 {
+		t.Fatalf("header end at %d not 64-aligned", 10+hlen)
+	}
+	if data[10+hlen-1] != '\n' {
+		t.Fatal("header does not end with newline")
+	}
+	if !strings.Contains(string(data[10:10+hlen]), "'descr': '<f4'") {
+		t.Fatalf("header missing dtype: %q", data[10:10+hlen])
+	}
+}
+
+func TestWriteRejectsRank3(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, tensor.Ones(2, 2, 2)); err == nil {
+		t.Fatal("rank-3 write accepted")
+	}
+}
+
+// buildNpy fabricates a .npy byte stream with arbitrary header fields.
+func buildNpy(t *testing.T, header string, payload []byte) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	buf.Write(magic)
+	buf.Write([]byte{1, 0})
+	var hlen [2]byte
+	binary.LittleEndian.PutUint16(hlen[:], uint16(len(header)))
+	buf.Write(hlen[:])
+	buf.WriteString(header)
+	buf.Write(payload)
+	return buf.Bytes()
+}
+
+func TestReadFloat64Converts(t *testing.T) {
+	payload := make([]byte, 16)
+	binary.LittleEndian.PutUint64(payload, math.Float64bits(1.5))
+	binary.LittleEndian.PutUint64(payload[8:], math.Float64bits(-2.25))
+	raw := buildNpy(t, "{'descr': '<f8', 'fortran_order': False, 'shape': (2,), }\n", payload)
+	got, err := Read(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.At(0) != 1.5 || got.At(1) != -2.25 {
+		t.Fatalf("f8 conversion wrong: %v", got.Data())
+	}
+}
+
+func TestReadRejections(t *testing.T) {
+	f4 := make([]byte, 4)
+	cases := []struct {
+		name string
+		raw  []byte
+	}{
+		{"bad magic", []byte("NOTNUMPY????")},
+		{"fortran", buildNpy(t, "{'descr': '<f4', 'fortran_order': True, 'shape': (1,), }\n", f4)},
+		{"dtype", buildNpy(t, "{'descr': '<i8', 'fortran_order': False, 'shape': (1,), }\n", make([]byte, 8))},
+		{"rank3", buildNpy(t, "{'descr': '<f4', 'fortran_order': False, 'shape': (1, 1, 1), }\n", f4)},
+		{"badshape", buildNpy(t, "{'descr': '<f4', 'fortran_order': False, 'shape': (x,), }\n", f4)},
+		{"truncated", buildNpy(t, "{'descr': '<f4', 'fortran_order': False, 'shape': (9, 9), }\n", f4)},
+	}
+	for _, c := range cases {
+		if _, err := Read(bytes.NewReader(c.raw)); err == nil {
+			t.Fatalf("%s accepted", c.name)
+		}
+	}
+}
+
+func TestReadVersion2Header(t *testing.T) {
+	// Version 2.0 uses a 4-byte header length.
+	header := "{'descr': '<f4', 'fortran_order': False, 'shape': (1,), }\n"
+	var buf bytes.Buffer
+	buf.Write(magic)
+	buf.Write([]byte{2, 0})
+	var hlen [4]byte
+	binary.LittleEndian.PutUint32(hlen[:], uint32(len(header)))
+	buf.Write(hlen[:])
+	buf.WriteString(header)
+	payload := make([]byte, 4)
+	binary.LittleEndian.PutUint32(payload, math.Float32bits(7))
+	buf.Write(payload)
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.At(0) != 7 {
+		t.Fatalf("v2 payload wrong: %v", got.Data())
+	}
+}
+
+func TestScalarShape(t *testing.T) {
+	payload := make([]byte, 4)
+	binary.LittleEndian.PutUint32(payload, math.Float32bits(3))
+	raw := buildNpy(t, "{'descr': '<f4', 'fortran_order': False, 'shape': (), }\n", payload)
+	got, err := Read(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 1 || got.At(0) != 3 {
+		t.Fatalf("scalar read wrong: %v", got)
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "feat.npy")
+	orig := tensor.Randn(tensor.NewRNG(2), 10, 4)
+	if err := WriteFile(path, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.AllClose(orig, 0) {
+		t.Fatal("file round trip mismatch")
+	}
+	if _, err := ReadFile(path + ".missing"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

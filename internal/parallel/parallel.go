@@ -1,0 +1,179 @@
+// Package parallel provides a small work-sharing runtime used by the
+// compute-heavy parts of the repository: blocked matrix multiplication,
+// temporal neighbor sampling, and the concurrent embedding cache.
+//
+// It plays the role that OpenMP and Intel TBB play in the original TGOpt
+// C++ extension. The primitives are deliberately simple: structured
+// fork-join parallel-for helpers that spawn a bounded number of
+// goroutines, and a Pool for long-lived background tasks. The fork-join
+// helpers run the final chunk on the calling goroutine, so nesting them
+// never deadlocks; it merely oversubscribes slightly, which the Go
+// scheduler absorbs. All helpers fall back to a serial loop when the
+// configured parallelism is 1 or the trip count is too small to amortize
+// goroutine startup.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// MinParallelWork is the smallest trip count for which the parallel-for
+// helpers bother to fan out. Below it, scheduling overhead dominates.
+const MinParallelWork = 256
+
+var defaultDegree atomic.Int64
+
+func init() { defaultDegree.Store(int64(runtime.GOMAXPROCS(0))) }
+
+// Degree reports the process-wide parallelism degree used by the
+// package-level helpers.
+func Degree() int { return int(defaultDegree.Load()) }
+
+// SetDegree overrides the process-wide parallelism degree. n <= 0 resets
+// it to GOMAXPROCS. It returns the previous degree, so callers can
+// restore it (tests use this to force serial or oversubscribed runs).
+func SetDegree(n int) int {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	return int(defaultDegree.Swap(int64(n)))
+}
+
+// For executes body(i) for every i in [0, n), potentially in parallel.
+// body must be safe to call concurrently for distinct i. For returns
+// after every iteration has completed.
+func For(n int, body func(i int)) {
+	ForChunked(n, 0, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			body(i)
+		}
+	})
+}
+
+// ForChunked splits [0, n) into contiguous chunks and executes
+// body(lo, hi) for each chunk, potentially in parallel. chunk <= 0 picks
+// a chunk size yielding roughly 2 chunks per worker. The serial fallback
+// is a single body(0, n) call. The last chunk runs on the calling
+// goroutine, making nested use safe.
+func ForChunked(n, chunk int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	degree := Degree()
+	if degree == 1 || n < MinParallelWork {
+		body(0, n)
+		return
+	}
+	if chunk <= 0 {
+		chunk = n / (2 * degree)
+		if chunk < 1 {
+			chunk = 1
+		}
+	}
+	if chunk >= n {
+		body(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	lo := 0
+	for ; lo+chunk < n; lo += chunk {
+		lo := lo
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			body(lo, lo+chunk)
+		}()
+	}
+	body(lo, n) // final chunk inline
+	wg.Wait()
+}
+
+// Do runs the given functions, potentially concurrently, and returns when
+// all have finished. It is a structured fork-join for heterogeneous
+// tasks; the last function runs on the calling goroutine.
+func Do(fns ...func()) {
+	switch len(fns) {
+	case 0:
+		return
+	case 1:
+		fns[0]()
+		return
+	}
+	if Degree() == 1 {
+		for _, fn := range fns {
+			fn()
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for _, fn := range fns[:len(fns)-1] {
+		fn := fn
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			fn()
+		}()
+	}
+	fns[len(fns)-1]()
+	wg.Wait()
+}
+
+// Pool is a fixed-size set of workers executing closures from a queue.
+// It is intended for long-lived background work (for example the
+// asynchronous cache-store drain in the device experiments), not for the
+// fork-join loops above. The zero value is not usable; construct with
+// NewPool.
+type Pool struct {
+	workers int
+	tasks   chan func()
+	wg      sync.WaitGroup
+	closed  atomic.Bool
+}
+
+// NewPool creates a pool with n workers. If n <= 0 it uses GOMAXPROCS.
+func NewPool(n int) *Pool {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{
+		workers: n,
+		tasks:   make(chan func(), 4*n),
+	}
+	for i := 0; i < n; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *Pool) worker() {
+	for task := range p.tasks {
+		task()
+		p.wg.Done()
+	}
+}
+
+// Workers reports the number of workers in the pool.
+func (p *Pool) Workers() int { return p.workers }
+
+// Submit enqueues a task. It panics if the pool has been closed.
+func (p *Pool) Submit(task func()) {
+	if p.closed.Load() {
+		panic("parallel: Submit on closed Pool")
+	}
+	p.wg.Add(1)
+	p.tasks <- task
+}
+
+// Wait blocks until all submitted tasks have completed.
+func (p *Pool) Wait() { p.wg.Wait() }
+
+// Close shuts the pool down after draining in-flight tasks. Submitting
+// after Close panics. Close is idempotent.
+func (p *Pool) Close() {
+	if p.closed.CompareAndSwap(false, true) {
+		p.wg.Wait()
+		close(p.tasks)
+	}
+}

@@ -1,0 +1,255 @@
+// Package plot renders the experiment results as standalone SVG
+// figures, the analogue of the artifact's PDF plot scripts
+// (plot-ablation-both.py, plot-hit-rate.py, …). It is a deliberately
+// small chart library: line charts with multiple series (Figures 3
+// and 7), grouped bar charts with error bars (Figures 5 and 6), and
+// log-binned histograms (Figure 4), all built by direct SVG string
+// assembly with no dependencies.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Canvas geometry shared by all charts.
+const (
+	width      = 720
+	height     = 420
+	marginL    = 70
+	marginR    = 20
+	marginT    = 40
+	marginB    = 70
+	plotW      = width - marginL - marginR
+	plotH      = height - marginT - marginB
+	fontFamily = "sans-serif"
+)
+
+// palette cycles across series/groups.
+var palette = []string{"#4878d0", "#ee854a", "#6acc64", "#d65f5f", "#956cb4", "#8c613c"}
+
+// Series is one named line of (x, y) points.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// BarGroup is one cluster of bars sharing an x-axis label.
+type BarGroup struct {
+	Label  string
+	Values []float64
+	Errs   []float64 // optional error bars, aligned with Values
+}
+
+type svgBuilder struct {
+	strings.Builder
+}
+
+func (b *svgBuilder) open(title string) {
+	fmt.Fprintf(b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`, width, height, width, height)
+	fmt.Fprintf(b, `<rect width="%d" height="%d" fill="white"/>`, width, height)
+	fmt.Fprintf(b, `<text x="%d" y="24" font-family="%s" font-size="16" text-anchor="middle" font-weight="bold">%s</text>`,
+		width/2, fontFamily, escape(title))
+}
+
+func (b *svgBuilder) close() { b.WriteString(`</svg>`) }
+
+func (b *svgBuilder) axes(xlabel, ylabel string) {
+	fmt.Fprintf(b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`, marginL, marginT, marginL, marginT+plotH)
+	fmt.Fprintf(b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`, marginL, marginT+plotH, marginL+plotW, marginT+plotH)
+	fmt.Fprintf(b, `<text x="%d" y="%d" font-family="%s" font-size="13" text-anchor="middle">%s</text>`,
+		marginL+plotW/2, height-12, fontFamily, escape(xlabel))
+	fmt.Fprintf(b, `<text x="16" y="%d" font-family="%s" font-size="13" text-anchor="middle" transform="rotate(-90 16 %d)">%s</text>`,
+		marginT+plotH/2, fontFamily, marginT+plotH/2, escape(ylabel))
+}
+
+func (b *svgBuilder) yTicks(lo, hi float64, format string) {
+	for i := 0; i <= 5; i++ {
+		v := lo + (hi-lo)*float64(i)/5
+		y := yPix(v, lo, hi)
+		fmt.Fprintf(b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#ccc"/>`, marginL, y, marginL+plotW, y)
+		fmt.Fprintf(b, `<text x="%d" y="%.1f" font-family="%s" font-size="11" text-anchor="end">%s</text>`,
+			marginL-6, y+4, fontFamily, fmt.Sprintf(format, v))
+	}
+}
+
+func (b *svgBuilder) legend(names []string) {
+	x := marginL + 10
+	for i, name := range names {
+		color := palette[i%len(palette)]
+		fmt.Fprintf(b, `<rect x="%d" y="%d" width="12" height="12" fill="%s"/>`, x, marginT+4, color)
+		fmt.Fprintf(b, `<text x="%d" y="%d" font-family="%s" font-size="12">%s</text>`,
+			x+16, marginT+14, fontFamily, escape(name))
+		x += 16 + 8*len(name) + 24
+	}
+}
+
+func xPix(v, lo, hi float64) float64 {
+	if hi == lo {
+		return marginL
+	}
+	return marginL + (v-lo)/(hi-lo)*plotW
+}
+
+func yPix(v, lo, hi float64) float64 {
+	if hi == lo {
+		return marginT + plotH
+	}
+	return marginT + plotH - (v-lo)/(hi-lo)*plotH
+}
+
+// LineChart renders one or more series as polylines with markers.
+func LineChart(title, xlabel, ylabel string, series []Series) string {
+	var xlo, xhi, ylo, yhi float64
+	first := true
+	for _, s := range series {
+		for i := range s.X {
+			if first {
+				xlo, xhi, ylo, yhi = s.X[i], s.X[i], s.Y[i], s.Y[i]
+				first = false
+				continue
+			}
+			xlo = math.Min(xlo, s.X[i])
+			xhi = math.Max(xhi, s.X[i])
+			ylo = math.Min(ylo, s.Y[i])
+			yhi = math.Max(yhi, s.Y[i])
+		}
+	}
+	if first { // no data at all
+		xlo, xhi, ylo, yhi = 0, 1, 0, 1
+	}
+	if ylo > 0 {
+		ylo = 0 // anchor rates/counts at zero
+	}
+	if yhi == ylo {
+		yhi = ylo + 1
+	}
+
+	var b svgBuilder
+	b.open(title)
+	b.axes(xlabel, ylabel)
+	b.yTicks(ylo, yhi, "%.3g")
+	// X ticks at 5 positions.
+	for i := 0; i <= 5; i++ {
+		v := xlo + (xhi-xlo)*float64(i)/5
+		x := xPix(v, xlo, xhi)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-family="%s" font-size="11" text-anchor="middle">%.3g</text>`,
+			x, marginT+plotH+18, fontFamily, v)
+	}
+	names := make([]string, len(series))
+	for si, s := range series {
+		names[si] = s.Name
+		color := palette[si%len(palette)]
+		var pts []string
+		for i := range s.X {
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", xPix(s.X[i], xlo, xhi), yPix(s.Y[i], ylo, yhi)))
+		}
+		if len(pts) > 1 {
+			fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="2"/>`,
+				strings.Join(pts, " "), color)
+		}
+		for i := range s.X {
+			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="2.5" fill="%s"/>`,
+				xPix(s.X[i], xlo, xhi), yPix(s.Y[i], ylo, yhi), color)
+		}
+	}
+	b.legend(names)
+	b.close()
+	return b.String()
+}
+
+// BarChart renders clustered bars. seriesNames labels the bars within
+// each group (legend); every group must have len(seriesNames) values.
+func BarChart(title, ylabel string, seriesNames []string, groups []BarGroup) string {
+	yhi := 0.0
+	for _, g := range groups {
+		for i, v := range g.Values {
+			e := 0.0
+			if i < len(g.Errs) {
+				e = g.Errs[i]
+			}
+			yhi = math.Max(yhi, v+e)
+		}
+	}
+	if yhi == 0 {
+		yhi = 1
+	}
+	yhi *= 1.1
+
+	var b svgBuilder
+	b.open(title)
+	b.axes("", ylabel)
+	b.yTicks(0, yhi, "%.3g")
+
+	ng := len(groups)
+	if ng == 0 {
+		b.close()
+		return b.String()
+	}
+	groupW := float64(plotW) / float64(ng)
+	nb := len(seriesNames)
+	barW := groupW * 0.7 / math.Max(1, float64(nb))
+	for gi, g := range groups {
+		gx := float64(marginL) + groupW*float64(gi)
+		for i, v := range g.Values {
+			color := palette[i%len(palette)]
+			x := gx + groupW*0.15 + barW*float64(i)
+			y := yPix(v, 0, yhi)
+			fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"/>`,
+				x, y, barW*0.92, float64(marginT+plotH)-y, color)
+			if i < len(g.Errs) && g.Errs[i] > 0 {
+				cx := x + barW*0.46
+				y1 := yPix(v-g.Errs[i], 0, yhi)
+				y2 := yPix(v+g.Errs[i], 0, yhi)
+				fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="black"/>`, cx, y1, cx, y2)
+			}
+		}
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-family="%s" font-size="11" text-anchor="end" transform="rotate(-30 %.1f %d)">%s</text>`,
+			gx+groupW/2, marginT+plotH+18, fontFamily, gx+groupW/2, marginT+plotH+18, escape(g.Label))
+	}
+	b.legend(seriesNames)
+	b.close()
+	return b.String()
+}
+
+// Histogram renders pre-binned counts with labeled bin edges.
+func Histogram(title, xlabel string, binLabels []string, counts []int64) string {
+	yhi := 0.0
+	for _, c := range counts {
+		yhi = math.Max(yhi, float64(c))
+	}
+	if yhi == 0 {
+		yhi = 1
+	}
+	yhi *= 1.1
+
+	var b svgBuilder
+	b.open(title)
+	b.axes(xlabel, "count")
+	b.yTicks(0, yhi, "%.3g")
+	n := len(counts)
+	if n == 0 {
+		b.close()
+		return b.String()
+	}
+	binW := float64(plotW) / float64(n)
+	for i, c := range counts {
+		x := float64(marginL) + binW*float64(i)
+		y := yPix(float64(c), 0, yhi)
+		fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"/>`,
+			x+1, y, binW-2, float64(marginT+plotH)-y, palette[0])
+		if i < len(binLabels) {
+			fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-family="%s" font-size="10" text-anchor="end" transform="rotate(-45 %.1f %d)">%s</text>`,
+				x+binW/2, marginT+plotH+16, fontFamily, x+binW/2, marginT+plotH+16, escape(binLabels[i]))
+		}
+	}
+	b.close()
+	return b.String()
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

@@ -1,0 +1,110 @@
+package plot
+
+import (
+	"encoding/xml"
+	"strings"
+	"testing"
+)
+
+// wellFormed parses the SVG with encoding/xml to catch unbalanced tags
+// or bad escaping.
+func wellFormed(t *testing.T, svg string) {
+	t.Helper()
+	dec := xml.NewDecoder(strings.NewReader(svg))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				return
+			}
+			t.Fatalf("SVG not well-formed: %v", err)
+		}
+	}
+}
+
+func TestLineChartBasics(t *testing.T) {
+	svg := LineChart("Hit rate", "batch", "rate", []Series{
+		{Name: "jodie-lastfm", X: []float64{0, 1, 2, 3}, Y: []float64{0, 0.5, 0.7, 0.75}},
+		{Name: "snap-msg", X: []float64{0, 1, 2}, Y: []float64{0, 0.2, 0.3}},
+	})
+	wellFormed(t, svg)
+	if !strings.Contains(svg, "polyline") {
+		t.Fatal("no polyline drawn")
+	}
+	if strings.Count(svg, "<circle") != 7 {
+		t.Fatalf("marker count = %d, want 7", strings.Count(svg, "<circle"))
+	}
+	if !strings.Contains(svg, "jodie-lastfm") || !strings.Contains(svg, "Hit rate") {
+		t.Fatal("labels missing")
+	}
+}
+
+func TestLineChartEmptyAndSinglePoint(t *testing.T) {
+	wellFormed(t, LineChart("empty", "x", "y", nil))
+	svg := LineChart("one", "x", "y", []Series{{Name: "s", X: []float64{5}, Y: []float64{5}}})
+	wellFormed(t, svg)
+	if strings.Contains(svg, "polyline") {
+		t.Fatal("single point should not draw a line")
+	}
+}
+
+func TestBarChartWithErrors(t *testing.T) {
+	svg := BarChart("Inference runtime", "seconds", []string{"baseline", "tgopt"}, []BarGroup{
+		{Label: "jodie-lastfm", Values: []float64{10.4, 1.7}, Errs: []float64{0.1, 0.02}},
+		{Label: "snap-msg", Values: []float64{0.5, 0.1}, Errs: []float64{0, 0}},
+	})
+	wellFormed(t, svg)
+	// 4 bars + background + legend swatches (2).
+	if got := strings.Count(svg, "<rect"); got != 1+4+2 {
+		t.Fatalf("rect count = %d, want 7", got)
+	}
+	// Error bars only where err > 0 (2 of them) plus 2 axes + 6 gridlines.
+	if got := strings.Count(svg, "<line"); got != 2+6+2 {
+		t.Fatalf("line count = %d, want 10", got)
+	}
+}
+
+func TestBarChartEmpty(t *testing.T) {
+	wellFormed(t, BarChart("empty", "y", nil, nil))
+}
+
+func TestHistogram(t *testing.T) {
+	svg := Histogram("dt distribution", "dt", []string{"<1", "<10", "<100"}, []int64{5, 100, 20})
+	wellFormed(t, svg)
+	if got := strings.Count(svg, "<rect"); got != 1+3 {
+		t.Fatalf("rect count = %d, want 4", got)
+	}
+	if !strings.Contains(svg, "&lt;10") {
+		t.Fatal("bin labels not escaped/rendered")
+	}
+}
+
+func TestHistogramEmptyAndZeroCounts(t *testing.T) {
+	wellFormed(t, Histogram("empty", "x", nil, nil))
+	wellFormed(t, Histogram("zeros", "x", []string{"a"}, []int64{0}))
+}
+
+func TestEscape(t *testing.T) {
+	svg := LineChart(`a<b>&"c"`, "x", "y", []Series{{Name: "<s>", X: []float64{0, 1}, Y: []float64{0, 1}}})
+	wellFormed(t, svg)
+	if strings.Contains(svg, "<b>") {
+		t.Fatal("title not escaped")
+	}
+}
+
+func TestChartsScaleMonotonically(t *testing.T) {
+	// Higher values must map to smaller y pixels (SVG origin top-left).
+	if yPix(1, 0, 1) >= yPix(0, 0, 1) {
+		t.Fatal("y scaling inverted")
+	}
+	if xPix(1, 0, 1) <= xPix(0, 0, 1) {
+		t.Fatal("x scaling inverted")
+	}
+	// Degenerate ranges must not divide by zero.
+	if y := yPix(5, 5, 5); y != marginT+plotH {
+		t.Fatalf("degenerate y = %v", y)
+	}
+	if x := xPix(5, 5, 5); x != marginL {
+		t.Fatalf("degenerate x = %v", x)
+	}
+}

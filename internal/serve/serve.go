@@ -1,0 +1,328 @@
+// Package serve exposes a TGOpt inference engine over HTTP: a small,
+// dependency-free JSON API for online temporal-graph serving. It wires
+// together the pieces a production deployment needs — streaming edge
+// ingestion into a graph.Dynamic, memoized embedding computation via
+// core.Engine, link scoring with the model's affinity head, and cache /
+// hit-rate introspection.
+//
+// Endpoints:
+//
+//	POST /v1/ingest  {"edges":[{"src":1,"dst":2,"time":42}]}
+//	POST /v1/embed   {"nodes":[1,2],"times":[50,50]}
+//	POST /v1/score   {"pairs":[{"src":1,"dst":2,"time":50}]}
+//	GET  /v1/stats
+//
+// Because the engine's memoization is sound under chronological appends
+// (§3.2 of the paper), embeddings served before an ingest remain valid
+// after it; the server never needs to invalidate the cache.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"sync/atomic"
+
+	"tgopt/internal/core"
+	"tgopt/internal/graph"
+	"tgopt/internal/stats"
+	"tgopt/internal/tensor"
+	"tgopt/internal/tgat"
+)
+
+// Server serves TGOpt inference over a live dynamic graph.
+type Server struct {
+	dyn     *graph.Dynamic
+	model   *tgat.Model
+	engine  *core.Engine
+	hitRate *stats.HitRate
+
+	requests atomic.Int64
+	ingested atomic.Int64
+}
+
+// New builds a server over a model and a (possibly pre-populated)
+// dynamic graph. opt's Collector/HitRate are overridden with the
+// server's own instrumentation.
+func New(model *tgat.Model, dyn *graph.Dynamic, opt core.Options) *Server {
+	s := &Server{
+		dyn:     dyn,
+		model:   model,
+		hitRate: stats.NewHitRate(10),
+	}
+	opt.HitRate = s.hitRate
+	sampler := graph.NewDynamicSampler(dyn, model.Cfg.NumNeighbors, graph.MostRecent, 0)
+	s.engine = core.NewEngine(model, sampler, opt)
+	return s
+}
+
+// Engine exposes the underlying TGOpt engine (cache persistence,
+// introspection).
+func (s *Server) Engine() *core.Engine { return s.engine }
+
+// Handler returns the HTTP handler for the API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/ingest", s.handleIngest)
+	mux.HandleFunc("/v1/embed", s.handleEmbed)
+	mux.HandleFunc("/v1/score", s.handleScore)
+	mux.HandleFunc("/v1/stats", s.handleStats)
+	mux.HandleFunc("/v1/explain", s.handleExplain)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	return mux
+}
+
+type explainRequest struct {
+	Node int32   `json:"node"`
+	Time float64 `json:"time"`
+}
+
+type explainResponse struct {
+	Embedding    []float32     `json:"embedding"`
+	Attributions []attribution `json:"attributions"`
+}
+
+type attribution struct {
+	Neighbor int32   `json:"neighbor"`
+	EdgeIdx  int32   `json:"edge_idx"`
+	EdgeTime float64 `json:"edge_time"`
+	Weight   float64 `json:"weight"`
+}
+
+// handleExplain returns a target's temporal embedding together with the
+// top-layer attention attribution over its sampled past interactions —
+// which history the model looked at.
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	var req explainRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if !s.validNodes(w, []int32{req.Node}) {
+		return
+	}
+	sampler := graph.NewDynamicSampler(s.dyn, s.model.Cfg.NumNeighbors, graph.MostRecent, 0)
+	h, attrs := s.model.Explain(sampler, req.Node, req.Time)
+	resp := explainResponse{Embedding: append([]float32(nil), h.Row(0)...)}
+	for _, a := range attrs {
+		resp.Attributions = append(resp.Attributions, attribution{
+			Neighbor: a.Neighbor, EdgeIdx: a.EdgeIdx, EdgeTime: a.EdgeTime, Weight: a.Weight,
+		})
+	}
+	writeJSON(w, resp)
+}
+
+// handleMetrics exposes the serving counters in the Prometheus text
+// exposition format, so standard scrapers can monitor a deployment.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	write := func(name, help string, value float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, value)
+	}
+	write("tgopt_graph_nodes", "Nodes in the serving graph.", float64(s.dyn.NumNodes()))
+	write("tgopt_graph_edges", "Interactions ingested.", float64(s.dyn.NumEdges()))
+	write("tgopt_cache_items", "Memoized embeddings resident.", float64(s.engine.CacheLen()))
+	write("tgopt_cache_bytes", "Estimated cache footprint in bytes.", float64(s.engine.CacheBytes()))
+	write("tgopt_cache_hit_rate", "Average embedding cache hit rate.", s.hitRate.Average())
+	write("tgopt_requests_total", "API requests handled.", float64(s.requests.Load()))
+	write("tgopt_ingested_total", "Edges accepted via /v1/ingest.", float64(s.ingested.Load()))
+}
+
+// edgeJSON is the wire form of one interaction.
+type edgeJSON struct {
+	Src  int32   `json:"src"`
+	Dst  int32   `json:"dst"`
+	Time float64 `json:"time"`
+	Idx  int32   `json:"idx,omitempty"`
+}
+
+type ingestRequest struct {
+	Edges []edgeJSON `json:"edges"`
+}
+
+type ingestResponse struct {
+	Accepted int     `json:"accepted"`
+	NumEdges int     `json:"num_edges"`
+	MaxTime  float64 `json:"max_time"`
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	var req ingestRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	accepted := 0
+	for _, e := range req.Edges {
+		if _, err := s.dyn.Append(graph.Edge{Src: e.Src, Dst: e.Dst, Time: e.Time, Idx: e.Idx}); err != nil {
+			httpError(w, http.StatusBadRequest,
+				"edge %d rejected after %d accepted: %v", accepted, accepted, err)
+			return
+		}
+		accepted++
+	}
+	s.ingested.Add(int64(accepted))
+	writeJSON(w, ingestResponse{
+		Accepted: accepted,
+		NumEdges: s.dyn.NumEdges(),
+		MaxTime:  s.dyn.MaxTime(),
+	})
+}
+
+type embedRequest struct {
+	Nodes []int32   `json:"nodes"`
+	Times []float64 `json:"times"`
+}
+
+type embedResponse struct {
+	Embeddings [][]float32 `json:"embeddings"`
+}
+
+func (s *Server) handleEmbed(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	var req embedRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if len(req.Nodes) == 0 || len(req.Nodes) != len(req.Times) {
+		httpError(w, http.StatusBadRequest, "nodes and times must be non-empty and equal length")
+		return
+	}
+	if !s.validNodes(w, req.Nodes) {
+		return
+	}
+	h := s.engine.Embed(req.Nodes, req.Times)
+	out := make([][]float32, h.Dim(0))
+	for i := range out {
+		row := make([]float32, h.Dim(1))
+		copy(row, h.Row(i))
+		out[i] = row
+	}
+	writeJSON(w, embedResponse{Embeddings: out})
+}
+
+type scoreRequest struct {
+	Pairs []edgeJSON `json:"pairs"`
+}
+
+type scoreResponse struct {
+	Logits []float64 `json:"logits"`
+	Probs  []float64 `json:"probs"`
+}
+
+func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	var req scoreRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if len(req.Pairs) == 0 {
+		httpError(w, http.StatusBadRequest, "pairs must be non-empty")
+		return
+	}
+	nb := len(req.Pairs)
+	nodes := make([]int32, 2*nb)
+	ts := make([]float64, 2*nb)
+	for i, p := range req.Pairs {
+		nodes[i], nodes[nb+i] = p.Src, p.Dst
+		ts[i], ts[nb+i] = p.Time, p.Time
+	}
+	if !s.validNodes(w, nodes) {
+		return
+	}
+	h := s.engine.Embed(nodes, ts)
+	d := s.model.Cfg.NodeDim
+	hSrc := tensor.FromSlice(h.Data()[:nb*d], nb, d)
+	hDst := tensor.FromSlice(h.Data()[nb*d:], nb, d)
+	logits := s.model.Score(hSrc, hDst)
+	resp := scoreResponse{Logits: make([]float64, nb), Probs: make([]float64, nb)}
+	for i := 0; i < nb; i++ {
+		l := float64(logits.At(i, 0))
+		resp.Logits[i] = l
+		resp.Probs[i] = sigmoid(l)
+	}
+	writeJSON(w, resp)
+}
+
+type statsResponse struct {
+	NumNodes   int     `json:"num_nodes"`
+	NumEdges   int     `json:"num_edges"`
+	MaxTime    float64 `json:"max_time"`
+	CacheItems int     `json:"cache_items"`
+	CacheBytes int64   `json:"cache_bytes"`
+	HitRate    float64 `json:"hit_rate"`
+	Requests   int64   `json:"requests"`
+	Ingested   int64   `json:"ingested"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	writeJSON(w, statsResponse{
+		NumNodes:   s.dyn.NumNodes(),
+		NumEdges:   s.dyn.NumEdges(),
+		MaxTime:    s.dyn.MaxTime(),
+		CacheItems: s.engine.CacheLen(),
+		CacheBytes: s.engine.CacheBytes(),
+		HitRate:    s.hitRate.Average(),
+		Requests:   s.requests.Load(),
+		Ingested:   s.ingested.Load(),
+	})
+}
+
+// validNodes rejects node ids outside the graph (and the feature
+// tables), writing the error response itself.
+func (s *Server) validNodes(w http.ResponseWriter, nodes []int32) bool {
+	max := int32(s.dyn.NumNodes())
+	for _, v := range nodes {
+		if v < 1 || v > max {
+			httpError(w, http.StatusBadRequest, "node %d out of range 1..%d", v, max)
+			return false
+		}
+	}
+	return true
+}
+
+func decode(w http.ResponseWriter, r *http.Request, dst any) bool {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return false
+	}
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Headers are out; nothing more to do than note it.
+		http.Error(w, "encode error", http.StatusInternalServerError)
+	}
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// sigmoid is the overflow-safe logistic function.
+func sigmoid(x float64) float64 {
+	if x >= 0 {
+		return 1 / (1 + math.Exp(-x))
+	}
+	e := math.Exp(x)
+	return e / (1 + e)
+}

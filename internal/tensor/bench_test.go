@@ -1,0 +1,144 @@
+package tensor
+
+import (
+	"fmt"
+	"testing"
+
+	"tgopt/internal/parallel"
+)
+
+// Matrix-multiplication scaling across the shapes the TGAT layers
+// actually produce: tall-skinny projections (many rows, modest inner
+// and output dims).
+func BenchmarkMatMul(b *testing.B) {
+	r := NewRNG(1)
+	for _, size := range []struct{ m, k, n int }{
+		{64, 96, 64},
+		{512, 96, 64},
+		{4096, 96, 64},
+		{4096, 192, 128},
+	} {
+		a := Rand(r, size.m, size.k)
+		w := Rand(r, size.k, size.n)
+		dst := New(size.m, size.n)
+		b.Run(fmt.Sprintf("%dx%dx%d", size.m, size.k, size.n), func(b *testing.B) {
+			b.SetBytes(int64(4 * (size.m*size.k + size.k*size.n + size.m*size.n)))
+			for i := 0; i < b.N; i++ {
+				MatMulInto(a, w, dst)
+			}
+		})
+	}
+}
+
+func BenchmarkMatMulSerialVsParallel(b *testing.B) {
+	r := NewRNG(2)
+	a := Rand(r, 2048, 128)
+	w := Rand(r, 128, 128)
+	dst := New(2048, 128)
+	b.Run("parallel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			MatMulInto(a, w, dst)
+		}
+	})
+	b.Run("serial", func(b *testing.B) {
+		prev := parallel.SetDegree(1)
+		defer parallel.SetDegree(prev)
+		for i := 0; i < b.N; i++ {
+			MatMulInto(a, w, dst)
+		}
+	})
+}
+
+func BenchmarkMatMulT(b *testing.B) {
+	r := NewRNG(3)
+	x := Rand(r, 4096, 96)
+	w := Rand(r, 128, 96) // nn.Linear layout
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMulT(x, w)
+	}
+}
+
+func BenchmarkSoftmax(b *testing.B) {
+	r := NewRNG(4)
+	a := Randn(r, 4096, 20)
+	mask := make([]bool, a.Len())
+	for i := range mask {
+		mask[i] = i%5 != 0
+	}
+	b.Run("plain", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			SoftmaxLastDim(a)
+		}
+	})
+	b.Run("masked", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			MaskedSoftmaxLastDim(a, mask)
+		}
+	})
+}
+
+func BenchmarkGatherRows(b *testing.B) {
+	r := NewRNG(5)
+	table := Rand(r, 10000, 64)
+	idx := make([]int, 4096)
+	for i := range idx {
+		idx[i] = r.Intn(10000)
+	}
+	dst := New(len(idx), 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		GatherRowsInto(table, idx, dst)
+	}
+}
+
+func BenchmarkConcatCols(b *testing.B) {
+	r := NewRNG(6)
+	x := Rand(r, 4096, 32)
+	y := Rand(r, 4096, 32)
+	z := Rand(r, 4096, 32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ConcatCols(x, y, z)
+	}
+}
+
+func BenchmarkElementwise(b *testing.B) {
+	r := NewRNG(7)
+	x := Rand(r, 1<<16)
+	y := Rand(r, 1<<16)
+	b.Run("Add", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			AddInPlace(x, y)
+		}
+	})
+	b.Run("Cos", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			Cos(x)
+		}
+	})
+	b.Run("ReLU", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ReLU(x)
+		}
+	})
+}
+
+func BenchmarkRNG(b *testing.B) {
+	r := NewRNG(8)
+	b.Run("Uint64", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			r.Uint64()
+		}
+	})
+	b.Run("NormFloat64", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			r.NormFloat64()
+		}
+	})
+	b.Run("Pareto", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			r.Pareto(1, 1.2)
+		}
+	})
+}

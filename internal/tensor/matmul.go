@@ -1,0 +1,165 @@
+package tensor
+
+import (
+	"fmt"
+
+	"tgopt/internal/parallel"
+)
+
+// matmulParallelThreshold is the number of output rows above which MatMul
+// fans out across the parallel runtime. Small inference batches stay
+// serial to avoid fork-join overhead.
+const matmulParallelThreshold = 64
+
+// MatMul computes C = A·B for rank-2 tensors A (m,k) and B (k,n).
+func MatMul(a, b *Tensor) *Tensor {
+	m, k := a.shape[0], a.shape[1]
+	if b.Rank() != 2 || a.Rank() != 2 {
+		panic("tensor: MatMul requires rank-2 operands")
+	}
+	if b.shape[0] != k {
+		panic(fmt.Sprintf("tensor: MatMul inner dimension mismatch %v x %v", a.shape, b.shape))
+	}
+	out := New(m, b.shape[1])
+	MatMulInto(a, b, out)
+	return out
+}
+
+// MatMulInto computes dst = A·B, with dst preallocated to shape (m, n).
+// The i-loop is parallelized for large m; the kernel iterates k in the
+// middle loop so the B row is streamed sequentially (i-k-j order), which
+// is the cache-friendly layout for row-major operands.
+func MatMulInto(a, b, dst *Tensor) {
+	m, k := a.shape[0], a.shape[1]
+	n := b.shape[1]
+	if b.shape[0] != k {
+		panic(fmt.Sprintf("tensor: MatMulInto inner dimension mismatch %v x %v", a.shape, b.shape))
+	}
+	if dst.shape[0] != m || dst.shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMulInto dst shape %v, want [%d %d]", dst.shape, m, n))
+	}
+	body := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.data[i*k : (i+1)*k]
+			crow := dst.data[i*n : (i+1)*n]
+			for j := range crow {
+				crow[j] = 0
+			}
+			for kk, av := range arow {
+				if av == 0 {
+					continue
+				}
+				brow := b.data[kk*n : (kk+1)*n]
+				for j, bv := range brow {
+					crow[j] += av * bv
+				}
+			}
+		}
+	}
+	if m >= matmulParallelThreshold {
+		parallel.ForChunked(m, 0, body)
+	} else {
+		body(0, m)
+	}
+}
+
+// MatMulT computes C = A·Bᵀ for A (m,k) and B (n,k), i.e. every output
+// element is a dot product of an A row with a B row. This avoids
+// materializing the transpose and is the kernel the attention layer uses
+// for query–key scores.
+func MatMulT(a, b *Tensor) *Tensor {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		panic("tensor: MatMulT requires rank-2 operands")
+	}
+	m, k := a.shape[0], a.shape[1]
+	n := b.shape[0]
+	if b.shape[1] != k {
+		panic(fmt.Sprintf("tensor: MatMulT inner dimension mismatch %v x %v", a.shape, b.shape))
+	}
+	out := New(m, n)
+	body := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.data[i*k : (i+1)*k]
+			crow := out.data[i*n : (i+1)*n]
+			for j := 0; j < n; j++ {
+				crow[j] = dot32(arow, b.data[j*k:(j+1)*k])
+			}
+		}
+	}
+	if m >= matmulParallelThreshold {
+		parallel.ForChunked(m, 0, body)
+	} else {
+		body(0, m)
+	}
+	return out
+}
+
+// MatVec computes y = A·x for A (m,k) and x of length k, returning shape
+// [m].
+func MatVec(a, x *Tensor) *Tensor {
+	if a.Rank() != 2 {
+		panic("tensor: MatVec requires rank-2 matrix")
+	}
+	m, k := a.shape[0], a.shape[1]
+	if x.Len() != k {
+		panic(fmt.Sprintf("tensor: MatVec dimension mismatch %v x len %d", a.shape, x.Len()))
+	}
+	out := New(m)
+	for i := 0; i < m; i++ {
+		out.data[i] = dot32(a.data[i*k:(i+1)*k], x.data)
+	}
+	return out
+}
+
+// BatchedMatMul computes C[b] = A[b]·B[b] for rank-3 tensors
+// A (B,m,k) and B (B,k,n), producing (B,m,n). Batches are independent
+// and are parallelized across the pool.
+func BatchedMatMul(a, b *Tensor) *Tensor {
+	if a.Rank() != 3 || b.Rank() != 3 {
+		panic("tensor: BatchedMatMul requires rank-3 operands")
+	}
+	bs, m, k := a.shape[0], a.shape[1], a.shape[2]
+	if b.shape[0] != bs || b.shape[1] != k {
+		panic(fmt.Sprintf("tensor: BatchedMatMul shape mismatch %v x %v", a.shape, b.shape))
+	}
+	n := b.shape[2]
+	out := New(bs, m, n)
+	batch := func(lo, hi int) {
+		for bi := lo; bi < hi; bi++ {
+			av := &Tensor{shape: []int{m, k}, data: a.data[bi*m*k : (bi+1)*m*k]}
+			bv := &Tensor{shape: []int{k, n}, data: b.data[bi*k*n : (bi+1)*k*n]}
+			cv := &Tensor{shape: []int{m, n}, data: out.data[bi*m*n : (bi+1)*m*n]}
+			// Serial kernel per batch; parallelism is across batches.
+			for i := 0; i < m; i++ {
+				arow := av.data[i*k : (i+1)*k]
+				crow := cv.data[i*n : (i+1)*n]
+				for kk, avv := range arow {
+					if avv == 0 {
+						continue
+					}
+					brow := bv.data[kk*n : (kk+1)*n]
+					for j, bvv := range brow {
+						crow[j] += avv * bvv
+					}
+				}
+			}
+		}
+	}
+	if bs >= 8 {
+		parallel.ForChunked(bs, 0, batch)
+	} else {
+		batch(0, bs)
+	}
+	return out
+}
+
+// Linear computes x·Wᵀ + bias for x (n, in), W (out, in) and bias [out]
+// (bias may be nil). This matches the PyTorch nn.Linear weight layout so
+// trained parameters round-trip naturally.
+func Linear(x, w, bias *Tensor) *Tensor {
+	out := MatMulT(x, w)
+	if bias != nil {
+		AddRowBiasInPlace(out, bias)
+	}
+	return out
+}

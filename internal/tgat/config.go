@@ -1,0 +1,67 @@
+// Package tgat implements the Temporal Graph Attention Network model of
+// Xu et al. (ICLR 2020) that TGOpt optimizes: a layered architecture
+// where each layer computes temporal node embeddings by attending over a
+// sampled temporal neighborhood, with time information injected through
+// the functional encoding Φ(Δt) (Eqs. 4–7 of the TGOpt paper).
+//
+// This package contains the *baseline* recursive embedding computation —
+// the reference semantics that the optimized engine in internal/core
+// must reproduce bit-for-bit within floating-point tolerance — plus the
+// link-prediction head, parameter persistence, and batched inference
+// over an edge stream.
+package tgat
+
+import "fmt"
+
+// Config holds the TGAT architecture hyperparameters. The paper's
+// evaluation uses Layers=2, Heads=2, NumNeighbors=20.
+type Config struct {
+	Layers       int // number of stacked attention layers (L)
+	Heads        int // attention heads per layer
+	NodeDim      int // node feature/embedding dimensionality d_v
+	EdgeDim      int // edge feature dimensionality d_e
+	TimeDim      int // time-encoding dimensionality d_t
+	NumNeighbors int // temporal neighbors sampled per target (k)
+	Seed         uint64
+}
+
+// DefaultConfig returns the paper's model configuration at a
+// laptop-friendly feature width.
+func DefaultConfig() Config {
+	return Config{
+		Layers:       2,
+		Heads:        2,
+		NodeDim:      64,
+		EdgeDim:      64,
+		TimeDim:      64,
+		NumNeighbors: 20,
+		Seed:         1,
+	}
+}
+
+// Validate checks dimensional constraints.
+func (c Config) Validate() error {
+	if c.Layers < 1 {
+		return fmt.Errorf("tgat: Layers must be >= 1, got %d", c.Layers)
+	}
+	if c.Heads < 1 {
+		return fmt.Errorf("tgat: Heads must be >= 1, got %d", c.Heads)
+	}
+	if c.NodeDim < 1 || c.EdgeDim < 0 || c.TimeDim < 1 {
+		return fmt.Errorf("tgat: invalid dims node=%d edge=%d time=%d", c.NodeDim, c.EdgeDim, c.TimeDim)
+	}
+	if (c.NodeDim+c.TimeDim)%c.Heads != 0 {
+		return fmt.Errorf("tgat: NodeDim+TimeDim = %d not divisible by Heads = %d", c.NodeDim+c.TimeDim, c.Heads)
+	}
+	if c.NumNeighbors < 1 {
+		return fmt.Errorf("tgat: NumNeighbors must be >= 1, got %d", c.NumNeighbors)
+	}
+	return nil
+}
+
+// QDim returns the attention query width: node embedding plus Φ(0).
+func (c Config) QDim() int { return c.NodeDim + c.TimeDim }
+
+// KDim returns the attention key/value width: neighbor embedding, edge
+// feature and Φ(Δt) concatenated.
+func (c Config) KDim() int { return c.NodeDim + c.EdgeDim + c.TimeDim }

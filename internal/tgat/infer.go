@@ -1,0 +1,118 @@
+package tgat
+
+import (
+	"sync"
+
+	"tgopt/internal/graph"
+	"tgopt/internal/tensor"
+)
+
+// EmbedFunc computes top-layer temporal embeddings for a batch of
+// node–timestamp targets. Both the baseline (Model.Embed) and the
+// optimized engine (internal/core) satisfy this signature, so the same
+// inference driver measures both.
+type EmbedFunc func(nodes []int32, ts []float64) *tensor.Tensor
+
+// BaselineEmbedFunc adapts Model.Embed to an EmbedFunc over the given
+// sampler.
+func (m *Model) BaselineEmbedFunc(s *graph.Sampler) EmbedFunc {
+	return func(nodes []int32, ts []float64) *tensor.Tensor {
+		return m.Embed(s, nodes, ts, nil)
+	}
+}
+
+// StreamResult is the output of one full-stream inference pass.
+type StreamResult struct {
+	Scores  []float64 // one link-prediction logit per edge, in stream order
+	Batches int
+}
+
+// StreamInferenceConcurrent is StreamInference with up to `workers`
+// batches in flight at once. Temporal embeddings depend only on the
+// (immutable) graph and model — the TGOpt cache changes how fast a
+// value is produced, never what it is — so batches may be computed in
+// any order or in parallel without changing a single score; results are
+// written into stream order. The embed function must be safe for
+// concurrent use (both the baseline and the TGOpt engine are).
+func StreamInferenceConcurrent(g *graph.Graph, m *Model, batchSize, workers int, embed EmbedFunc) *StreamResult {
+	if workers <= 1 {
+		return StreamInference(g, m, batchSize, embed)
+	}
+	edges := g.Edges()
+	nBatches := (len(edges) + batchSize - 1) / batchSize
+	res := &StreamResult{Scores: make([]float64, len(edges)), Batches: nBatches}
+	d := m.Cfg.NodeDim
+
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for start := 0; start < len(edges); start += batchSize {
+		start := start
+		end := start + batchSize
+		if end > len(edges) {
+			end = len(edges)
+		}
+		sem <- struct{}{}
+		wg.Add(1)
+		go func() {
+			defer func() { <-sem; wg.Done() }()
+			batch := edges[start:end]
+			nb := len(batch)
+			nodes := make([]int32, 2*nb)
+			ts := make([]float64, 2*nb)
+			for i, e := range batch {
+				nodes[i] = e.Src
+				nodes[nb+i] = e.Dst
+				ts[i] = e.Time
+				ts[nb+i] = e.Time
+			}
+			h := embed(nodes, ts)
+			hSrc := tensor.FromSlice(h.Data()[:nb*d], nb, d)
+			hDst := tensor.FromSlice(h.Data()[nb*d:], nb, d)
+			logits := m.Score(hSrc, hDst)
+			for i := 0; i < nb; i++ {
+				res.Scores[start+i] = float64(logits.At(i, 0))
+			}
+		}()
+	}
+	wg.Wait()
+	return res
+}
+
+// StreamInference performs the paper's standard inference task (§5.1):
+// iterate every edge of the graph chronologically in batches of
+// batchSize, decouple each edge into its source and destination targets
+// sharing the edge timestamp, compute temporal embeddings with embed,
+// and score each (source, destination) pair with the model's affinity
+// head.
+func StreamInference(g *graph.Graph, m *Model, batchSize int, embed EmbedFunc) *StreamResult {
+	edges := g.Edges()
+	res := &StreamResult{Scores: make([]float64, 0, len(edges))}
+	d := m.Cfg.NodeDim
+	for start := 0; start < len(edges); start += batchSize {
+		end := start + batchSize
+		if end > len(edges) {
+			end = len(edges)
+		}
+		batch := edges[start:end]
+		nb := len(batch)
+		// Pack sources then destinations, duplicating the timestamps:
+		// the batching rule of §3.1.
+		nodes := make([]int32, 2*nb)
+		ts := make([]float64, 2*nb)
+		for i, e := range batch {
+			nodes[i] = e.Src
+			nodes[nb+i] = e.Dst
+			ts[i] = e.Time
+			ts[nb+i] = e.Time
+		}
+		h := embed(nodes, ts)
+		hSrc := tensor.FromSlice(h.Data()[:nb*d], nb, d)
+		hDst := tensor.FromSlice(h.Data()[nb*d:], nb, d)
+		logits := m.Score(hSrc, hDst)
+		for i := 0; i < nb; i++ {
+			res.Scores = append(res.Scores, float64(logits.At(i, 0)))
+		}
+		res.Batches++
+	}
+	return res
+}

@@ -1,0 +1,351 @@
+// Package trainer implements standard link-prediction training for the
+// TGAT model (the paper trains its models "according to standard
+// training procedures for link prediction" before measuring inference).
+// Each training batch embeds the source, destination, and a negatively
+// sampled destination for every edge, scores the positive and negative
+// pairs with the affinity head, and minimizes binary cross-entropy with
+// Adam. The forward pass is built on internal/autograd over the very
+// same parameter tensors the inference layers use, so a trained model
+// needs no conversion step.
+package trainer
+
+import (
+	"fmt"
+	"math"
+
+	"tgopt/internal/autograd"
+	"tgopt/internal/core"
+	"tgopt/internal/graph"
+	"tgopt/internal/nn"
+	"tgopt/internal/tensor"
+	"tgopt/internal/tgat"
+)
+
+// Config controls the training run.
+type Config struct {
+	Epochs    int
+	BatchSize int
+	LR        float64
+	// TrainFrac is the chronological fraction of edges used for
+	// training; the remainder is the validation split.
+	TrainFrac float64
+	Seed      uint64
+	// Dedup applies TGOpt's deduplication filter inside the training
+	// forward pass — the §7 observation that, while memoization is
+	// unsound during training (parameters change every step),
+	// deduplication still is: duplicated targets compute once and their
+	// gradients fan in through the inverse index. Losses and gradients
+	// are unchanged within floating-point tolerance.
+	Dedup bool
+	// Dropout is the training-time dropout probability applied to the
+	// attention output and the merge hidden layer (TGAT's default is
+	// 0.1; 0 disables). Inference never applies dropout.
+	Dropout float64
+	// Logf, when non-nil, receives progress lines.
+	Logf func(format string, args ...any)
+}
+
+// DefaultConfig returns a laptop-scale training configuration.
+func DefaultConfig() Config {
+	return Config{Epochs: 3, BatchSize: 200, LR: 1e-3, TrainFrac: 0.7, Seed: 1}
+}
+
+// Result summarizes a training run.
+type Result struct {
+	EpochLoss []float64 // mean train loss per epoch
+	ValAP     float64   // average precision on the validation split
+	ValAcc    float64   // accuracy at threshold 0.5
+}
+
+// params mirrors the model's trainable tensors as autograd leaves. The
+// wrapping is rebuilt every step so gradients never leak across steps.
+type params struct {
+	tensors []*tensor.Tensor
+	values  map[*tensor.Tensor]*autograd.Value
+}
+
+func wrapParams(m *tgat.Model) *params {
+	ts := m.Params()
+	p := &params{tensors: ts, values: make(map[*tensor.Tensor]*autograd.Value, len(ts))}
+	for _, t := range ts {
+		p.values[t] = autograd.Param(t)
+	}
+	return p
+}
+
+func (p *params) val(t *tensor.Tensor) *autograd.Value { return p.values[t] }
+
+func (p *params) grads() []*tensor.Tensor {
+	gs := make([]*tensor.Tensor, len(p.tensors))
+	for i, t := range p.tensors {
+		gs[i] = p.values[t].Grad()
+	}
+	return gs
+}
+
+// Forward computes top-layer embeddings on the autograd tape — the
+// differentiable twin of tgat.Model.Embed. Exported so tests can verify
+// it agrees with the inference forward bit-for-bit.
+func Forward(m *tgat.Model, s *graph.Sampler, p *Tape, nodes []int32, ts []float64) *autograd.Value {
+	return p.embed(m, s, m.Cfg.Layers, nodes, ts)
+}
+
+// Tape bundles the wrapped parameters plus constant feature tables for
+// one forward/backward pass.
+type Tape struct {
+	p        *params
+	nodeFeat *autograd.Value
+	edgeFeat *autograd.Value
+	dedup    bool
+	dropout  float64
+	rng      *tensor.RNG
+}
+
+// NewTape wraps the model's parameters and features for one step.
+func NewTape(m *tgat.Model) *Tape {
+	return &Tape{
+		p:        wrapParams(m),
+		nodeFeat: autograd.Const(m.NodeFeat),
+		edgeFeat: autograd.Const(m.EdgeFeat),
+	}
+}
+
+// SetDedup toggles the training-time deduplication filter (§7).
+func (tp *Tape) SetDedup(on bool) { tp.dedup = on }
+
+// SetDropout enables training-time dropout with probability p, drawing
+// masks from the given deterministic generator.
+func (tp *Tape) SetDropout(p float64, r *tensor.RNG) {
+	tp.dropout = p
+	tp.rng = r
+}
+
+// drop applies the tape's dropout setting (no-op when disabled).
+func (tp *Tape) drop(v *autograd.Value) *autograd.Value {
+	if tp.dropout <= 0 || tp.rng == nil {
+		return v
+	}
+	return autograd.Dropout(v, tp.dropout, tp.rng)
+}
+
+// Grads returns gradients aligned with m.Params() order.
+func (tp *Tape) Grads() []*tensor.Tensor { return tp.p.grads() }
+
+func (tp *Tape) embed(m *tgat.Model, s *graph.Sampler, l int, nodes []int32, ts []float64) *autograd.Value {
+	if l == 0 {
+		return autograd.GatherRows(tp.nodeFeat, nodes)
+	}
+	if tp.dedup {
+		res := core.DedupFilter(nodes, ts)
+		if res.Unique() < len(nodes) {
+			// Compute unique targets once; fan the rows (and, in the
+			// backward pass, the gradients) back out through the
+			// inverse index.
+			h := tp.embedCompute(m, s, l, res.Nodes, res.Times)
+			return autograd.GatherRows(h, res.InvIdx)
+		}
+	}
+	return tp.embedCompute(m, s, l, nodes, ts)
+}
+
+func (tp *Tape) embedCompute(m *tgat.Model, s *graph.Sampler, l int, nodes []int32, ts []float64) *autograd.Value {
+	n := len(nodes)
+	k := m.Cfg.NumNeighbors
+	b := s.Sample(nodes, ts)
+
+	allNodes := make([]int32, n+n*k)
+	allTs := make([]float64, n+n*k)
+	copy(allNodes, nodes)
+	copy(allTs, ts)
+	copy(allNodes[n:], b.Nghs)
+	copy(allTs[n:], b.Times)
+	hAll := tp.embed(m, s, l-1, allNodes, allTs)
+	hTgt := autograd.SliceRows(hAll, 0, n)
+	hNgh := autograd.SliceRows(hAll, n, n+n*k)
+
+	omega := tp.p.val(m.Time.Omega)
+	phi := tp.p.val(m.Time.Phi)
+	tEnc0 := autograd.CosAffine(omega, phi, make([]float64, n))
+	deltas := make([]float64, n*k)
+	for i := 0; i < n; i++ {
+		for j := 0; j < k; j++ {
+			deltas[i*k+j] = ts[i] - b.Times[i*k+j]
+		}
+	}
+	tEncD := autograd.CosAffine(omega, phi, deltas)
+	eFeat := autograd.GatherRows(tp.edgeFeat, b.EIdxs)
+
+	attn := m.Attn[l-1]
+	q := autograd.ConcatCols(hTgt, tEnc0)
+	kv := autograd.ConcatCols(hNgh, eFeat, tEncD)
+	qp := tp.linear(q, attn.WQ)
+	kp := tp.linear(kv, attn.WK)
+	vp := tp.linear(kv, attn.WV)
+	ctx := autograd.Attend(qp, kp, vp, k, b.Valid, attn.Heads)
+	attnOut := tp.drop(tp.linear(ctx, attn.WO))
+
+	return tp.merge(autograd.ConcatCols(attnOut, hTgt), m.Merge[l-1])
+}
+
+func (tp *Tape) linear(x *autograd.Value, l *nn.Linear) *autograd.Value {
+	var b *autograd.Value
+	if l.B != nil {
+		b = tp.p.val(l.B)
+	}
+	return autograd.Linear(x, tp.p.val(l.W), b)
+}
+
+func (tp *Tape) merge(x *autograd.Value, m *nn.MergeLayer) *autograd.Value {
+	h := tp.drop(autograd.ReLU(tp.linear(x, m.FC1)))
+	return tp.linear(h, m.FC2)
+}
+
+// Score runs the affinity head on the tape.
+func (tp *Tape) Score(m *tgat.Model, hSrc, hDst *autograd.Value) *autograd.Value {
+	return tp.merge(autograd.ConcatCols(hSrc, hDst), m.Affinity)
+}
+
+// negativeSampler draws corrupting destination nodes uniformly from the
+// destination population observed in the edge stream (items for
+// bipartite graphs, any node for homogeneous ones).
+type negativeSampler struct {
+	dsts []int32
+	r    *tensor.RNG
+}
+
+func newNegativeSampler(g *graph.Graph, seed uint64) *negativeSampler {
+	seen := map[int32]struct{}{}
+	var dsts []int32
+	for _, e := range g.Edges() {
+		if _, ok := seen[e.Dst]; !ok {
+			seen[e.Dst] = struct{}{}
+			dsts = append(dsts, e.Dst)
+		}
+	}
+	return &negativeSampler{dsts: dsts, r: tensor.NewRNG(seed)}
+}
+
+func (ns *negativeSampler) sample() int32 { return ns.dsts[ns.r.Intn(len(ns.dsts))] }
+
+// Train runs link-prediction training and returns the loss trajectory
+// and validation metrics. The sampler must use the same k as the model.
+func Train(m *tgat.Model, g *graph.Graph, s *graph.Sampler, cfg Config) (*Result, error) {
+	if cfg.Epochs < 1 || cfg.BatchSize < 1 {
+		return nil, fmt.Errorf("trainer: bad config %+v", cfg)
+	}
+	if cfg.TrainFrac <= 0 || cfg.TrainFrac > 1 {
+		return nil, fmt.Errorf("trainer: TrainFrac %v out of (0,1]", cfg.TrainFrac)
+	}
+	if s.K() != m.Cfg.NumNeighbors {
+		return nil, fmt.Errorf("trainer: sampler k %d != model NumNeighbors %d", s.K(), m.Cfg.NumNeighbors)
+	}
+	edges := g.Edges()
+	split := int(float64(len(edges)) * cfg.TrainFrac)
+	if split < 1 {
+		return nil, fmt.Errorf("trainer: empty training split")
+	}
+	train := edges[:split]
+	val := edges[split:]
+	neg := newNegativeSampler(g, cfg.Seed)
+	opt := nn.NewAdam(m.Params(), cfg.LR)
+	dropRNG := tensor.NewRNG(cfg.Seed ^ 0xD20)
+
+	res := &Result{}
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		var lossSum float64
+		var batches int
+		for start := 0; start < len(train); start += cfg.BatchSize {
+			end := start + cfg.BatchSize
+			if end > len(train) {
+				end = len(train)
+			}
+			loss := trainStep(m, s, train[start:end], neg, opt, cfg, dropRNG)
+			lossSum += loss
+			batches++
+		}
+		mean := lossSum / float64(batches)
+		res.EpochLoss = append(res.EpochLoss, mean)
+		if cfg.Logf != nil {
+			cfg.Logf("epoch %d/%d: mean loss %.4f", epoch+1, cfg.Epochs, mean)
+		}
+	}
+	if len(val) > 0 {
+		res.ValAP, res.ValAcc = Evaluate(m, s, val, neg)
+		if cfg.Logf != nil {
+			cfg.Logf("validation: AP %.4f  accuracy %.4f", res.ValAP, res.ValAcc)
+		}
+	}
+	return res, nil
+}
+
+func trainStep(m *tgat.Model, s *graph.Sampler, batch []graph.Edge, neg *negativeSampler, opt *nn.Adam, cfg Config, dropRNG *tensor.RNG) float64 {
+	nb := len(batch)
+	// Pack sources, destinations, negatives into one embedding batch.
+	nodes := make([]int32, 3*nb)
+	ts := make([]float64, 3*nb)
+	for i, e := range batch {
+		nodes[i] = e.Src
+		nodes[nb+i] = e.Dst
+		nodes[2*nb+i] = neg.sample()
+		ts[i], ts[nb+i], ts[2*nb+i] = e.Time, e.Time, e.Time
+	}
+	tp := NewTape(m)
+	tp.SetDedup(cfg.Dedup)
+	tp.SetDropout(cfg.Dropout, dropRNG)
+	h := Forward(m, s, tp, nodes, ts)
+	hSrc := autograd.SliceRows(h, 0, nb)
+	hDst := autograd.SliceRows(h, nb, 2*nb)
+	hNeg := autograd.SliceRows(h, 2*nb, 3*nb)
+	posLogits := tp.Score(m, hSrc, hDst)
+	negLogits := tp.Score(m, hSrc, hNeg)
+	logits := autograd.ConcatCols(posLogits, negLogits) // (nb, 2) flattened below
+	labels := make([]float32, 2*nb)
+	for i := 0; i < nb; i++ {
+		labels[2*i] = 1 // column-major within each row: pos, neg
+	}
+	loss := autograd.BCEWithLogits(logits, labels)
+	loss.Backward()
+	opt.Step(tp.Grads())
+	return float64(loss.T.Data()[0])
+}
+
+// Evaluate scores each validation edge against one sampled negative and
+// reports average precision and accuracy.
+func Evaluate(m *tgat.Model, s *graph.Sampler, val []graph.Edge, neg *negativeSampler) (ap, acc float64) {
+	var scores []float64
+	var labels []bool
+	const chunk = 200
+	for start := 0; start < len(val); start += chunk {
+		end := start + chunk
+		if end > len(val) {
+			end = len(val)
+		}
+		batch := val[start:end]
+		nb := len(batch)
+		nodes := make([]int32, 3*nb)
+		ts := make([]float64, 3*nb)
+		for i, e := range batch {
+			nodes[i] = e.Src
+			nodes[nb+i] = e.Dst
+			nodes[2*nb+i] = neg.sample()
+			ts[i], ts[nb+i], ts[2*nb+i] = e.Time, e.Time, e.Time
+		}
+		h := m.Embed(s, nodes, ts, nil)
+		d := m.Cfg.NodeDim
+		hSrc := tensor.FromSlice(h.Data()[:nb*d], nb, d)
+		hDst := tensor.FromSlice(h.Data()[nb*d:2*nb*d], nb, d)
+		hNeg := tensor.FromSlice(h.Data()[2*nb*d:], nb, d)
+		pos := m.Score(hSrc, hDst)
+		negl := m.Score(hSrc, hNeg)
+		for i := 0; i < nb; i++ {
+			scores = append(scores, float64(pos.At(i, 0)))
+			labels = append(labels, true)
+			scores = append(scores, float64(negl.At(i, 0)))
+			labels = append(labels, false)
+		}
+	}
+	if len(scores) == 0 {
+		return math.NaN(), math.NaN()
+	}
+	return nn.AveragePrecision(scores, labels), nn.Accuracy(scores, labels)
+}

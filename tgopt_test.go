@@ -1,0 +1,75 @@
+package tgopt_test
+
+import (
+	"testing"
+
+	"tgopt"
+)
+
+// TestPublicAPIEndToEnd exercises the documented facade flow: generate
+// a workload, build a model, train briefly, and verify the optimized
+// engine reproduces baseline embeddings over a full inference pass.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	spec, err := tgopt.DatasetByName("jodie-wiki")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec = spec.Scale(0.002)
+	ds, err := tgopt.Generate(spec, tgopt.DatasetOptions{FeatureDim: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := tgopt.ModelConfig{Layers: 2, Heads: 2, NodeDim: 16, EdgeDim: 16, TimeDim: 16, NumNeighbors: 5, Seed: 1}
+	model, err := tgopt.NewModel(cfg, ds.NodeFeat, ds.EdgeFeat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sampler := tgopt.NewSampler(ds.Graph, 5, tgopt.MostRecent, 0)
+
+	if _, err := tgopt.Train(model, ds.Graph, sampler, tgopt.TrainConfig{
+		Epochs: 1, BatchSize: 100, LR: 1e-3, TrainFrac: 0.8, Seed: 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	baseline := tgopt.StreamInference(ds.Graph, model, 100, model.BaselineEmbedFunc(sampler))
+	engine := tgopt.NewEngine(model, sampler, tgopt.OptAll())
+	optimized := tgopt.StreamInference(ds.Graph, model, 100, engine.EmbedFunc())
+	if len(baseline.Scores) != len(optimized.Scores) {
+		t.Fatal("score count mismatch")
+	}
+	for i := range baseline.Scores {
+		d := baseline.Scores[i] - optimized.Scores[i]
+		if d < 0 {
+			d = -d
+		}
+		if d > 1e-5 {
+			t.Fatalf("score %d differs by %g", i, d)
+		}
+	}
+}
+
+func TestPublicAPIBasics(t *testing.T) {
+	if len(tgopt.DatasetSpecs()) != 7 {
+		t.Fatal("expected the paper's seven datasets")
+	}
+	g, err := tgopt.NewGraph(3, []tgopt.Edge{{Src: 1, Dst: 2, Time: 5}, {Src: 2, Dst: 3, Time: 9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 2 {
+		t.Fatal("graph construction broken through the facade")
+	}
+	if tgopt.Key(1, 2) != 1<<32|2 {
+		t.Fatal("Key re-export broken")
+	}
+	if tgopt.NewTensor(2, 2).Len() != 4 {
+		t.Fatal("tensor facade broken")
+	}
+	if tgopt.NewRNG(1).Uint64() == tgopt.NewRNG(2).Uint64() {
+		t.Fatal("RNG facade broken")
+	}
+	if err := tgopt.DefaultModelConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
