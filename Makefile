@@ -1,0 +1,20 @@
+GO ?= go
+
+.PHONY: build test check race bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Full PR gate: vet + build + tests + race checks on the concurrency-
+# sensitive packages (parallel runtime, serving middleware, cache).
+check:
+	./scripts/check.sh
+
+race:
+	$(GO) vet ./... && $(GO) test -race ./internal/parallel/... ./internal/serve/...
+
+bench:
+	$(GO) test -bench=. -benchmem .

@@ -8,10 +8,15 @@
 //
 // By default the synthetic dataset's history is pre-ingested so the
 // service starts warm; --empty starts with a bare graph (grow it with
-// /v1/ingest).
+// /v1/ingest). Requests are bounded by --timeout (504 on expiry) and
+// --max-inflight (429 at saturation), and SIGINT/SIGTERM drains
+// in-flight requests via http.Server.Shutdown before saving the warm
+// cache and exiting.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -19,6 +24,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"tgopt/internal/core"
 	"tgopt/internal/experiments"
@@ -38,6 +44,9 @@ func main() {
 	modelPath := flag.String("model", "", "load trained parameters from this checkpoint")
 	cacheLimit := flag.Int("cache-limit", 0, "cache item limit (0 = 2M scaled)")
 	cacheFile := flag.String("cache-file", "", "warm-start file: load memoized embeddings at boot, save on SIGINT/SIGTERM")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-request deadline (0 disables; exceeded requests get 504)")
+	maxInflight := flag.Int("max-inflight", 256, "max concurrently-executing requests (0 = unlimited; excess gets 429)")
+	grace := flag.Duration("grace", 10*time.Second, "shutdown grace period for draining in-flight requests")
 	flag.Parse()
 
 	setup := experiments.Setup{
@@ -66,6 +75,7 @@ func main() {
 	opt := core.OptAll()
 	opt.CacheLimit = setup.EffectiveCacheLimit()
 	srv := serve.New(wl.Model, dyn, opt)
+	srv.SetLimits(serve.Limits{Timeout: *timeout, MaxInFlight: *maxInflight})
 
 	if *cacheFile != "" {
 		if err := srv.Engine().LoadCaches(*cacheFile); err != nil {
@@ -78,25 +88,49 @@ func main() {
 			log.Printf("warm-started %d memoized embeddings from %s",
 				srv.Engine().CacheLen(), *cacheFile)
 		}
+	}
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	// Graceful shutdown: on SIGINT/SIGTERM stop accepting connections,
+	// drain in-flight requests (bounded by --grace), then persist the
+	// warm cache. ListenAndServe returns ErrServerClosed as soon as
+	// Shutdown starts, so drain completion is signalled separately.
+	drained := make(chan struct{})
+	go func() {
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-		go func() {
-			<-sig
-			if err := srv.Engine().SaveCaches(*cacheFile); err != nil {
-				log.Printf("cache save failed: %v", err)
-			} else {
-				log.Printf("saved %d memoized embeddings to %s", srv.Engine().CacheLen(), *cacheFile)
-			}
-			os.Exit(0)
-		}()
-	}
+		<-sig
+		log.Printf("shutting down: draining in-flight requests (grace %s)", *grace)
+		ctx, cancel := context.WithTimeout(context.Background(), *grace)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+		close(drained)
+	}()
 
 	log.Printf("tgopt-serve: %s (%d nodes, %d edges pre-ingested) listening on %s",
 		*name, dyn.NumNodes(), dyn.NumEdges(), *addr)
-	log.Printf("endpoints: POST /v1/ingest /v1/embed /v1/score, GET /v1/stats /metrics")
-	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+	log.Printf("limits: timeout=%s max-inflight=%d", *timeout, *maxInflight)
+	log.Printf("endpoints: POST /v1/ingest /v1/embed /v1/score /v1/explain, GET /v1/stats /metrics")
+	if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 		fatal(err)
 	}
+	<-drained
+
+	if *cacheFile != "" {
+		if err := srv.Engine().SaveCaches(*cacheFile); err != nil {
+			log.Printf("cache save failed: %v", err)
+		} else {
+			log.Printf("saved %d memoized embeddings to %s", srv.Engine().CacheLen(), *cacheFile)
+		}
+	}
+	log.Printf("tgopt-serve: stopped")
 }
 
 func fatal(err error) {

@@ -25,22 +25,24 @@ type Cache struct {
 	dim    int
 	shards []cacheShard
 	mask   uint64
-	// perShardLimit * len(shards) >= limit; keys distribute uniformly so
-	// per-shard FIFO approximates global FIFO.
-	perShardLimit int
-	limit         int
+	limit  int
 }
 
 type cacheShard struct {
-	mu   sync.Mutex
-	m    map[uint64][]float32
-	fifo []uint64 // insertion order; head compacts lazily
-	head int
+	mu    sync.Mutex
+	limit int // this shard's slice of the global limit; Σ limits == Cache.limit
+	m     map[uint64][]float32
+	fifo  []uint64 // insertion order; head compacts lazily
+	head  int
 }
 
 // NewCache creates a cache for dim-wide embeddings holding at most limit
 // items across the given number of shards (rounded up to a power of
-// two; <=0 picks a default of 16).
+// two; <=0 picks a default of 16). The global limit is enforced exactly:
+// it is distributed across the shards — remainder items to the lowest
+// shard indices — so the per-shard FIFO limits sum to limit and Len()
+// can never settle above Limit(). When limit < shards, the shard count
+// shrinks so every shard can hold at least one entry.
 func NewCache(limit, dim, shards int) *Cache {
 	if limit < 1 {
 		panic("core: cache limit must be >= 1")
@@ -55,16 +57,22 @@ func NewCache(limit, dim, shards int) *Cache {
 	for ns < shards {
 		ns *= 2
 	}
-	per := (limit + ns - 1) / ns
-	c := &Cache{
-		dim:           dim,
-		shards:        make([]cacheShard, ns),
-		mask:          uint64(ns - 1),
-		perShardLimit: per,
-		limit:         limit,
+	for ns > 1 && limit < ns {
+		ns /= 2
 	}
+	c := &Cache{
+		dim:    dim,
+		shards: make([]cacheShard, ns),
+		mask:   uint64(ns - 1),
+		limit:  limit,
+	}
+	base, rem := limit/ns, limit%ns
 	for i := range c.shards {
 		c.shards[i].m = make(map[uint64][]float32)
+		c.shards[i].limit = base
+		if i < rem {
+			c.shards[i].limit++
+		}
 	}
 	return c
 }
@@ -155,22 +163,7 @@ func (c *Cache) Store(keys []uint64, h *tensor.Tensor) {
 	data := h.Data()
 	body := func(lo, hi int) {
 		for i := lo; i < hi; i++ {
-			key := keys[i]
-			s := c.shardFor(key)
-			s.mu.Lock()
-			if old, ok := s.m[key]; ok {
-				copy(old, data[i*c.dim:(i+1)*c.dim])
-				s.mu.Unlock()
-				continue
-			}
-			if len(s.m) >= c.perShardLimit {
-				s.evictOldestLocked()
-			}
-			v := make([]float32, c.dim)
-			copy(v, data[i*c.dim:(i+1)*c.dim])
-			s.m[key] = v
-			s.fifo = append(s.fifo, key)
-			s.mu.Unlock()
+			c.storeOne(keys[i], data[i*c.dim:(i+1)*c.dim])
 		}
 	}
 	if len(keys) >= cacheParallelThreshold {
@@ -178,6 +171,26 @@ func (c *Cache) Store(keys []uint64, h *tensor.Tensor) {
 	} else {
 		body(0, len(keys))
 	}
+}
+
+// storeOne inserts a single entry under the shard's slice of the global
+// limit, evicting the shard's oldest entry first when full, so the
+// global item count never settles above Limit(). vec is copied.
+func (c *Cache) storeOne(key uint64, vec []float32) {
+	s := c.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if old, ok := s.m[key]; ok {
+		copy(old, vec)
+		return
+	}
+	if len(s.m) >= s.limit {
+		s.evictOldestLocked()
+	}
+	v := make([]float32, len(vec))
+	copy(v, vec)
+	s.m[key] = v
+	s.fifo = append(s.fifo, key)
 }
 
 // evictOldestLocked removes the oldest live entry of the shard. The FIFO

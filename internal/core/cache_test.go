@@ -97,14 +97,54 @@ func TestCacheLimitNeverExceeded(t *testing.T) {
 			keys[i] = r.Uint64()
 		}
 		c.Store(keys, tensor.Rand(r, n, 2))
-		// Per-shard limits can round the global cap up by at most one
-		// item per shard.
-		if c.Len() > 64+8 {
-			t.Fatalf("cache grew to %d, cap 64 (+8 shard slack)", c.Len())
+		if c.Len() > c.Limit() {
+			t.Fatalf("cache grew to %d, cap %d", c.Len(), c.Limit())
 		}
 	}
 	if c.UsedBytes() <= 0 {
 		t.Fatal("UsedBytes not positive")
+	}
+}
+
+func TestCacheGlobalLimitExactMultiShard(t *testing.T) {
+	// The regression: per-shard limits used to round up (ceil(limit/ns)),
+	// so a multi-shard cache could settle at up to ns-1 items above its
+	// configured limit. Fill well past the limit and require Len() to
+	// land at most at Limit() — and, with this many distinct keys, at
+	// exactly Limit().
+	c := NewCache(100, 2, 16)
+	r := tensor.NewRNG(7)
+	for batch := 0; batch < 20; batch++ {
+		n := 50
+		keys := make([]uint64, n)
+		for i := range keys {
+			keys[i] = uint64(batch*n + i + 1)
+		}
+		c.Store(keys, tensor.Rand(r, n, 2))
+	}
+	if c.Len() > c.Limit() {
+		t.Fatalf("Len %d exceeds Limit %d", c.Len(), c.Limit())
+	}
+	if c.Len() != c.Limit() {
+		t.Fatalf("overfilled cache settled at %d, want exactly %d", c.Len(), c.Limit())
+	}
+}
+
+func TestCacheLimitSmallerThanShards(t *testing.T) {
+	// A limit below the shard count shrinks the shard count so every
+	// shard can hold at least one entry; the limit still binds exactly.
+	c := NewCache(3, 1, 16)
+	if len(c.shards) > 3 {
+		t.Fatalf("shards = %d for limit 3", len(c.shards))
+	}
+	for k := uint64(1); k <= 20; k++ {
+		c.Store([]uint64{k}, tensor.FromSlice([]float32{float32(k)}, 1, 1))
+		if c.Len() > c.Limit() {
+			t.Fatalf("Len %d exceeds Limit %d", c.Len(), c.Limit())
+		}
+	}
+	if c.Len() == 0 {
+		t.Fatal("tiny cache stored nothing")
 	}
 }
 

@@ -77,6 +77,26 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// Engine pipeline stages, the keys of Engine.StageStats. They partition
+// Algorithm 1's per-layer work the way a serving deployment needs to
+// observe it: neighbor sampling, deduplication (filter + invert), cache
+// key computation and lookup, time encoding (zero + delta), the
+// attention operator, and the cache store.
+const (
+	StageSample      = "sample"
+	StageDedup       = "dedup"
+	StageCacheLookup = "cache_lookup"
+	StageTimeEncode  = "time_encode"
+	StageAttention   = "attention"
+	StageCacheStore  = "cache_store"
+)
+
+// Stages lists the engine stages in pipeline order.
+var Stages = []string{
+	StageSample, StageDedup, StageCacheLookup,
+	StageTimeEncode, StageAttention, StageCacheStore,
+}
+
 // Engine computes TGAT temporal embeddings with the redundancy-aware
 // optimizations of Algorithm 1. It is a drop-in replacement for the
 // baseline tgat.Model.Embed: same inputs, same outputs within
@@ -91,6 +111,9 @@ type Engine struct {
 	caches []*Cache
 	ttable *TimeTable
 	deps   *DepTracker
+	// stages holds always-on per-stage latency histograms (one atomic
+	// observation per op, so the cost is negligible next to the ops).
+	stages map[string]*stats.Histogram
 }
 
 // NewEngine creates an engine over a trained model and a most-recent
@@ -100,6 +123,10 @@ type Engine struct {
 func NewEngine(m *tgat.Model, s *graph.Sampler, opt Options) *Engine {
 	opt = opt.withDefaults()
 	e := &Engine{model: m, sampler: s, opt: opt}
+	e.stages = make(map[string]*stats.Histogram, len(Stages))
+	for _, st := range Stages {
+		e.stages[st] = stats.NewHistogram()
+	}
 	if s.K() != m.Cfg.NumNeighbors {
 		panic("core: sampler k differs from model NumNeighbors")
 	}
@@ -175,6 +202,12 @@ func (e *Engine) CacheBytes() int64 {
 	return total
 }
 
+// StageStats returns the engine's live per-stage latency histograms,
+// keyed by the Stage* constants. The histograms are updated on every
+// Embed (at every recursion layer) and are safe for concurrent reads;
+// callers must treat the map itself as read-only.
+func (e *Engine) StageStats() map[string]*stats.Histogram { return e.stages }
+
 // TimeTable returns the precomputed encoding table, or nil.
 func (e *Engine) TimeTable() *TimeTable { return e.ttable }
 
@@ -241,15 +274,22 @@ func (e *Engine) Embed(nodes []int32, ts []float64) *tensor.Tensor {
 }
 
 // timeOp measures an operation's host wall time, converts it through
-// the device model when one is configured, and records it under op.
-func (e *Engine) timeOp(op string, kind device.OpKind, launches int) func() {
-	if e.opt.Collector == nil && e.opt.Device == nil {
+// the device model when one is configured, and records it under op. The
+// wall time is also observed into the stage's latency histogram (stage
+// "" skips that), which stays on even without a Collector so a serving
+// deployment always has per-stage visibility.
+func (e *Engine) timeOp(op, stage string, kind device.OpKind, launches int) func() {
+	h := e.stages[stage]
+	if h == nil && e.opt.Collector == nil && e.opt.Device == nil {
 		return func() {}
 	}
 	start := time.Now()
 	return func() {
 		wall := time.Since(start)
-		e.opt.Collector.Add(op, e.opt.Device.OpTime(kind, wall, launches))
+		h.Observe(wall)
+		if e.opt.Collector != nil || e.opt.Device != nil {
+			e.opt.Collector.Add(op, e.opt.Device.OpTime(kind, wall, launches))
+		}
 	}
 }
 
@@ -265,7 +305,7 @@ func (e *Engine) embed(l int, nodes []int32, ts []float64) *tensor.Tensor {
 	cfg := e.model.Cfg
 	d := cfg.NodeDim
 	if l == 0 {
-		stop := e.timeOp(stats.OpFeatLookup, device.HostOp, 0)
+		stop := e.timeOp(stats.OpFeatLookup, "", device.HostOp, 0)
 		h := gatherRows32(e.model.NodeFeat, nodes)
 		stop()
 		e.chargeTransfer(stats.OpFeatLookup, device.HtoD, int64(len(nodes)*d*4), 1)
@@ -276,7 +316,7 @@ func (e *Engine) embed(l int, nodes []int32, ts []float64) *tensor.Tensor {
 	// paper: layer 0 is a pure gather, so deduplicating it buys nothing.
 	var inv []int32
 	if e.opt.EnableDedup {
-		stop := e.timeOp(stats.OpDedupFilter, device.HostOp, 0)
+		stop := e.timeOp(stats.OpDedupFilter, StageDedup, device.HostOp, 0)
 		res := DedupFilter(nodes, ts)
 		stop()
 		nodes, ts, inv = res.Nodes, res.Times, res.InvIdx
@@ -291,10 +331,10 @@ func (e *Engine) embed(l int, nodes []int32, ts []float64) *tensor.Tensor {
 	var hitMask []bool
 	nhits := 0
 	if cache != nil {
-		stop := e.timeOp(stats.OpComputeKeys, device.HostOp, 0)
+		stop := e.timeOp(stats.OpComputeKeys, StageCacheLookup, device.HostOp, 0)
 		keys = ComputeKeys(nodes, ts)
 		stop()
-		stop = e.timeOp(stats.OpCacheLookup, device.HostOp, 0)
+		stop = e.timeOp(stats.OpCacheLookup, StageCacheLookup, device.HostOp, 0)
 		hitMask, nhits = cache.Lookup(keys, h)
 		stop()
 		if e.opt.CacheOnDevice {
@@ -339,7 +379,7 @@ func (e *Engine) embed(l int, nodes []int32, ts []float64) *tensor.Tensor {
 		nm := len(missNodes)
 		k := cfg.NumNeighbors
 
-		stop := e.timeOp(stats.OpNghLookup, device.HostOp, 0)
+		stop := e.timeOp(stats.OpNghLookup, StageSample, device.HostOp, 0)
 		b := e.sampler.Sample(missNodes, missTs)
 		stop()
 
@@ -357,12 +397,12 @@ func (e *Engine) embed(l int, nodes []int32, ts []float64) *tensor.Tensor {
 		tEnc0 := e.encodeZeros(nm)
 		tEncD := e.encodeDeltas(missTs, b, nm, k)
 
-		stop = e.timeOp(stats.OpFeatLookup, device.HostOp, 0)
+		stop = e.timeOp(stats.OpFeatLookup, "", device.HostOp, 0)
 		eFeat := gatherRows32(e.model.EdgeFeat, b.EIdxs)
 		stop()
 		e.chargeTransfer(stats.OpFeatLookup, device.HtoD, int64(nm*k*cfg.EdgeDim*4), 1)
 
-		stop = e.timeOp(stats.OpAttention, device.TensorOp, 8)
+		stop = e.timeOp(stats.OpAttention, StageAttention, device.TensorOp, 8)
 		hm := e.model.LayerForward(l, hTgt, hNgh, eFeat, tEnc0, tEncD, b.Valid)
 		stop()
 
@@ -375,7 +415,7 @@ func (e *Engine) embed(l int, nodes []int32, ts []float64) *tensor.Tensor {
 					e.deps.Record(missKeys[i], depNodes, b.EIdxs[i*k:(i+1)*k])
 				}
 			}
-			stop = e.timeOp(stats.OpCacheStore, device.HostOp, 0)
+			stop = e.timeOp(stats.OpCacheStore, StageCacheStore, device.HostOp, 0)
 			cache.Store(missKeys, hm)
 			stop()
 			if e.opt.CacheOnDevice {
@@ -399,7 +439,7 @@ func (e *Engine) embed(l int, nodes []int32, ts []float64) *tensor.Tensor {
 
 	// §4.1 — restore the original batch shape (line 20).
 	if inv != nil {
-		stop := e.timeOp(stats.OpDedupInvert, device.HostOp, 0)
+		stop := e.timeOp(stats.OpDedupInvert, StageDedup, device.HostOp, 0)
 		h = DedupInvert(h, inv)
 		stop()
 	}
@@ -413,7 +453,7 @@ func (e *Engine) encodeZeros(n int) *tensor.Tensor {
 	d := e.model.Cfg.TimeDim
 	out := tensor.New(n, d)
 	if e.ttable != nil {
-		stop := e.timeOp(stats.OpTimeEncZero, device.HostOp, 0)
+		stop := e.timeOp(stats.OpTimeEncZero, StageTimeEncode, device.HostOp, 0)
 		e.ttable.EncodeZerosInto(n, out)
 		stop()
 		// Device run: the Φ(0) row is already resident; replicating it is
@@ -421,7 +461,7 @@ func (e *Engine) encodeZeros(n int) *tensor.Tensor {
 		e.chargeTransfer(stats.OpTimeEncZero, device.DtoD, int64(n*d*4), 1)
 		return out
 	}
-	stop := e.timeOp(stats.OpTimeEncZero, device.TensorOp, 2)
+	stop := e.timeOp(stats.OpTimeEncZero, StageTimeEncode, device.TensorOp, 2)
 	e.model.Time.EncodeInto(make([]float64, n), out)
 	stop()
 	// Baseline on device: materialize the zero-delta tensor host-side
@@ -442,7 +482,7 @@ func (e *Engine) encodeDeltas(ts []float64, b *graph.Batch, n, k int) *tensor.Te
 	}
 	out := tensor.New(n*k, d)
 	if e.ttable != nil {
-		stop := e.timeOp(stats.OpTimeEncDelta, device.HostOp, 0)
+		stop := e.timeOp(stats.OpTimeEncDelta, StageTimeEncode, device.HostOp, 0)
 		hits := e.ttable.EncodeInto(deltas, out)
 		stop()
 		e.opt.Collector.Count("ttable_hits", int64(hits))
@@ -453,7 +493,7 @@ func (e *Engine) encodeDeltas(ts []float64, b *graph.Batch, n, k int) *tensor.Te
 		e.chargeTransfer(stats.OpTimeEncDelta, device.HtoD, int64(n*k*d*4), 1)
 		return out
 	}
-	stop := e.timeOp(stats.OpTimeEncDelta, device.TensorOp, 2)
+	stop := e.timeOp(stats.OpTimeEncDelta, StageTimeEncode, device.TensorOp, 2)
 	e.model.Time.EncodeInto(deltas, out)
 	stop()
 	e.chargeTransfer(stats.OpTimeEncDelta, device.HtoD, int64(n*k*8), 1)

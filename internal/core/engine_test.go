@@ -280,6 +280,44 @@ func TestEngineSingleLayerModelCachesItsLayer(t *testing.T) {
 	}
 }
 
+func TestEngineStageStats(t *testing.T) {
+	ds, m, s := engineTestSetup(t, 400)
+	eng := NewEngine(m, s, OptAll())
+	tgat.StreamInference(ds.Graph, m, 100, eng.EmbedFunc())
+	hs := eng.StageStats()
+	if len(hs) != len(Stages) {
+		t.Fatalf("StageStats has %d stages, want %d", len(hs), len(Stages))
+	}
+	// Every stage of a fully-optimized run must have been exercised.
+	for _, st := range Stages {
+		h := hs[st]
+		if h == nil {
+			t.Fatalf("stage %q missing", st)
+		}
+		if h.Count() == 0 {
+			t.Fatalf("stage %q recorded no observations", st)
+		}
+		if h.Sum() < 0 || h.Quantile(0.99) < h.Quantile(0.5) {
+			t.Fatalf("stage %q histogram inconsistent", st)
+		}
+	}
+	// A baseline engine (no dedup/cache) still times sampling, time
+	// encoding, and attention, but never the cache stages.
+	base := NewEngine(m, s, Options{})
+	tgat.StreamInference(ds.Graph, m, 100, base.EmbedFunc())
+	bs := base.StageStats()
+	for _, st := range []string{StageSample, StageTimeEncode, StageAttention} {
+		if bs[st].Count() == 0 {
+			t.Fatalf("baseline stage %q recorded nothing", st)
+		}
+	}
+	for _, st := range []string{StageDedup, StageCacheLookup, StageCacheStore} {
+		if bs[st].Count() != 0 {
+			t.Fatalf("baseline stage %q unexpectedly recorded %d", st, bs[st].Count())
+		}
+	}
+}
+
 func TestEngineDeviceSimAccountsTransfers(t *testing.T) {
 	ds, m, s := engineTestSetup(t, 400)
 	col := stats.NewCollector()

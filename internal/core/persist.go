@@ -116,25 +116,6 @@ func (c *Cache) ReadFrom(r io.Reader) (int64, error) {
 	return n, nil
 }
 
-// storeOne inserts a single entry under the normal limit/eviction
-// rules, copying vec.
-func (c *Cache) storeOne(key uint64, vec []float32) {
-	s := c.shardFor(key)
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if old, ok := s.m[key]; ok {
-		copy(old, vec)
-		return
-	}
-	if len(s.m) >= c.perShardLimit {
-		s.evictOldestLocked()
-	}
-	v := make([]float32, len(vec))
-	copy(v, vec)
-	s.m[key] = v
-	s.fifo = append(s.fifo, key)
-}
-
 // SaveCaches persists the engine's per-layer caches to path.
 func (e *Engine) SaveCaches(path string) error {
 	if e.caches == nil {

@@ -6,15 +6,27 @@
 // C++ extension. The primitives are deliberately simple: structured
 // fork-join parallel-for helpers that spawn a bounded number of
 // goroutines, and a Pool for long-lived background tasks. The fork-join
-// helpers run the final chunk on the calling goroutine, so nesting them
+// helpers also run chunks on the calling goroutine, so nesting them
 // never deadlocks; it merely oversubscribes slightly, which the Go
 // scheduler absorbs. All helpers fall back to a serial loop when the
 // configured parallelism is 1 or the trip count is too small to amortize
 // goroutine startup.
+//
+// # Panic propagation
+//
+// A panic inside a parallel body or pool task never wedges the caller:
+// worker goroutines recover, the remaining workers drain, and the first
+// recovered panic is re-raised on the calling goroutine — as a
+// *WorkerPanic carrying the original value and worker stack — once every
+// sibling has finished (ForChunked/Do) or when Wait/Close is called
+// (Pool). Serial fallback paths run the body on the calling goroutine,
+// so their panics propagate natively, unwrapped.
 package parallel
 
 import (
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
@@ -41,6 +53,42 @@ func SetDegree(n int) int {
 	return int(defaultDegree.Swap(int64(n)))
 }
 
+// WorkerPanic wraps a panic recovered from a parallel worker goroutine.
+// It is re-raised on the goroutine that called ForChunked/Do (or
+// Pool.Wait/Close), where the worker's own stack is already gone; Stack
+// preserves it for debugging.
+type WorkerPanic struct {
+	Value any    // the value passed to panic on the worker
+	Stack []byte // the worker's stack at the point of the panic
+}
+
+func (p *WorkerPanic) Error() string {
+	return fmt.Sprintf("parallel: worker panic: %v", p.Value)
+}
+
+// capture runs fn, recording a recovered panic into first (keeping only
+// the earliest). An already-wrapped *WorkerPanic (from a nested parallel
+// region re-raising) is forwarded without double-wrapping.
+func capture(first *atomic.Pointer[WorkerPanic], fn func()) {
+	defer func() {
+		if r := recover(); r != nil {
+			wp, ok := r.(*WorkerPanic)
+			if !ok {
+				wp = &WorkerPanic{Value: r, Stack: debug.Stack()}
+			}
+			first.CompareAndSwap(nil, wp)
+		}
+	}()
+	fn()
+}
+
+// rethrow re-raises the first captured panic, if any.
+func rethrow(first *atomic.Pointer[WorkerPanic]) {
+	if wp := first.Load(); wp != nil {
+		panic(wp)
+	}
+}
+
 // For executes body(i) for every i in [0, n), potentially in parallel.
 // body must be safe to call concurrently for distinct i. For returns
 // after every iteration has completed.
@@ -55,8 +103,15 @@ func For(n int, body func(i int)) {
 // ForChunked splits [0, n) into contiguous chunks and executes
 // body(lo, hi) for each chunk, potentially in parallel. chunk <= 0 picks
 // a chunk size yielding roughly 2 chunks per worker. The serial fallback
-// is a single body(0, n) call. The last chunk runs on the calling
-// goroutine, making nested use safe.
+// is a single body(0, n) call.
+//
+// At most Degree() workers run concurrently regardless of the chunk
+// count: workers (the calling goroutine plus up to Degree()-1 spawned
+// ones) pull chunks from a shared counter, so a tiny caller-provided
+// chunk cannot cause unbounded goroutine growth. Because the calling
+// goroutine is itself a worker, nested use is safe. If a body panics,
+// the remaining chunks are abandoned, every in-flight sibling finishes,
+// and the first panic is re-raised as a *WorkerPanic.
 func ForChunked(n, chunk int, body func(lo, hi int)) {
 	if n <= 0 {
 		return
@@ -76,23 +131,45 @@ func ForChunked(n, chunk int, body func(lo, hi int)) {
 		body(0, n)
 		return
 	}
+	nchunks := (n + chunk - 1) / chunk
+	workers := degree - 1 // the calling goroutine is the final worker
+	if workers > nchunks-1 {
+		workers = nchunks - 1
+	}
+	var next atomic.Int64
+	var first atomic.Pointer[WorkerPanic]
+	run := func() {
+		for first.Load() == nil {
+			c := int(next.Add(1)) - 1
+			if c >= nchunks {
+				return
+			}
+			lo := c * chunk
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			body(lo, hi)
+		}
+	}
 	var wg sync.WaitGroup
-	lo := 0
-	for ; lo+chunk < n; lo += chunk {
-		lo := lo
+	for i := 0; i < workers; i++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			body(lo, lo+chunk)
+			capture(&first, run)
 		}()
 	}
-	body(lo, n) // final chunk inline
+	capture(&first, run)
 	wg.Wait()
+	rethrow(&first)
 }
 
 // Do runs the given functions, potentially concurrently, and returns when
 // all have finished. It is a structured fork-join for heterogeneous
-// tasks; the last function runs on the calling goroutine.
+// tasks; the last function runs on the calling goroutine. If any
+// function panics, the rest still run to completion and the first panic
+// is re-raised as a *WorkerPanic after all have finished.
 func Do(fns ...func()) {
 	switch len(fns) {
 	case 0:
@@ -108,16 +185,18 @@ func Do(fns ...func()) {
 		return
 	}
 	var wg sync.WaitGroup
+	var first atomic.Pointer[WorkerPanic]
 	for _, fn := range fns[:len(fns)-1] {
 		fn := fn
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			fn()
+			capture(&first, fn)
 		}()
 	}
-	fns[len(fns)-1]()
+	capture(&first, fns[len(fns)-1])
 	wg.Wait()
+	rethrow(&first)
 }
 
 // Pool is a fixed-size set of workers executing closures from a queue.
@@ -130,6 +209,7 @@ type Pool struct {
 	tasks   chan func()
 	wg      sync.WaitGroup
 	closed  atomic.Bool
+	first   atomic.Pointer[WorkerPanic]
 }
 
 // NewPool creates a pool with n workers. If n <= 0 it uses GOMAXPROCS.
@@ -149,9 +229,16 @@ func NewPool(n int) *Pool {
 
 func (p *Pool) worker() {
 	for task := range p.tasks {
-		task()
-		p.wg.Done()
+		p.runTask(task)
 	}
+}
+
+// runTask executes one task, releasing the WaitGroup slot even when the
+// task panics — a panicking task must never wedge Wait — and records the
+// first panic for Wait/Close to re-raise.
+func (p *Pool) runTask(task func()) {
+	defer p.wg.Done()
+	capture(&p.first, task)
 }
 
 // Workers reports the number of workers in the pool.
@@ -166,14 +253,26 @@ func (p *Pool) Submit(task func()) {
 	p.tasks <- task
 }
 
-// Wait blocks until all submitted tasks have completed.
-func (p *Pool) Wait() { p.wg.Wait() }
+// Wait blocks until all submitted tasks have completed. If any task
+// panicked since the last Wait, the first recorded panic is re-raised
+// here as a *WorkerPanic; the record is cleared, so the pool stays
+// usable after the caller recovers.
+func (p *Pool) Wait() {
+	p.wg.Wait()
+	if wp := p.first.Swap(nil); wp != nil {
+		panic(wp)
+	}
+}
 
 // Close shuts the pool down after draining in-flight tasks. Submitting
-// after Close panics. Close is idempotent.
+// after Close panics. Close is idempotent. Like Wait, Close re-raises
+// the first unconsumed task panic after the drain completes.
 func (p *Pool) Close() {
 	if p.closed.CompareAndSwap(false, true) {
 		p.wg.Wait()
 		close(p.tasks)
+	}
+	if wp := p.first.Swap(nil); wp != nil {
+		panic(wp)
 	}
 }

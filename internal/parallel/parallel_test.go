@@ -1,6 +1,7 @@
 package parallel
 
 import (
+	"runtime"
 	"sync/atomic"
 	"testing"
 	"testing/quick"
@@ -147,6 +148,163 @@ func TestPoolDefaultSize(t *testing.T) {
 	defer p.Close()
 	if p.Workers() < 1 {
 		t.Fatalf("Workers() = %d, want >= 1", p.Workers())
+	}
+}
+
+func TestPoolPanicDoesNotWedgeWait(t *testing.T) {
+	p := NewPool(2)
+	var ran atomic.Int32
+	p.Submit(func() { panic("task boom") })
+	for i := 0; i < 10; i++ {
+		p.Submit(func() { ran.Add(1) })
+	}
+	// The regression: before panic recovery, a panicking task killed its
+	// worker without calling Done, so Wait blocked forever. Now Wait must
+	// return (by re-raising the first panic as a *WorkerPanic).
+	recovered := func() (r any) {
+		defer func() { r = recover() }()
+		p.Wait()
+		return nil
+	}()
+	wp, ok := recovered.(*WorkerPanic)
+	if !ok {
+		t.Fatalf("Wait recovered %T %v, want *WorkerPanic", recovered, recovered)
+	}
+	if wp.Value != "task boom" {
+		t.Fatalf("WorkerPanic.Value = %v", wp.Value)
+	}
+	if len(wp.Stack) == 0 {
+		t.Fatal("WorkerPanic.Stack empty")
+	}
+	if ran.Load() != 10 {
+		t.Fatalf("non-panicking tasks ran %d times, want 10", ran.Load())
+	}
+	// The panic record was consumed: the pool remains usable.
+	p.Submit(func() { ran.Add(1) })
+	p.Wait()
+	if ran.Load() != 11 {
+		t.Fatal("pool unusable after recovered panic")
+	}
+	p.Close()
+}
+
+func TestPoolPanicSurfacesAtClose(t *testing.T) {
+	p := NewPool(1)
+	p.Submit(func() { panic("late boom") })
+	defer func() {
+		if _, ok := recover().(*WorkerPanic); !ok {
+			t.Fatal("Close did not re-raise the unconsumed task panic")
+		}
+	}()
+	p.Close()
+}
+
+func TestForChunkedPanicPropagates(t *testing.T) {
+	prev := SetDegree(4)
+	defer SetDegree(prev)
+	recovered := func() (r any) {
+		defer func() { r = recover() }()
+		ForChunked(MinParallelWork*4, 7, func(lo, hi int) {
+			if lo >= MinParallelWork {
+				panic(lo)
+			}
+		})
+		return nil
+	}()
+	wp, ok := recovered.(*WorkerPanic)
+	if !ok {
+		t.Fatalf("recovered %T %v, want *WorkerPanic", recovered, recovered)
+	}
+	if _, ok := wp.Value.(int); !ok {
+		t.Fatalf("WorkerPanic.Value = %v, want the body's int", wp.Value)
+	}
+}
+
+func TestDoPanicPropagates(t *testing.T) {
+	prev := SetDegree(4)
+	defer SetDegree(prev)
+	var ran atomic.Int32
+	recovered := func() (r any) {
+		defer func() { r = recover() }()
+		Do(
+			func() { ran.Add(1) },
+			func() { panic("do boom") },
+			func() { ran.Add(1) },
+			func() { ran.Add(1) },
+		)
+		return nil
+	}()
+	wp, ok := recovered.(*WorkerPanic)
+	if !ok {
+		t.Fatalf("recovered %T, want *WorkerPanic", recovered)
+	}
+	if wp.Value != "do boom" {
+		t.Fatalf("WorkerPanic.Value = %v", wp.Value)
+	}
+	if ran.Load() != 3 {
+		t.Fatalf("sibling functions ran %d times, want 3", ran.Load())
+	}
+}
+
+func TestNestedPanicNotDoubleWrapped(t *testing.T) {
+	prev := SetDegree(4)
+	defer SetDegree(prev)
+	recovered := func() (r any) {
+		defer func() { r = recover() }()
+		Do(
+			func() {
+				ForChunked(MinParallelWork*2, 3, func(lo, hi int) { panic("inner") })
+			},
+			func() {},
+		)
+		return nil
+	}()
+	wp, ok := recovered.(*WorkerPanic)
+	if !ok {
+		t.Fatalf("recovered %T, want *WorkerPanic", recovered)
+	}
+	if wp.Value != "inner" {
+		t.Fatalf("WorkerPanic.Value = %v, want unwrapped \"inner\"", wp.Value)
+	}
+}
+
+func TestSerialPanicUnwrapped(t *testing.T) {
+	prev := SetDegree(1)
+	defer SetDegree(prev)
+	defer func() {
+		if r := recover(); r != "serial boom" {
+			t.Fatalf("serial path recovered %v, want the raw value", r)
+		}
+	}()
+	ForChunked(MinParallelWork*2, 0, func(lo, hi int) { panic("serial boom") })
+}
+
+func TestForChunkedBoundedWorkers(t *testing.T) {
+	// The regression: chunk=1 with a large n used to spawn one goroutine
+	// per chunk (~n goroutines). Workers must now be capped by Degree.
+	const degree = 4
+	prev := SetDegree(degree)
+	defer SetDegree(prev)
+	before := runtime.NumGoroutine()
+	var inFlight, maxInFlight atomic.Int32
+	ForChunked(100000, 1, func(lo, hi int) {
+		cur := inFlight.Add(1)
+		for {
+			m := maxInFlight.Load()
+			if cur <= m || maxInFlight.CompareAndSwap(m, cur) {
+				break
+			}
+		}
+		inFlight.Add(-1)
+	})
+	if got := maxInFlight.Load(); got > degree {
+		t.Fatalf("observed %d concurrent bodies, degree %d", got, degree)
+	}
+	// Goroutine count during the loop is harder to observe exactly, but
+	// afterwards nothing may linger.
+	after := runtime.NumGoroutine()
+	if after > before+degree {
+		t.Fatalf("goroutines grew from %d to %d", before, after)
 	}
 }
 

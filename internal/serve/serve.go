@@ -15,14 +15,24 @@
 // Because the engine's memoization is sound under chronological appends
 // (§3.2 of the paper), embeddings served before an ingest remain valid
 // after it; the server never needs to invalidate the cache.
+//
+// Every endpoint is wrapped in the serving middleware (middleware.go):
+// a semaphore-based in-flight limit (429 at saturation), a per-request
+// deadline (504 on expiry), and panic-to-500 recovery, with the
+// resulting counters and the engine's per-stage latency histograms
+// exposed on /v1/stats and /metrics.
 package serve
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"math"
 	"net/http"
+	"strings"
 	"sync/atomic"
+	"time"
 
 	"tgopt/internal/core"
 	"tgopt/internal/graph"
@@ -37,6 +47,16 @@ type Server struct {
 	model   *tgat.Model
 	engine  *core.Engine
 	hitRate *stats.HitRate
+
+	// Request bounds (SetLimits) and the middleware's counters: the
+	// admission semaphore, the live in-flight gauge, and totals for
+	// 429-rejected, 504-timed-out, and panic-500 requests.
+	limits   Limits
+	sem      chan struct{}
+	inflight atomic.Int64
+	rejected atomic.Int64
+	timeouts atomic.Int64
+	panics   atomic.Int64
 
 	requests atomic.Int64
 	ingested atomic.Int64
@@ -61,7 +81,8 @@ func New(model *tgat.Model, dyn *graph.Dynamic, opt core.Options) *Server {
 // introspection).
 func (s *Server) Engine() *core.Engine { return s.engine }
 
-// Handler returns the HTTP handler for the API.
+// Handler returns the HTTP handler for the API, wrapped in the serving
+// middleware (admission control, deadlines, panic recovery — see wrap).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/ingest", s.handleIngest)
@@ -70,7 +91,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/stats", s.handleStats)
 	mux.HandleFunc("/v1/explain", s.handleExplain)
 	mux.HandleFunc("/metrics", s.handleMetrics)
-	return mux
+	return s.wrap(mux)
 }
 
 type explainRequest struct {
@@ -116,13 +137,15 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 // handleMetrics exposes the serving counters in the Prometheus text
 // exposition format, so standard scrapers can monitor a deployment.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
 	if r.Method != http.MethodGet {
 		httpError(w, http.StatusMethodNotAllowed, "GET only")
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	var b strings.Builder
 	write := func(name, help string, value float64) {
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, value)
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, value)
 	}
 	write("tgopt_graph_nodes", "Nodes in the serving graph.", float64(s.dyn.NumNodes()))
 	write("tgopt_graph_edges", "Interactions ingested.", float64(s.dyn.NumEdges()))
@@ -131,6 +154,26 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	write("tgopt_cache_hit_rate", "Average embedding cache hit rate.", s.hitRate.Average())
 	write("tgopt_requests_total", "API requests handled.", float64(s.requests.Load()))
 	write("tgopt_ingested_total", "Edges accepted via /v1/ingest.", float64(s.ingested.Load()))
+	write("tgopt_inflight_requests", "Requests currently executing.", float64(s.inflight.Load()))
+	write("tgopt_rejected_total", "Requests rejected with 429 at the in-flight limit.", float64(s.rejected.Load()))
+	write("tgopt_timeouts_total", "Requests that exceeded the deadline (504).", float64(s.timeouts.Load()))
+	write("tgopt_panics_total", "Handler panics recovered to 500.", float64(s.panics.Load()))
+	fmt.Fprintf(&b, "# HELP tgopt_stage_latency_seconds Engine per-stage latency quantiles.\n")
+	fmt.Fprintf(&b, "# TYPE tgopt_stage_latency_seconds summary\n")
+	hists := s.engine.StageStats()
+	for _, st := range core.Stages {
+		h := hists[st]
+		for _, q := range []struct {
+			label string
+			q     float64
+		}{{"0.5", 0.5}, {"0.9", 0.9}, {"0.99", 0.99}} {
+			fmt.Fprintf(&b, "tgopt_stage_latency_seconds{stage=%q,quantile=%q} %g\n",
+				st, q.label, h.Quantile(q.q).Seconds())
+		}
+		fmt.Fprintf(&b, "tgopt_stage_latency_seconds_sum{stage=%q} %g\n", st, h.Sum().Seconds())
+		fmt.Fprintf(&b, "tgopt_stage_latency_seconds_count{stage=%q} %d\n", st, h.Count())
+	}
+	io.WriteString(w, b.String())
 }
 
 // edgeJSON is the wire form of one interaction.
@@ -157,9 +200,15 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	if !decode(w, r, &req) {
 		return
 	}
+	// Partial-ingest semantics: edges append in request order, and the
+	// prefix before the first rejected edge stays in the graph (appends
+	// are not transactional). The error response reports the accepted
+	// count, and tgopt_ingested_total counts exactly the edges that are
+	// actually in the graph — including that accepted prefix.
 	accepted := 0
 	for _, e := range req.Edges {
 		if _, err := s.dyn.Append(graph.Edge{Src: e.Src, Dst: e.Dst, Time: e.Time, Idx: e.Idx}); err != nil {
+			s.ingested.Add(int64(accepted))
 			httpError(w, http.StatusBadRequest,
 				"edge %d rejected after %d accepted: %v", accepted, accepted, err)
 			return
@@ -250,20 +299,46 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 }
 
 type statsResponse struct {
-	NumNodes   int     `json:"num_nodes"`
-	NumEdges   int     `json:"num_edges"`
-	MaxTime    float64 `json:"max_time"`
-	CacheItems int     `json:"cache_items"`
-	CacheBytes int64   `json:"cache_bytes"`
-	HitRate    float64 `json:"hit_rate"`
-	Requests   int64   `json:"requests"`
-	Ingested   int64   `json:"ingested"`
+	NumNodes   int                   `json:"num_nodes"`
+	NumEdges   int                   `json:"num_edges"`
+	MaxTime    float64               `json:"max_time"`
+	CacheItems int                   `json:"cache_items"`
+	CacheBytes int64                 `json:"cache_bytes"`
+	HitRate    float64               `json:"hit_rate"`
+	Requests   int64                 `json:"requests"`
+	Ingested   int64                 `json:"ingested"`
+	InFlight   int64                 `json:"in_flight"`
+	Rejected   int64                 `json:"rejected"`
+	Timeouts   int64                 `json:"timeouts"`
+	Panics     int64                 `json:"panics"`
+	Stages     map[string]stageStats `json:"stages"`
+}
+
+// stageStats is the JSON rendering of one engine stage's latency
+// histogram (quantiles are upper bounds, see stats.Histogram.Quantile).
+type stageStats struct {
+	Count   int64   `json:"count"`
+	TotalMs float64 `json:"total_ms"`
+	P50us   float64 `json:"p50_us"`
+	P90us   float64 `json:"p90_us"`
+	P99us   float64 `json:"p99_us"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
 	if r.Method != http.MethodGet {
 		httpError(w, http.StatusMethodNotAllowed, "GET only")
 		return
+	}
+	stages := make(map[string]stageStats, len(core.Stages))
+	for st, h := range s.engine.StageStats() {
+		stages[st] = stageStats{
+			Count:   h.Count(),
+			TotalMs: float64(h.Sum()) / float64(time.Millisecond),
+			P50us:   float64(h.Quantile(0.5)) / float64(time.Microsecond),
+			P90us:   float64(h.Quantile(0.9)) / float64(time.Microsecond),
+			P99us:   float64(h.Quantile(0.99)) / float64(time.Microsecond),
+		}
 	}
 	writeJSON(w, statsResponse{
 		NumNodes:   s.dyn.NumNodes(),
@@ -274,6 +349,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		HitRate:    s.hitRate.Average(),
 		Requests:   s.requests.Load(),
 		Ingested:   s.ingested.Load(),
+		InFlight:   s.inflight.Load(),
+		Rejected:   s.rejected.Load(),
+		Timeouts:   s.timeouts.Load(),
+		Panics:     s.panics.Load(),
+		Stages:     stages,
 	})
 }
 
@@ -304,12 +384,17 @@ func decode(w http.ResponseWriter, r *http.Request, dst any) bool {
 	return true
 }
 
+// writeJSON encodes v to a buffer first, so an encoding failure can
+// still produce a clean 500 — encoding straight into the ResponseWriter
+// would have already committed a 200 header and a partial body.
 func writeJSON(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(v); err != nil {
-		// Headers are out; nothing more to do than note it.
-		http.Error(w, "encode error", http.StatusInternalServerError)
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(v); err != nil {
+		httpError(w, http.StatusInternalServerError, "encode error: %v", err)
+		return
 	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(buf.Bytes())
 }
 
 func httpError(w http.ResponseWriter, code int, format string, args ...any) {

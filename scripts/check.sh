@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Tier-1 verification plus race checks for the concurrency-sensitive
+# packages (the parallel runtime, the serving middleware, and the
+# sharded cache). Run on every PR.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== go vet"
+go vet ./...
+
+echo "== go build"
+go build ./...
+
+echo "== go test"
+go test ./...
+
+echo "== go test -race (concurrency-sensitive packages)"
+go test -race ./internal/parallel/... ./internal/serve/... ./internal/core/... ./internal/stats/...
+
+echo "OK"
