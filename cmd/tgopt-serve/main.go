@@ -44,6 +44,7 @@ func main() {
 	modelPath := flag.String("model", "", "load trained parameters from this checkpoint")
 	cacheLimit := flag.Int("cache-limit", 0, "cache item limit (0 = 2M scaled)")
 	cacheFile := flag.String("cache-file", "", "warm-start file: load memoized embeddings at boot, save on SIGINT/SIGTERM")
+	snapInterval := flag.Duration("snapshot-interval", 0, "background cache snapshot cadence to -cache-file (0 disables; snapshots are atomic, a crash never corrupts the file)")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request deadline (0 disables; exceeded requests get 504)")
 	maxInflight := flag.Int("max-inflight", 256, "max concurrently-executing requests (0 = unlimited; excess gets 429)")
 	grace := flag.Duration("grace", 10*time.Second, "shutdown grace period for draining in-flight requests")
@@ -77,17 +78,15 @@ func main() {
 	srv := serve.New(wl.Model, dyn, opt)
 	srv.SetLimits(serve.Limits{Timeout: *timeout, MaxInFlight: *maxInflight})
 
+	// A missing or corrupt warm cache must never stop the service from
+	// booting: WarmStart logs the cold start and continues.
 	if *cacheFile != "" {
-		if err := srv.Engine().LoadCaches(*cacheFile); err != nil {
-			if os.IsNotExist(err) {
-				log.Printf("no warm cache at %s; starting cold", *cacheFile)
-			} else {
-				fatal(err)
-			}
-		} else {
-			log.Printf("warm-started %d memoized embeddings from %s",
-				srv.Engine().CacheLen(), *cacheFile)
-		}
+		srv.WarmStart(*cacheFile, log.Printf)
+	}
+	stopSnapshots := func() {}
+	if *cacheFile != "" && *snapInterval > 0 {
+		stopSnapshots = srv.StartSnapshots(*cacheFile, *snapInterval, log.Printf)
+		log.Printf("snapshotting cache to %s every %s", *cacheFile, *snapInterval)
 	}
 
 	httpSrv := &http.Server{
@@ -123,6 +122,7 @@ func main() {
 	}
 	<-drained
 
+	stopSnapshots() // quiesce the snapshotter before the final save
 	if *cacheFile != "" {
 		if err := srv.Engine().SaveCaches(*cacheFile); err != nil {
 			log.Printf("cache save failed: %v", err)

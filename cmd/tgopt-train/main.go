@@ -3,6 +3,15 @@
 // and saves the parameters for tgopt-infer --model.
 //
 //	tgopt-train -d snap-msg --epochs 3 -o saved_models/snap-msg.bin
+//
+// With -checkpoint the run writes an atomic, checksummed training
+// checkpoint (parameters, optimizer state, RNG streams, cursors) every
+// -checkpoint-every batches and at epoch boundaries; after a crash,
+// -resume continues from the last checkpoint with exactly the loss
+// trajectory an uninterrupted run would have produced.
+//
+//	tgopt-train -d snap-msg -checkpoint train.ckpt -checkpoint-every 50
+//	tgopt-train -d snap-msg -checkpoint train.ckpt -resume
 package main
 
 import (
@@ -29,6 +38,10 @@ func main() {
 	dedup := flag.Bool("dedup", false, "apply TGOpt deduplication inside the training forward (§7)")
 	out := flag.String("o", "", "checkpoint output path (default saved_models/<dataset>.bin)")
 	seed := flag.Uint64("seed", 1, "deterministic seed")
+	ckpt := flag.String("checkpoint", "", "training checkpoint path (enables crash-safe checkpointing)")
+	ckptEvery := flag.Int("checkpoint-every", 0, "also checkpoint every N batches (0 = epoch boundaries only)")
+	resume := flag.Bool("resume", false, "resume from -checkpoint if it exists")
+	maxBatches := flag.Int("max-batches", 0, "stop cleanly after N batches, checkpointing the position (0 = run to completion)")
 	flag.Parse()
 
 	setup := experiments.Setup{
@@ -45,11 +58,19 @@ func main() {
 	cfg := trainer.Config{
 		Epochs: *epochs, BatchSize: *batch, LR: *lr, TrainFrac: *frac, Seed: *seed,
 		Dropout: *dropout, Dedup: *dedup,
+		CheckpointPath: *ckpt, CheckpointEvery: *ckptEvery, Resume: *resume, MaxBatches: *maxBatches,
 		Logf: func(format string, args ...any) { fmt.Printf(format+"\n", args...) },
 	}
 	res, err := trainer.Train(wl.Model, wl.DS.Graph, wl.Sampler, cfg)
 	if err != nil {
 		fatal(err)
+	}
+	if res.NonFinite > 0 {
+		fmt.Printf("skipped %d non-finite batches (%d rollbacks)\n", res.NonFinite, res.Rollbacks)
+	}
+	if res.Interrupted {
+		fmt.Printf("stopped after -max-batches; resume with -checkpoint %s -resume\n", *ckpt)
+		return
 	}
 	fmt.Printf("final loss %.4f, validation AP %.4f, accuracy %.4f\n",
 		res.EpochLoss[len(res.EpochLoss)-1], res.ValAP, res.ValAcc)

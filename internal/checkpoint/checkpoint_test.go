@@ -1,0 +1,234 @@
+package checkpoint_test
+
+import (
+	"errors"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"tgopt/internal/faultfs"
+
+	. "tgopt/internal/checkpoint"
+)
+
+func payload(b []byte) func(io.Writer) error {
+	return func(w io.Writer) error {
+		_, err := w.Write(b)
+		return err
+	}
+}
+
+func readBack(t *testing.T, path string, wantVersion uint32) []byte {
+	t.Helper()
+	var got []byte
+	err := Read(path, func(version uint32, r io.Reader) error {
+		if version != wantVersion {
+			t.Fatalf("version = %d, want %d", version, wantVersion)
+		}
+		var rerr error
+		got, rerr = io.ReadAll(r)
+		return rerr
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "snap.bin")
+	body := []byte("hello snapshot")
+	if err := Write(path, 7, payload(body)); err != nil {
+		t.Fatal(err)
+	}
+	if got := readBack(t, path, 7); string(got) != string(body) {
+		t.Fatalf("payload = %q, want %q", got, body)
+	}
+	// No tmp file left behind.
+	if _, err := os.Stat(path + ".tmp"); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("tmp file survived the rename: %v", err)
+	}
+}
+
+func TestWriteEmptyPayload(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "empty.bin")
+	if err := Write(path, 1, payload(nil)); err != nil {
+		t.Fatal(err)
+	}
+	if got := readBack(t, path, 1); len(got) != 0 {
+		t.Fatalf("payload = %q, want empty", got)
+	}
+}
+
+func TestReadMissingFileIsErrNotExist(t *testing.T) {
+	err := Read(filepath.Join(t.TempDir(), "nope.bin"), func(uint32, io.Reader) error { return nil })
+	if !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("missing file error = %v, want fs.ErrNotExist", err)
+	}
+}
+
+func TestReadLegacyFileIsErrNotCheckpoint(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "legacy.bin")
+	if err := os.WriteFile(path, []byte{3, 0, 0, 0, 9, 9, 9, 9}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := Read(path, func(uint32, io.Reader) error { return nil })
+	if !errors.Is(err, ErrNotCheckpoint) {
+		t.Fatalf("legacy file error = %v, want ErrNotCheckpoint", err)
+	}
+}
+
+func TestEveryBitFlipIsDetected(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snap.bin")
+	if err := Write(path, 3, payload([]byte("crc covers all of this"))); err != nil {
+		t.Fatal(err)
+	}
+	clean, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for bit := int64(0); bit < int64(len(clean))*8; bit++ {
+		if err := os.WriteFile(path, clean, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := faultfs.FlipBit(path, bit); err != nil {
+			t.Fatal(err)
+		}
+		err := Read(path, func(_ uint32, r io.Reader) error {
+			_, err := io.ReadAll(r)
+			return err
+		})
+		if err == nil {
+			t.Fatalf("bit flip at %d went undetected", bit)
+		}
+		// Flips inside the magic look like a legacy file; everything
+		// else must be ErrCorrupt.
+		if bit >= 32 && !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("bit flip at %d: error %v, want ErrCorrupt", bit, err)
+		}
+	}
+}
+
+func TestEveryTruncationIsDetected(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snap.bin")
+	if err := Write(path, 3, payload([]byte("truncate me anywhere"))); err != nil {
+		t.Fatal(err)
+	}
+	clean, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := int64(0); n < int64(len(clean)); n++ {
+		if err := os.WriteFile(path, clean, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := faultfs.TruncateFile(path, n); err != nil {
+			t.Fatal(err)
+		}
+		err := Read(path, func(_ uint32, r io.Reader) error {
+			_, err := io.ReadAll(r)
+			return err
+		})
+		if err == nil {
+			t.Fatalf("truncation to %d bytes went undetected", n)
+		}
+	}
+}
+
+// TestWriteFaultsLeavePreviousSnapshot is the core atomicity proof:
+// whatever fault the file system injects — a short write at any byte
+// offset, a failed create, fsync, or rename — a failed Write leaves
+// the previous snapshot fully readable.
+func TestWriteFaultsLeavePreviousSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snap.bin")
+	oldBody := []byte("the previous, good snapshot")
+	if err := Write(path, 1, payload(oldBody)); err != nil {
+		t.Fatal(err)
+	}
+	newBody := []byte("the replacement that keeps failing to land")
+	enc, err := Encode(2, payload(newBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := len(enc)
+
+	check := func(when string, err error) {
+		t.Helper()
+		if err == nil {
+			t.Fatalf("%s: fault not reported", when)
+		}
+		if got := readBack(t, path, 1); string(got) != string(oldBody) {
+			t.Fatalf("%s: previous snapshot damaged: %q", when, got)
+		}
+	}
+
+	for limit := 0; limit < total; limit++ {
+		fsys := faultfs.NewFS()
+		fsys.WriteLimit = limit
+		check("short write", WriteFS(fsys, path, 2, payload(newBody)))
+	}
+	for _, tc := range []struct {
+		name string
+		fsys *faultfs.FS
+	}{
+		{"create", &faultfs.FS{WriteLimit: -1, FailCreate: true}},
+		{"sync", &faultfs.FS{WriteLimit: -1, FailSync: true}},
+		{"rename", &faultfs.FS{WriteLimit: -1, FailRename: true}},
+	} {
+		check(tc.name, WriteFS(tc.fsys, path, 2, payload(newBody)))
+	}
+	// A failed encoder never touches the disk at all.
+	check("encoder", WriteFS(faultfs.NewFS(), path, 2, func(io.Writer) error {
+		return errors.New("boom")
+	}))
+
+	// After all those faults, a clean write still succeeds and
+	// replaces the snapshot.
+	if err := WriteFS(faultfs.NewFS(), path, 2, payload(newBody)); err != nil {
+		t.Fatal(err)
+	}
+	if got := readBack(t, path, 2); string(got) != string(newBody) {
+		t.Fatalf("clean rewrite lost: %q", got)
+	}
+}
+
+func TestFailedSyncDirReportsButPublishes(t *testing.T) {
+	// The rename happened before the directory sync, so the new
+	// snapshot is visible; the error only reports weaker durability.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snap.bin")
+	fsys := &faultfs.FS{WriteLimit: -1, FailSyncDir: true}
+	err := WriteFS(fsys, path, 4, payload([]byte("published")))
+	if err == nil {
+		t.Fatal("failed dir sync not reported")
+	}
+	if got := readBack(t, path, 4); string(got) != "published" {
+		t.Fatalf("snapshot not published: %q", got)
+	}
+}
+
+func FuzzDecode(f *testing.F) {
+	good, err := Encode(5, payload([]byte("seed payload")))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good)
+	f.Add(good[:len(good)-3])
+	f.Add([]byte{})
+	f.Add([]byte{0x54, 0x47, 0x43, 0x4B})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Must never panic; a non-nil error must be typed.
+		err := Decode(data, func(_ uint32, r io.Reader) error {
+			_, err := io.ReadAll(r)
+			return err
+		})
+		if err != nil && !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrNotCheckpoint) {
+			t.Fatalf("untyped decode error: %v", err)
+		}
+	})
+}

@@ -2,28 +2,57 @@ package core
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"math"
 	"os"
+
+	"tgopt/internal/checkpoint"
 )
 
 // Cache persistence: a production deployment restarting its serving
 // process would otherwise pay the full warm-up cost again (Figure 7
-// shows hit rates take a while to climb). The format is little-endian:
+// shows hit rates take a while to climb).
 //
-//	magic   uint32 = 0x54474343 ("TGCC")
-//	dim     uint32
-//	count   uint32
-//	entries count × { key uint64, vec [dim]float32 }
+// A cache blob is little-endian. The current (v2) layout snapshots one
+// shard at a time, each section's count taken under that shard's lock
+// while its entries are serialized, so concurrent stores and evictions
+// can never make a header disagree with the entries actually written:
+//
+//	magic    uint32 = 0x32434754 ("TGC2")
+//	dim      uint32
+//	sections repeated { count uint32, count × { key uint64, vec [dim]float32 } }
+//	end      uint32 = 0xFFFFFFFF
+//
+// The legacy (v1, "TGCC") layout — a single global count followed by
+// all entries — is still read, never written.
+//
+// Engine snapshots wrap the per-layer blobs in a checkpoint envelope
+// (internal/checkpoint): CRC32-checksummed and atomically replaced, so
+// a crash mid-save preserves the previous snapshot and corruption is
+// detected before any entry reaches a live cache.
 
-const cacheMagic uint32 = 0x54474343
+const (
+	cacheMagicV1 uint32 = 0x54474343 // "TGCC": global count header (legacy)
+	cacheMagicV2 uint32 = 0x32434754 // "TGC2": per-shard sections
+	// cacheSectionEnd terminates the v2 section list. Section counts
+	// are bounded by the cache limit, far below this sentinel.
+	cacheSectionEnd uint32 = 0xFFFFFFFF
 
-// WriteTo serializes every cached entry. Entries are written in shard
-// order; on load they re-enter FIFO order as written, which preserves
-// the limit semantics approximately (exact FIFO age does not survive a
-// restart, matching the usual warm-cache tradeoff).
+	// cacheSnapshotVersion is the engine snapshot's envelope version.
+	cacheSnapshotVersion uint32 = 2
+)
+
+// WriteTo serializes every cached entry as a v2 blob. Each shard's
+// entries are staged and counted under the shard lock, then streamed
+// out, so a snapshot taken concurrently with stores and evictions is
+// always internally consistent (it captures each shard at one instant,
+// and the whole cache at slightly staggered instants — the usual
+// warm-cache tradeoff, like FIFO age, which survives a restart only
+// approximately).
 func (c *Cache) WriteTo(w io.Writer) (int64, error) {
 	bw := bufio.NewWriter(w)
 	var n int64
@@ -34,18 +63,18 @@ func (c *Cache) WriteTo(w io.Writer) (int64, error) {
 		n += int64(k)
 		return err
 	}
-	if err := put32(cacheMagic); err != nil {
+	if err := put32(cacheMagicV2); err != nil {
 		return n, err
 	}
 	if err := put32(uint32(c.dim)); err != nil {
 		return n, err
 	}
-	if err := put32(uint32(c.Len())); err != nil {
-		return n, err
-	}
+	var scratch bytes.Buffer
 	rec := make([]byte, 8+4*c.dim)
 	for i := range c.shards {
 		s := &c.shards[i]
+		scratch.Reset()
+		count := uint32(0)
 		s.mu.Lock()
 		// Write in FIFO order so ages are approximately preserved.
 		for _, key := range s.fifo[s.head:] {
@@ -57,21 +86,34 @@ func (c *Cache) WriteTo(w io.Writer) (int64, error) {
 			for j, f := range v {
 				binary.LittleEndian.PutUint32(rec[8+4*j:], math.Float32bits(f))
 			}
-			k, err := bw.Write(rec)
-			n += int64(k)
-			if err != nil {
-				s.mu.Unlock()
-				return n, err
-			}
+			scratch.Write(rec)
+			count++
 		}
 		s.mu.Unlock()
+		if count == 0 {
+			continue
+		}
+		if err := put32(count); err != nil {
+			return n, err
+		}
+		k, err := bw.Write(scratch.Bytes())
+		n += int64(k)
+		if err != nil {
+			return n, err
+		}
+	}
+	if err := put32(cacheSectionEnd); err != nil {
+		return n, err
 	}
 	return n, bw.Flush()
 }
 
-// ReadFrom loads entries written by WriteTo into the cache (on top of
-// any existing contents, evicting per the usual FIFO policy if the
-// limit is exceeded). The stored dimension must match.
+// ReadFrom loads entries written by WriteTo (either blob version) into
+// the cache on top of any existing contents, evicting per the usual
+// FIFO policy if the limit is exceeded. The stored dimension must
+// match. The load is all-or-nothing: the stream is fully parsed into a
+// staging area first, so a mid-stream error leaves the cache exactly
+// as it was.
 func (c *Cache) ReadFrom(r io.Reader) (int64, error) {
 	br := bufio.NewReader(r)
 	var n int64
@@ -85,7 +127,7 @@ func (c *Cache) ReadFrom(r io.Reader) (int64, error) {
 	if err != nil {
 		return n, err
 	}
-	if magic != cacheMagic {
+	if magic != cacheMagicV1 && magic != cacheMagicV2 {
 		return n, fmt.Errorf("core: bad cache magic %#x", magic)
 	}
 	dim, err := get32()
@@ -95,90 +137,189 @@ func (c *Cache) ReadFrom(r io.Reader) (int64, error) {
 	if int(dim) != c.dim {
 		return n, fmt.Errorf("core: cached dim %d, cache expects %d", dim, c.dim)
 	}
-	count, err := get32()
-	if err != nil {
-		return n, err
-	}
+
+	// Stage every entry before touching the live shards. Capacities
+	// grow by append: a hostile count in a truncated stream must not
+	// drive a huge allocation.
+	var keys []uint64
+	var vals []float32
 	rec := make([]byte, 8+4*c.dim)
-	vec := make([]float32, c.dim)
-	for i := uint32(0); i < count; i++ {
-		k, err := io.ReadFull(br, rec)
-		n += int64(k)
+	readEntries := func(count uint32) error {
+		for i := uint32(0); i < count; i++ {
+			k, err := io.ReadFull(br, rec)
+			n += int64(k)
+			if err != nil {
+				return fmt.Errorf("core: cache entry %d: %w", len(keys), err)
+			}
+			keys = append(keys, binary.LittleEndian.Uint64(rec))
+			for j := 0; j < c.dim; j++ {
+				vals = append(vals, math.Float32frombits(binary.LittleEndian.Uint32(rec[8+4*j:])))
+			}
+		}
+		return nil
+	}
+	switch magic {
+	case cacheMagicV1:
+		count, err := get32()
 		if err != nil {
-			return n, fmt.Errorf("core: cache entry %d: %w", i, err)
+			return n, err
 		}
-		key := binary.LittleEndian.Uint64(rec)
-		for j := range vec {
-			vec[j] = math.Float32frombits(binary.LittleEndian.Uint32(rec[8+4*j:]))
+		if err := readEntries(count); err != nil {
+			return n, err
 		}
-		c.storeOne(key, vec)
+	case cacheMagicV2:
+		for {
+			count, err := get32()
+			if err != nil {
+				return n, fmt.Errorf("core: cache section header: %w", err)
+			}
+			if count == cacheSectionEnd {
+				break
+			}
+			if err := readEntries(count); err != nil {
+				return n, err
+			}
+		}
+	}
+
+	// Commit: the stream parsed cleanly; only now do entries enter the
+	// live cache.
+	for i, key := range keys {
+		c.storeOne(key, vals[i*c.dim:(i+1)*c.dim])
 	}
 	return n, nil
 }
 
-// SaveCaches persists the engine's per-layer caches to path.
+// cloneEmpty returns a cache with identical geometry (limit, dim,
+// shard count) and no entries — a staging target for all-or-nothing
+// loads.
+func (c *Cache) cloneEmpty() *Cache {
+	return NewCache(c.limit, c.dim, len(c.shards))
+}
+
+// absorb merges every entry of other into c in other's FIFO order,
+// under c's usual limit semantics. other must have the same dim and is
+// expected to be a private staging cache (it is read without locking).
+func (c *Cache) absorb(other *Cache) {
+	for i := range other.shards {
+		s := &other.shards[i]
+		for _, key := range s.fifo[s.head:] {
+			if v, ok := s.m[key]; ok {
+				c.storeOne(key, v)
+			}
+		}
+	}
+}
+
+// SaveCaches persists the engine's per-layer caches to path as an
+// atomic, checksummed snapshot: the write goes to path.tmp and is
+// fsynced and renamed into place, so a crash mid-save leaves the
+// previous snapshot intact.
 func (e *Engine) SaveCaches(path string) error {
+	return e.SaveCachesFS(checkpoint.OS{}, path)
+}
+
+// SaveCachesFS is SaveCaches over an injectable file system (fault
+// tests drive it through internal/faultfs).
+func (e *Engine) SaveCachesFS(fsys checkpoint.FS, path string) error {
 	if e.caches == nil {
 		return fmt.Errorf("core: engine has no caches to save")
 	}
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	w := bufio.NewWriter(f)
-	// Header: number of cached layers, then (layer, cache blob) pairs.
-	var live []int
-	for l, c := range e.caches {
-		if c != nil {
-			live = append(live, l)
+	return checkpoint.WriteFS(fsys, path, cacheSnapshotVersion, func(w io.Writer) error {
+		// Payload: number of cached layers, then (layer, blob) pairs.
+		var live []int
+		for l, c := range e.caches {
+			if c != nil {
+				live = append(live, l)
+			}
 		}
-	}
-	var hdr [4]byte
-	binary.LittleEndian.PutUint32(hdr[:], uint32(len(live)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
-	}
-	for _, l := range live {
-		binary.LittleEndian.PutUint32(hdr[:], uint32(l))
+		var hdr [4]byte
+		binary.LittleEndian.PutUint32(hdr[:], uint32(len(live)))
 		if _, err := w.Write(hdr[:]); err != nil {
 			return err
 		}
-		if _, err := e.caches[l].WriteTo(w); err != nil {
-			return err
+		for _, l := range live {
+			binary.LittleEndian.PutUint32(hdr[:], uint32(l))
+			if _, err := w.Write(hdr[:]); err != nil {
+				return err
+			}
+			if _, err := e.caches[l].WriteTo(w); err != nil {
+				return err
+			}
 		}
-	}
-	return w.Flush()
+		return nil
+	})
 }
 
 // LoadCaches restores caches saved by SaveCaches. The engine's
-// architecture (cached layers and embedding width) must match.
+// architecture (cached layers and embedding width) must match. The
+// load is all-or-nothing across every layer: entries are parsed into
+// staging caches and committed only after the whole snapshot validates,
+// so a corrupt file leaves the engine's caches untouched. Both current
+// (enveloped, checksummed) and legacy (raw v1) snapshot files load.
 func (e *Engine) LoadCaches(path string) error {
 	if e.caches == nil {
 		return fmt.Errorf("core: engine has no caches to load into")
 	}
+	err := checkpoint.Read(path, func(version uint32, r io.Reader) error {
+		if version != cacheSnapshotVersion {
+			return fmt.Errorf("core: cache snapshot version %d, engine reads %d", version, cacheSnapshotVersion)
+		}
+		return e.loadCacheStream(r)
+	})
+	if errors.Is(err, checkpoint.ErrNotCheckpoint) {
+		return e.loadCachesLegacy(path)
+	}
+	return err
+}
+
+// loadCachesLegacy reads a pre-envelope snapshot file: the same layer
+// stream, with v1 cache blobs and no checksum.
+func (e *Engine) loadCachesLegacy(path string) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	r := bufio.NewReader(f)
+	if err := e.loadCacheStream(bufio.NewReader(f)); err != nil {
+		return fmt.Errorf("core: legacy snapshot %s: %w", path, err)
+	}
+	return nil
+}
+
+// loadCacheStream parses a layer stream into staging caches and
+// commits them only if every layer parses cleanly.
+func (e *Engine) loadCacheStream(r io.Reader) error {
+	br := bufio.NewReader(r)
 	var hdr [4]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
 		return err
 	}
 	layers := binary.LittleEndian.Uint32(hdr[:])
+	if layers > uint32(len(e.caches)) {
+		return fmt.Errorf("core: snapshot has %d cached layers, engine has %d", layers, len(e.caches))
+	}
+	staged := make(map[int]*Cache, layers)
 	for i := uint32(0); i < layers; i++ {
-		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
 			return err
 		}
 		l := int(binary.LittleEndian.Uint32(hdr[:]))
 		if l < 0 || l >= len(e.caches) || e.caches[l] == nil {
 			return fmt.Errorf("core: snapshot has cache for layer %d, engine does not", l)
 		}
-		if _, err := e.caches[l].ReadFrom(r); err != nil {
+		if _, ok := staged[l]; ok {
+			return fmt.Errorf("core: snapshot lists layer %d twice", l)
+		}
+		sc := e.caches[l].cloneEmpty()
+		if _, err := sc.ReadFrom(br); err != nil {
 			return fmt.Errorf("core: layer %d: %w", l, err)
 		}
+		staged[l] = sc
+	}
+	// Commit: every layer validated; merge into the live caches.
+	for l, sc := range staged {
+		e.caches[l].absorb(sc)
 	}
 	return nil
 }

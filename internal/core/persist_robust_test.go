@@ -1,0 +1,293 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"tgopt/internal/faultfs"
+	"tgopt/internal/tensor"
+	"tgopt/internal/tgat"
+)
+
+// legacyV1Blob builds a pre-envelope cache blob: global-count header,
+// as the v1 writer produced it.
+func legacyV1Blob(dim int, keys []uint64, vals [][]float32) []byte {
+	var buf bytes.Buffer
+	put32 := func(v uint32) {
+		var b [4]byte
+		binary.LittleEndian.PutUint32(b[:], v)
+		buf.Write(b[:])
+	}
+	put32(cacheMagicV1)
+	put32(uint32(dim))
+	put32(uint32(len(keys)))
+	rec := make([]byte, 8+4*dim)
+	for i, k := range keys {
+		binary.LittleEndian.PutUint64(rec, k)
+		for j, f := range vals[i] {
+			binary.LittleEndian.PutUint32(rec[8+4*j:], math.Float32bits(f))
+		}
+		buf.Write(rec)
+	}
+	return buf.Bytes()
+}
+
+// TestCacheWriteToConcurrentStores exercises the snapshot count race
+// the v1 format had: the header count was taken before the per-shard
+// iteration, so stores and evictions racing with WriteTo could make
+// the header disagree with the entries written, and the snapshot
+// failed (or silently truncated) on load. The v2 per-shard sections
+// count entries as they are serialized under the shard lock, so every
+// snapshot taken mid-churn must load cleanly.
+func TestCacheWriteToConcurrentStores(t *testing.T) {
+	c := NewCache(256, 4, 8)
+	r := tensor.NewRNG(3)
+	seedKeys := make([]uint64, 128)
+	for i := range seedKeys {
+		seedKeys[i] = r.Uint64()
+	}
+	c.Store(seedKeys, tensor.Rand(r, len(seedKeys), 4))
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			rg := tensor.NewRNG(seed)
+			row := tensor.New(1, 4)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// Churn: new keys force evictions, old keys refresh.
+				key := rg.Uint64() % 512
+				c.Store([]uint64{key}, row)
+			}
+		}(uint64(g + 10))
+	}
+	for iter := 0; iter < 50; iter++ {
+		var buf bytes.Buffer
+		if _, err := c.WriteTo(&buf); err != nil {
+			t.Fatalf("iter %d: WriteTo: %v", iter, err)
+		}
+		fresh := NewCache(256, 4, 8)
+		if _, err := fresh.ReadFrom(bytes.NewReader(buf.Bytes())); err != nil {
+			t.Fatalf("iter %d: snapshot taken mid-churn does not load: %v", iter, err)
+		}
+		if fresh.Len() > fresh.Limit() {
+			t.Fatalf("iter %d: restored %d entries over limit %d", iter, fresh.Len(), fresh.Limit())
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestCacheReadFromAllOrNothing(t *testing.T) {
+	good := NewCache(100, 3, 4)
+	r := tensor.NewRNG(4)
+	keys := make([]uint64, 30)
+	for i := range keys {
+		keys[i] = r.Uint64()
+	}
+	good.Store(keys, tensor.Rand(r, 30, 3))
+	var buf bytes.Buffer
+	if _, err := good.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	blob := buf.Bytes()
+
+	orig := tensor.Ones(1, 3)
+	for cut := 0; cut < len(blob); cut++ {
+		c := NewCache(100, 3, 4)
+		c.Store([]uint64{7}, orig)
+		_, err := c.ReadFrom(bytes.NewReader(blob[:cut]))
+		if err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+		// The failed load must not have half-applied: the cache holds
+		// exactly its prior single entry.
+		if c.Len() != 1 || !c.Contains(7) {
+			t.Fatalf("truncation at %d half-applied: len=%d", cut, c.Len())
+		}
+	}
+}
+
+func TestCacheReadFromLegacyV1Blob(t *testing.T) {
+	keys := []uint64{11, 22, 33}
+	vals := [][]float32{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}}
+	blob := legacyV1Blob(3, keys, vals)
+	c := NewCache(10, 3, 2)
+	if _, err := c.ReadFrom(bytes.NewReader(blob)); err != nil {
+		t.Fatalf("legacy v1 blob rejected: %v", err)
+	}
+	dst := tensor.New(3, 3)
+	if _, nh := c.Lookup(keys, dst); nh != 3 {
+		t.Fatalf("restored %d/3 legacy entries", nh)
+	}
+	for i := range keys {
+		for j, want := range vals[i] {
+			if dst.At(i, j) != want {
+				t.Fatalf("entry %d col %d = %v, want %v", i, j, dst.At(i, j), want)
+			}
+		}
+	}
+}
+
+// TestSaveCachesAtomicUnderWriteFaults proves the engine-level
+// invariant: whatever fault the file system injects during a snapshot
+// — a short write at any offset, a failed create, fsync, or rename —
+// the previous on-disk snapshot remains fully loadable.
+func TestSaveCachesAtomicUnderWriteFaults(t *testing.T) {
+	ds, m, s := engineTestSetup(t, 400)
+	eng := NewEngine(m, s, OptAll())
+	tgat.StreamInference(ds.Graph, m, 100, eng.EmbedFunc())
+	warmLen := eng.CacheLen()
+	if warmLen == 0 {
+		t.Fatal("no warm state to persist")
+	}
+	path := filepath.Join(t.TempDir(), "cache.bin")
+	if err := eng.SaveCaches(path); err != nil {
+		t.Fatal(err)
+	}
+	size, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	checkPrevIntact := func(when string, saveErr error) {
+		t.Helper()
+		if saveErr == nil {
+			t.Fatalf("%s: fault not reported", when)
+		}
+		eng2 := NewEngine(m, s, OptAll())
+		if err := eng2.LoadCaches(path); err != nil {
+			t.Fatalf("%s: previous snapshot damaged: %v", when, err)
+		}
+		if eng2.CacheLen() != warmLen {
+			t.Fatalf("%s: previous snapshot lost entries: %d, want %d", when, eng2.CacheLen(), warmLen)
+		}
+	}
+
+	// Short writes: every boundary of the small header region, then a
+	// stride through the body (a full per-byte sweep would re-serialize
+	// the cache thousands of times for no extra coverage).
+	limits := []int{0, 1, 4, 15, 16, 17, 20}
+	for l := 64; l < int(size.Size()); l += 997 {
+		limits = append(limits, l)
+	}
+	limits = append(limits, int(size.Size())-1)
+	for _, limit := range limits {
+		fsys := faultfs.NewFS()
+		fsys.WriteLimit = limit
+		checkPrevIntact("short write", eng.SaveCachesFS(fsys, path))
+	}
+	checkPrevIntact("create", eng.SaveCachesFS(&faultfs.FS{WriteLimit: -1, FailCreate: true}, path))
+	checkPrevIntact("sync", eng.SaveCachesFS(&faultfs.FS{WriteLimit: -1, FailSync: true}, path))
+	checkPrevIntact("rename", eng.SaveCachesFS(&faultfs.FS{WriteLimit: -1, FailRename: true}, path))
+}
+
+// TestLoadCachesCorruptLeavesEngineCold: at-rest corruption (bit flips
+// and truncations anywhere in the file) must surface as a clean error
+// with zero entries applied — the degraded-but-consistent cold start
+// tgopt-serve relies on.
+func TestLoadCachesCorruptLeavesEngineCold(t *testing.T) {
+	ds, m, s := engineTestSetup(t, 400)
+	eng := NewEngine(m, s, OptAll())
+	tgat.StreamInference(ds.Graph, m, 100, eng.EmbedFunc())
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cache.bin")
+	if err := eng.SaveCaches(path); err != nil {
+		t.Fatal(err)
+	}
+	clean, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	corruptions := []int64{0, 13, 35, 64 * 8}
+	for bit := int64(1000); bit < int64(len(clean))*8; bit += 7919 {
+		corruptions = append(corruptions, bit)
+	}
+	corruptions = append(corruptions, int64(len(clean))*8-1)
+	for _, bit := range corruptions {
+		if err := os.WriteFile(path, clean, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := faultfs.FlipBit(path, bit); err != nil {
+			t.Fatal(err)
+		}
+		cold := NewEngine(m, s, OptAll())
+		if err := cold.LoadCaches(path); err == nil {
+			t.Fatalf("bit flip at %d went undetected", bit)
+		}
+		if n := cold.CacheLen(); n != 0 {
+			t.Fatalf("bit flip at %d half-applied %d entries", bit, n)
+		}
+	}
+	for _, cut := range []int64{0, 3, 16, 19, int64(len(clean) / 2), int64(len(clean)) - 1} {
+		if err := os.WriteFile(path, clean, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := faultfs.TruncateFile(path, cut); err != nil {
+			t.Fatal(err)
+		}
+		cold := NewEngine(m, s, OptAll())
+		if err := cold.LoadCaches(path); err == nil {
+			t.Fatalf("truncation to %d went undetected", cut)
+		}
+		if n := cold.CacheLen(); n != 0 {
+			t.Fatalf("truncation to %d half-applied %d entries", cut, n)
+		}
+	}
+}
+
+// TestLoadCachesLegacyFile: snapshot files written before the envelope
+// (raw layer stream with v1 blobs) must keep loading.
+func TestLoadCachesLegacyFile(t *testing.T) {
+	ds, m, s := engineTestSetup(t, 300)
+	_ = ds
+	var buf bytes.Buffer
+	put32 := func(v uint32) {
+		var b [4]byte
+		binary.LittleEndian.PutUint32(b[:], v)
+		buf.Write(b[:])
+	}
+	put32(1) // one cached layer
+	put32(1) // layer 1
+	keys := []uint64{5, 6}
+	vals := [][]float32{make([]float32, 16), make([]float32, 16)}
+	vals[0][0], vals[1][0] = 1.5, 2.5
+	buf.Write(legacyV1Blob(16, keys, vals))
+	path := filepath.Join(t.TempDir(), "legacy.bin")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	eng := NewEngine(m, s, OptAll())
+	if err := eng.LoadCaches(path); err != nil {
+		t.Fatalf("legacy snapshot rejected: %v", err)
+	}
+	if eng.CacheLen() != 2 {
+		t.Fatalf("restored %d legacy entries, want 2", eng.CacheLen())
+	}
+
+	// A truncated legacy file (no checksum to catch it) must still be
+	// all-or-nothing: parse fails, zero entries applied.
+	if err := os.WriteFile(path, buf.Bytes()[:buf.Len()-5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cold := NewEngine(m, s, OptAll())
+	if err := cold.LoadCaches(path); err == nil {
+		t.Fatal("truncated legacy snapshot accepted")
+	}
+	if cold.CacheLen() != 0 {
+		t.Fatalf("truncated legacy snapshot half-applied %d entries", cold.CacheLen())
+	}
+}

@@ -72,6 +72,16 @@ func (a *Adam) Step(grads []*tensor.Tensor) {
 // StepCount returns the number of updates applied so far.
 func (a *Adam) StepCount() int { return a.step }
 
+// SetStepCount restores the update counter — with the moment tensors
+// (Moments), the full optimizer state a training checkpoint resumes
+// from.
+func (a *Adam) SetStepCount(n int) { a.step = n }
+
+// Moments returns the first- and second-moment state tensors, aligned
+// with the constructor's params order. Callers may read or overwrite
+// their contents (checkpoint save/restore) but must not reshape them.
+func (a *Adam) Moments() (m, v []*tensor.Tensor) { return a.m, a.v }
+
 // SGD is a plain stochastic-gradient-descent optimizer, kept as a simple
 // baseline for the optimizer tests.
 type SGD struct {

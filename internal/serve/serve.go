@@ -60,6 +60,10 @@ type Server struct {
 
 	requests atomic.Int64
 	ingested atomic.Int64
+
+	// Background snapshotter counters (snapshot.go).
+	snapshotSaves  atomic.Int64
+	snapshotErrors atomic.Int64
 }
 
 // New builds a server over a model and a (possibly pre-populated)
@@ -158,6 +162,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	write("tgopt_rejected_total", "Requests rejected with 429 at the in-flight limit.", float64(s.rejected.Load()))
 	write("tgopt_timeouts_total", "Requests that exceeded the deadline (504).", float64(s.timeouts.Load()))
 	write("tgopt_panics_total", "Handler panics recovered to 500.", float64(s.panics.Load()))
+	write("tgopt_snapshots_total", "Background cache snapshots written.", float64(s.snapshotSaves.Load()))
+	write("tgopt_snapshot_errors_total", "Cache snapshot or warm-start failures.", float64(s.snapshotErrors.Load()))
 	fmt.Fprintf(&b, "# HELP tgopt_stage_latency_seconds Engine per-stage latency quantiles.\n")
 	fmt.Fprintf(&b, "# TYPE tgopt_stage_latency_seconds summary\n")
 	hists := s.engine.StageStats()
@@ -311,6 +317,8 @@ type statsResponse struct {
 	Rejected   int64                 `json:"rejected"`
 	Timeouts   int64                 `json:"timeouts"`
 	Panics     int64                 `json:"panics"`
+	Snapshots  int64                 `json:"snapshots"`
+	SnapErrors int64                 `json:"snapshot_errors"`
 	Stages     map[string]stageStats `json:"stages"`
 }
 
@@ -353,6 +361,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Rejected:   s.rejected.Load(),
 		Timeouts:   s.timeouts.Load(),
 		Panics:     s.panics.Load(),
+		Snapshots:  s.snapshotSaves.Load(),
+		SnapErrors: s.snapshotErrors.Load(),
 		Stages:     stages,
 	})
 }

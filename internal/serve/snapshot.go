@@ -1,0 +1,72 @@
+package serve
+
+import (
+	"errors"
+	"io/fs"
+	"sync"
+	"time"
+)
+
+// WarmStart loads a cache snapshot saved by a previous process. A
+// missing file is a normal cold start; a corrupt or unreadable one is
+// logged and also starts cold — the engine's LoadCaches is
+// all-or-nothing, so a damaged snapshot never half-populates the cache.
+// A serving process must come up either way, which is why no error is
+// returned.
+func (s *Server) WarmStart(path string, logf func(format string, args ...any)) {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	switch err := s.engine.LoadCaches(path); {
+	case err == nil:
+		logf("warm-started %d memoized embeddings from %s", s.engine.CacheLen(), path)
+	case errors.Is(err, fs.ErrNotExist):
+		logf("no warm cache at %s; starting cold", path)
+	default:
+		s.snapshotErrors.Add(1)
+		logf("warm cache %s unusable (%v); starting cold", path, err)
+	}
+}
+
+// StartSnapshots begins periodic background cache snapshots to path
+// and returns a stop function that halts the snapshotter and waits for
+// any in-progress save. Saves go through the atomic checkpoint writer,
+// so a crash mid-snapshot (or a snapshot racing ingestion) always
+// leaves the previous snapshot intact on disk. Failures are counted
+// (snapshot_errors in /v1/stats) and logged, never fatal.
+func (s *Server) StartSnapshots(path string, interval time.Duration, logf func(format string, args ...any)) (stop func()) {
+	if path == "" || interval <= 0 {
+		return func() {}
+	}
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				if err := s.engine.SaveCaches(path); err != nil {
+					s.snapshotErrors.Add(1)
+					logf("cache snapshot to %s failed: %v", path, err)
+				} else {
+					s.snapshotSaves.Add(1)
+				}
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(done)
+			wg.Wait()
+		})
+	}
+}

@@ -92,6 +92,12 @@ func (t *Tensor) ReadFrom(r io.Reader) (int64, error) {
 		}
 		shape[i] = int(d)
 		elems *= int(d)
+		// Bound the product as it grows: a hostile header with several
+		// large dimensions must not overflow int (negative make() size
+		// panics) or drive a giant allocation.
+		if elems > 1<<28 {
+			return n, fmt.Errorf("tensor: implausible element count %v", shape[:i+1])
+		}
 	}
 	buf := make([]byte, 4*elems)
 	k, err := io.ReadFull(br, buf)

@@ -19,6 +19,18 @@ type RNG struct {
 // NewRNG creates a generator seeded with seed.
 func NewRNG(seed uint64) *RNG { return &RNG{state: seed} }
 
+// State returns the generator's SplitMix64 state for checkpointing.
+// The buffered Box-Muller spare is not captured: a restore resumes the
+// uniform stream exactly and the Gaussian stream at the next pair.
+func (r *RNG) State() uint64 { return r.state }
+
+// SetState restores a state captured by State and drops any buffered
+// Gaussian spare.
+func (r *RNG) SetState(s uint64) {
+	r.state = s
+	r.hasSpare = false
+}
+
 // Uint64 returns the next 64 pseudo-random bits.
 func (r *RNG) Uint64() uint64 {
 	r.state += 0x9E3779B97F4A7C15

@@ -3,11 +3,13 @@ package tgat
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"os"
 	"sort"
 
+	"tgopt/internal/checkpoint"
 	"tgopt/internal/graph"
 	"tgopt/internal/nn"
 	"tgopt/internal/stats"
@@ -234,40 +236,71 @@ func (m *Model) Params() []*tensor.Tensor {
 	return ps
 }
 
-// SaveParams writes all trainable parameters to path. Node and edge
+// paramsVersion is the envelope version of a parameter checkpoint
+// (v2: checksummed checkpoint envelope; v1 was the raw tensor stream).
+const paramsVersion uint32 = 2
+
+// SaveParams writes all trainable parameters to path as an atomic,
+// checksummed snapshot (write to path.tmp, fsync, rename): a crash
+// mid-save leaves the previous checkpoint intact. Node and edge
 // features are dataset state, not parameters, and are excluded.
 func (m *Model) SaveParams(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	w := bufio.NewWriter(f)
-	ps := m.Params()
-	var hdr [4]byte
-	binary.LittleEndian.PutUint32(hdr[:], uint32(len(ps)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
-	}
-	for _, p := range ps {
-		if _, err := p.WriteTo(w); err != nil {
-			return err
-		}
-	}
-	return w.Flush()
+	return m.SaveParamsFS(checkpoint.OS{}, path)
 }
 
-// LoadParams reads parameters written by SaveParams into the model. The
-// architecture (and hence the parameter list) must match.
+// SaveParamsFS is SaveParams over an injectable file system (fault
+// tests drive it through internal/faultfs).
+func (m *Model) SaveParamsFS(fsys checkpoint.FS, path string) error {
+	return checkpoint.WriteFS(fsys, path, paramsVersion, func(w io.Writer) error {
+		ps := m.Params()
+		var hdr [4]byte
+		binary.LittleEndian.PutUint32(hdr[:], uint32(len(ps)))
+		if _, err := w.Write(hdr[:]); err != nil {
+			return err
+		}
+		for _, p := range ps {
+			if _, err := p.WriteTo(w); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// LoadParams reads parameters written by SaveParams into the model.
+// The architecture (and hence the parameter list) must match. The load
+// is all-or-nothing: every tensor is parsed and shape-checked before
+// the first one is applied, so a corrupt or mismatched checkpoint
+// leaves the model's parameters untouched. Both current (enveloped,
+// checksummed) and legacy (raw stream) checkpoint files load.
 func (m *Model) LoadParams(path string) error {
-	f, err := os.Open(path)
-	if err != nil {
-		return err
+	err := checkpoint.Read(path, func(version uint32, r io.Reader) error {
+		if version != paramsVersion {
+			return fmt.Errorf("tgat: checkpoint version %d, model reads %d", version, paramsVersion)
+		}
+		return m.loadParamStream(r)
+	})
+	if errors.Is(err, checkpoint.ErrNotCheckpoint) {
+		// Pre-envelope checkpoint: same stream, no checksum.
+		f, ferr := os.Open(path)
+		if ferr != nil {
+			return ferr
+		}
+		defer f.Close()
+		if err := m.loadParamStream(bufio.NewReader(f)); err != nil {
+			return fmt.Errorf("tgat: legacy checkpoint %s: %w", path, err)
+		}
+		return nil
 	}
-	defer f.Close()
-	r := bufio.NewReader(f)
+	return err
+}
+
+// loadParamStream parses a parameter stream into staging tensors and
+// applies them only after every one has been read and validated.
+func (m *Model) loadParamStream(r io.Reader) error {
+	br := bufio.NewReader(r)
 	var hdr [4]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
 		return err
 	}
 	count := binary.LittleEndian.Uint32(hdr[:])
@@ -275,15 +308,20 @@ func (m *Model) LoadParams(path string) error {
 	if int(count) != len(ps) {
 		return fmt.Errorf("tgat: checkpoint has %d tensors, model expects %d", count, len(ps))
 	}
+	staged := make([]*tensor.Tensor, len(ps))
 	for i, p := range ps {
 		var t tensor.Tensor
-		if _, err := t.ReadFrom(r); err != nil {
+		if _, err := t.ReadFrom(br); err != nil {
 			return fmt.Errorf("tgat: reading tensor %d: %w", i, err)
 		}
 		if !t.SameShape(p) {
 			return fmt.Errorf("tgat: tensor %d shape %v, model expects %v", i, t.Shape(), p.Shape())
 		}
-		p.CopyFrom(&t)
+		staged[i] = &t
+	}
+	// Commit: the whole stream validated; only now touch the model.
+	for i, p := range ps {
+		p.CopyFrom(staged[i])
 	}
 	return nil
 }

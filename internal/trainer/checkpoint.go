@@ -1,0 +1,174 @@
+package trainer
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"tgopt/internal/checkpoint"
+	"tgopt/internal/nn"
+	"tgopt/internal/tensor"
+	"tgopt/internal/tgat"
+)
+
+// Training checkpoints capture everything a run needs to continue
+// bit-for-bit where it stopped: the model parameters, the Adam moment
+// tensors and step counter, both RNG streams (negative sampling and
+// dropout), the epoch/batch cursors, and the per-epoch loss history.
+// They are written through internal/checkpoint, so a crash mid-save
+// preserves the previous checkpoint and corruption is detected before
+// any state is applied. A resumed run therefore reproduces the loss
+// trajectory of an uninterrupted one exactly.
+//
+// Payload (little-endian, inside the checkpoint envelope):
+//
+//	epoch, batch, batches, adamStep  uint64
+//	lossSum                          float64 bits
+//	negState, dropState              uint64
+//	nEpochLoss uint64, then that many float64
+//	nTensors   uint32, then params, Adam m, Adam v tensor streams
+const trainCheckpointVersion uint32 = 1
+
+// trainState is the resumable position of a training run.
+type trainState struct {
+	epoch     int       // completed epochs
+	batch     int       // completed batches within the current epoch
+	lossSum   float64   // current epoch's running loss over finite batches
+	batches   int       // finite batches contributing to lossSum
+	epochLoss []float64 // completed epochs' mean losses
+	negState  uint64
+	dropState uint64
+	adamStep  int
+}
+
+func saveTrainCheckpoint(fsys checkpoint.FS, path string, m *tgat.Model, opt *nn.Adam, neg, drop *tensor.RNG, st *trainState) error {
+	return checkpoint.WriteFS(fsys, path, trainCheckpointVersion, func(w io.Writer) error {
+		bw := bufio.NewWriter(w)
+		put64 := func(v uint64) error {
+			var b [8]byte
+			binary.LittleEndian.PutUint64(b[:], v)
+			_, err := bw.Write(b[:])
+			return err
+		}
+		for _, v := range []uint64{
+			uint64(st.epoch), uint64(st.batch), uint64(st.batches), uint64(opt.StepCount()),
+			math.Float64bits(st.lossSum), neg.State(), drop.State(), uint64(len(st.epochLoss)),
+		} {
+			if err := put64(v); err != nil {
+				return err
+			}
+		}
+		for _, l := range st.epochLoss {
+			if err := put64(math.Float64bits(l)); err != nil {
+				return err
+			}
+		}
+		ps := m.Params()
+		am, av := opt.Moments()
+		var hdr [4]byte
+		binary.LittleEndian.PutUint32(hdr[:], uint32(len(ps)))
+		if _, err := bw.Write(hdr[:]); err != nil {
+			return err
+		}
+		for _, group := range [][]*tensor.Tensor{ps, am, av} {
+			for _, t := range group {
+				if _, err := t.WriteTo(bw); err != nil {
+					return err
+				}
+			}
+		}
+		return bw.Flush()
+	})
+}
+
+// loadTrainCheckpoint restores a checkpoint into the model and
+// optimizer and returns the resumable position. The apply is
+// all-or-nothing: every field and tensor is parsed and validated
+// before the first byte of live state changes.
+func loadTrainCheckpoint(path string, m *tgat.Model, opt *nn.Adam, neg, drop *tensor.RNG) (*trainState, error) {
+	st := &trainState{}
+	err := checkpoint.Read(path, func(version uint32, r io.Reader) error {
+		if version != trainCheckpointVersion {
+			return fmt.Errorf("trainer: checkpoint version %d, trainer reads %d", version, trainCheckpointVersion)
+		}
+		br := bufio.NewReader(r)
+		get64 := func() (uint64, error) {
+			var b [8]byte
+			if _, err := io.ReadFull(br, b[:]); err != nil {
+				return 0, err
+			}
+			return binary.LittleEndian.Uint64(b[:]), nil
+		}
+		head := make([]uint64, 8)
+		for i := range head {
+			v, err := get64()
+			if err != nil {
+				return fmt.Errorf("trainer: checkpoint header: %w", err)
+			}
+			head[i] = v
+		}
+		epoch, batch, batches := head[0], head[1], head[2]
+		adamStep := head[3]
+		lossSum := math.Float64frombits(head[4])
+		negState, dropState := head[5], head[6]
+		nLoss := head[7]
+		const sane = 1 << 32
+		if epoch > sane || batch > sane || batches > sane || adamStep > sane || nLoss > sane {
+			return fmt.Errorf("trainer: implausible checkpoint cursors %v", head[:4])
+		}
+		epochLoss := make([]float64, 0, min(int(nLoss), 4096))
+		for i := uint64(0); i < nLoss; i++ {
+			v, err := get64()
+			if err != nil {
+				return fmt.Errorf("trainer: checkpoint loss history: %w", err)
+			}
+			epochLoss = append(epochLoss, math.Float64frombits(v))
+		}
+		var hdr [4]byte
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			return err
+		}
+		count := binary.LittleEndian.Uint32(hdr[:])
+		ps := m.Params()
+		am, av := opt.Moments()
+		if int(count) != len(ps) {
+			return fmt.Errorf("trainer: checkpoint has %d tensors, model expects %d", count, len(ps))
+		}
+		// Stage all three tensor groups before applying any.
+		staged := make([][]*tensor.Tensor, 3)
+		for gi, group := range [][]*tensor.Tensor{ps, am, av} {
+			for i, want := range group {
+				var t tensor.Tensor
+				if _, err := t.ReadFrom(br); err != nil {
+					return fmt.Errorf("trainer: checkpoint tensor group %d index %d: %w", gi, i, err)
+				}
+				if !t.SameShape(want) {
+					return fmt.Errorf("trainer: checkpoint tensor group %d index %d shape %v, model expects %v", gi, i, t.Shape(), want.Shape())
+				}
+				staged[gi] = append(staged[gi], &t)
+			}
+		}
+
+		// Commit.
+		for gi, group := range [][]*tensor.Tensor{ps, am, av} {
+			for i, dst := range group {
+				dst.CopyFrom(staged[gi][i])
+			}
+		}
+		opt.SetStepCount(int(adamStep))
+		neg.SetState(negState)
+		drop.SetState(dropState)
+		st.epoch = int(epoch)
+		st.batch = int(batch)
+		st.batches = int(batches)
+		st.lossSum = lossSum
+		st.epochLoss = epochLoss
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return st, nil
+}

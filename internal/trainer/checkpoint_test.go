@@ -1,0 +1,271 @@
+package trainer
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"tgopt/internal/faultfs"
+	"tgopt/internal/nn"
+	"tgopt/internal/tensor"
+)
+
+func finiteLosses(t *testing.T, losses []float64) {
+	t.Helper()
+	for i, l := range losses {
+		if math.IsNaN(l) || math.IsInf(l, 0) {
+			t.Fatalf("epoch %d loss is %v: %v", i, l, losses)
+		}
+	}
+}
+
+// TestTrainResumeMatchesUninterrupted is the core resume guarantee: a
+// run interrupted mid-epoch and resumed in a fresh process (fresh
+// model, sampler, RNGs) produces exactly the loss trajectory and final
+// parameters of an uninterrupted run.
+func TestTrainResumeMatchesUninterrupted(t *testing.T) {
+	base := Config{Epochs: 3, BatchSize: 100, LR: 3e-3, TrainFrac: 0.7, Seed: 1, Dropout: 0.1}
+
+	ds, m, s := trainerSetup(t, 600)
+	full, err := Train(m, ds.Graph, s, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "train.ckpt")
+	cfg := base
+	cfg.CheckpointPath = path
+	cfg.CheckpointEvery = 2
+	cfg.MaxBatches = 7 // stop inside epoch 2
+
+	_, m1, s1 := trainerSetup(t, 600)
+	part, err := Train(m1, ds.Graph, s1, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !part.Interrupted {
+		t.Fatal("MaxBatches run not marked Interrupted")
+	}
+
+	// "New process": everything rebuilt from scratch, state comes only
+	// from the checkpoint file.
+	_, m2, s2 := trainerSetup(t, 600)
+	cfg.MaxBatches = 0
+	cfg.Resume = true
+	resumed, err := Train(m2, ds.Graph, s2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(resumed.EpochLoss) != len(full.EpochLoss) {
+		t.Fatalf("resumed epochs %v, uninterrupted %v", resumed.EpochLoss, full.EpochLoss)
+	}
+	for i := range full.EpochLoss {
+		if resumed.EpochLoss[i] != full.EpochLoss[i] {
+			t.Fatalf("epoch %d loss diverged after resume: %v vs %v", i, resumed.EpochLoss[i], full.EpochLoss[i])
+		}
+	}
+	fp, rp := m.Params(), m2.Params()
+	for i := range fp {
+		if d := fp[i].MaxAbsDiff(rp[i]); d != 0 {
+			t.Fatalf("parameter %d differs by %g after resume", i, d)
+		}
+	}
+	if resumed.ValAP != full.ValAP || resumed.ValAcc != full.ValAcc {
+		t.Fatalf("validation metrics diverged: %+v vs %+v", resumed, full)
+	}
+}
+
+// TestTrainNonFiniteSkipWithoutCheckpoint: with no checkpoint to roll
+// back to, a poisoned batch is skipped, counted, and excluded from the
+// epoch mean.
+func TestTrainNonFiniteSkipWithoutCheckpoint(t *testing.T) {
+	ds, m, s := trainerSetup(t, 600)
+	var saved float32
+	preStepHook = func(step int) {
+		p := m.Params()[0].Data()
+		switch step {
+		case 2:
+			saved = p[0]
+			p[0] = float32(math.NaN())
+		case 3:
+			p[0] = saved // heal: without rollback nobody else will
+		}
+	}
+	defer func() { preStepHook = nil }()
+
+	cfg := Config{Epochs: 2, BatchSize: 100, LR: 3e-3, TrainFrac: 0.7, Seed: 1}
+	res, err := Train(m, ds.Graph, s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NonFinite != 1 {
+		t.Fatalf("NonFinite = %d, want 1", res.NonFinite)
+	}
+	if res.Rollbacks != 0 {
+		t.Fatalf("Rollbacks = %d without a checkpoint", res.Rollbacks)
+	}
+	finiteLosses(t, res.EpochLoss)
+}
+
+// TestTrainRollbackHealsPoisonedParams: with checkpointing on, a
+// non-finite batch restores the last checkpoint — including the
+// poisoned parameter — and training completes cleanly.
+func TestTrainRollbackHealsPoisonedParams(t *testing.T) {
+	ds, m, s := trainerSetup(t, 600)
+	poisoned := false
+	preStepHook = func(step int) {
+		if step == 3 && !poisoned {
+			poisoned = true
+			m.Params()[0].Data()[0] = float32(math.Inf(1))
+		}
+	}
+	defer func() { preStepHook = nil }()
+
+	cfg := Config{
+		Epochs: 2, BatchSize: 100, LR: 3e-3, TrainFrac: 0.7, Seed: 1,
+		CheckpointPath: filepath.Join(t.TempDir(), "train.ckpt"), CheckpointEvery: 2,
+	}
+	res, err := Train(m, ds.Graph, s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NonFinite != 1 || res.Rollbacks != 1 {
+		t.Fatalf("NonFinite = %d Rollbacks = %d, want 1/1", res.NonFinite, res.Rollbacks)
+	}
+	finiteLosses(t, res.EpochLoss)
+	for i, p := range m.Params() {
+		if !finiteTensors([]*tensor.Tensor{p}) {
+			t.Fatalf("parameter %d still non-finite after rollback", i)
+		}
+	}
+}
+
+// TestTrainDivergedAfterMaxRollbacks: a fault that reappears after
+// every rollback must terminate with an error, not loop forever.
+func TestTrainDivergedAfterMaxRollbacks(t *testing.T) {
+	ds, m, s := trainerSetup(t, 600)
+	preStepHook = func(step int) {
+		if step >= 1 {
+			m.Params()[0].Data()[0] = float32(math.NaN())
+		}
+	}
+	defer func() { preStepHook = nil }()
+
+	cfg := Config{
+		Epochs: 2, BatchSize: 100, LR: 3e-3, TrainFrac: 0.7, Seed: 1,
+		CheckpointPath: filepath.Join(t.TempDir(), "train.ckpt"), MaxRollbacks: 2,
+	}
+	res, err := Train(m, ds.Graph, s, cfg)
+	if err == nil {
+		t.Fatal("persistently non-finite training did not error")
+	}
+	if res == nil || res.Rollbacks != 2 || res.NonFinite != 3 {
+		t.Fatalf("result %+v, want 2 rollbacks and 3 non-finite batches", res)
+	}
+}
+
+// TestTrainResumeMissingCheckpointStartsFresh: Resume against a path
+// that does not exist yet is a fresh run, not an error.
+func TestTrainResumeMissingCheckpointStartsFresh(t *testing.T) {
+	ds, m, s := trainerSetup(t, 300)
+	cfg := Config{
+		Epochs: 1, BatchSize: 100, LR: 1e-3, TrainFrac: 0.7, Seed: 1,
+		CheckpointPath: filepath.Join(t.TempDir(), "none.ckpt"), Resume: true,
+	}
+	res, err := Train(m, ds.Graph, s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.EpochLoss) != 1 {
+		t.Fatalf("epoch losses = %v", res.EpochLoss)
+	}
+}
+
+// TestTrainResumeCorruptCheckpointErrors: resuming from a damaged
+// checkpoint must fail loudly, never silently train from garbage.
+func TestTrainResumeCorruptCheckpointErrors(t *testing.T) {
+	ds, m, s := trainerSetup(t, 300)
+	path := filepath.Join(t.TempDir(), "train.ckpt")
+	cfg := Config{
+		Epochs: 1, BatchSize: 100, LR: 1e-3, TrainFrac: 0.7, Seed: 1,
+		CheckpointPath: path,
+	}
+	if _, err := Train(m, ds.Graph, s, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if err := faultfs.FlipBit(path, 999); err != nil {
+		t.Fatal(err)
+	}
+	cfg.Resume = true
+	if _, err := Train(m, ds.Graph, s, cfg); err == nil {
+		t.Fatal("bit-flipped checkpoint accepted on resume")
+	}
+
+	if err := os.WriteFile(path, []byte("not a checkpoint"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Train(m, ds.Graph, s, cfg); err == nil {
+		t.Fatal("garbage checkpoint accepted on resume")
+	}
+}
+
+// TestTrainCheckpointConfigValidation covers the new config knobs.
+func TestTrainCheckpointConfigValidation(t *testing.T) {
+	ds, m, s := trainerSetup(t, 300)
+	bad := []Config{
+		{Epochs: 1, BatchSize: 10, LR: 1e-3, TrainFrac: 0.7, Resume: true},
+		{Epochs: 1, BatchSize: 10, LR: 1e-3, TrainFrac: 0.7, CheckpointEvery: -1},
+		{Epochs: 1, BatchSize: 10, LR: 1e-3, TrainFrac: 0.7, MaxBatches: -1},
+		{Epochs: 1, BatchSize: 10, LR: 1e-3, TrainFrac: 0.7, MaxRollbacks: -1},
+	}
+	for i, cfg := range bad {
+		if _, err := Train(m, ds.Graph, s, cfg); err == nil {
+			t.Fatalf("bad config %d accepted", i)
+		}
+	}
+}
+
+// TestTrainCheckpointAtomicUnderWriteFaults drives the save path
+// through the fault-injecting FS directly: whatever fault interrupts a
+// save, the previous checkpoint on disk stays fully loadable.
+func TestTrainCheckpointAtomicUnderWriteFaults(t *testing.T) {
+	ds, m, s := trainerSetup(t, 300)
+	path := filepath.Join(t.TempDir(), "train.ckpt")
+	cfg := Config{
+		Epochs: 1, BatchSize: 100, LR: 1e-3, TrainFrac: 0.7, Seed: 1,
+		CheckpointPath: path,
+	}
+	if _, err := Train(m, ds.Graph, s, cfg); err != nil {
+		t.Fatal(err)
+	}
+	clean, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	opt2 := nn.NewAdam(m.Params(), 1e-3)
+	st := &trainState{epoch: 1, batch: 2, lossSum: 0.5, batches: 2, epochLoss: []float64{0.7}}
+	neg := tensor.NewRNG(3)
+	drop := tensor.NewRNG(4)
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	limits := []int{0, 1, 15, 16, 17, int(info.Size()) / 2, int(info.Size()) - 1}
+	for _, limit := range limits {
+		fsys := faultfs.NewFS()
+		fsys.WriteLimit = limit
+		if err := saveTrainCheckpoint(fsys, path, m, opt2, neg, drop, st); err == nil {
+			t.Fatalf("short write at %d not reported", limit)
+		}
+		got, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != string(clean) {
+			t.Fatalf("short write at %d damaged the previous checkpoint", limit)
+		}
+	}
+}

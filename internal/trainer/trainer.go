@@ -10,10 +10,13 @@
 package trainer
 
 import (
+	"errors"
 	"fmt"
+	"io/fs"
 	"math"
 
 	"tgopt/internal/autograd"
+	"tgopt/internal/checkpoint"
 	"tgopt/internal/core"
 	"tgopt/internal/graph"
 	"tgopt/internal/nn"
@@ -43,6 +46,28 @@ type Config struct {
 	Dropout float64
 	// Logf, when non-nil, receives progress lines.
 	Logf func(format string, args ...any)
+
+	// CheckpointPath, when non-empty, enables crash-safe checkpointing:
+	// the full training state (parameters, Adam moments and step count,
+	// both RNG streams, epoch/batch cursors, loss history) is written
+	// atomically through internal/checkpoint at every epoch boundary and,
+	// if CheckpointEvery > 0, every CheckpointEvery batches.
+	CheckpointPath string
+	// CheckpointEvery is the mid-epoch checkpoint cadence in batches
+	// (0 = epoch boundaries only).
+	CheckpointEvery int
+	// Resume loads CheckpointPath before training and continues from the
+	// recorded position. A missing file starts fresh; a corrupt one is an
+	// error (delete it explicitly to discard).
+	Resume bool
+	// MaxBatches, when > 0, stops the run cleanly after that many batches
+	// (checkpointing the exit position), simulating preemption. The
+	// returned Result has Interrupted set.
+	MaxBatches int
+	// MaxRollbacks bounds how many times a non-finite batch may roll the
+	// run back to the last checkpoint before Train gives up (0 means the
+	// default of 8). Only meaningful with CheckpointPath set.
+	MaxRollbacks int
 }
 
 // DefaultConfig returns a laptop-scale training configuration.
@@ -55,6 +80,10 @@ type Result struct {
 	EpochLoss []float64 // mean train loss per epoch
 	ValAP     float64   // average precision on the validation split
 	ValAcc    float64   // accuracy at threshold 0.5
+
+	NonFinite   int  // batches whose loss or gradients were NaN/Inf (step skipped)
+	Rollbacks   int  // times a non-finite batch restored the last checkpoint
+	Interrupted bool // run stopped early by MaxBatches (state checkpointed)
 }
 
 // params mirrors the model's trainable tensors as autograd leaves. The
@@ -227,8 +256,21 @@ func newNegativeSampler(g *graph.Graph, seed uint64) *negativeSampler {
 
 func (ns *negativeSampler) sample() int32 { return ns.dsts[ns.r.Intn(len(ns.dsts))] }
 
+// preStepHook, when non-nil, runs before each batch with the number of
+// batches executed so far this run. Tests use it to inject faults
+// (poisoning a parameter to NaN) at a chosen step.
+var preStepHook func(step int)
+
 // Train runs link-prediction training and returns the loss trajectory
 // and validation metrics. The sampler must use the same k as the model.
+//
+// With cfg.CheckpointPath set, the run checkpoints its full state
+// atomically and can resume after a crash (cfg.Resume) with the same
+// loss trajectory an uninterrupted run would produce. Batches with
+// non-finite loss or gradients never reach the optimizer: without
+// checkpointing they are skipped and counted; with it, the run rolls
+// back to the last checkpoint (fresh negative samples and dropout masks
+// give the retry a different trajectory) up to MaxRollbacks times.
 func Train(m *tgat.Model, g *graph.Graph, s *graph.Sampler, cfg Config) (*Result, error) {
 	if cfg.Epochs < 1 || cfg.BatchSize < 1 {
 		return nil, fmt.Errorf("trainer: bad config %+v", cfg)
@@ -238,6 +280,12 @@ func Train(m *tgat.Model, g *graph.Graph, s *graph.Sampler, cfg Config) (*Result
 	}
 	if s.K() != m.Cfg.NumNeighbors {
 		return nil, fmt.Errorf("trainer: sampler k %d != model NumNeighbors %d", s.K(), m.Cfg.NumNeighbors)
+	}
+	if cfg.Resume && cfg.CheckpointPath == "" {
+		return nil, fmt.Errorf("trainer: Resume requires CheckpointPath")
+	}
+	if cfg.CheckpointEvery < 0 || cfg.MaxBatches < 0 || cfg.MaxRollbacks < 0 {
+		return nil, fmt.Errorf("trainer: negative checkpoint config %+v", cfg)
 	}
 	edges := g.Edges()
 	split := int(float64(len(edges)) * cfg.TrainFrac)
@@ -250,25 +298,109 @@ func Train(m *tgat.Model, g *graph.Graph, s *graph.Sampler, cfg Config) (*Result
 	opt := nn.NewAdam(m.Params(), cfg.LR)
 	dropRNG := tensor.NewRNG(cfg.Seed ^ 0xD20)
 
+	ckpt := cfg.CheckpointPath != ""
+	maxRollbacks := cfg.MaxRollbacks
+	if maxRollbacks == 0 {
+		maxRollbacks = 8
+	}
+	st := &trainState{}
+	if cfg.Resume {
+		loaded, err := loadTrainCheckpoint(cfg.CheckpointPath, m, opt, neg.r, dropRNG)
+		switch {
+		case err == nil:
+			st = loaded
+			if cfg.Logf != nil {
+				cfg.Logf("resumed from %s: epoch %d batch %d", cfg.CheckpointPath, st.epoch, st.batch)
+			}
+		case errors.Is(err, fs.ErrNotExist):
+			if cfg.Logf != nil {
+				cfg.Logf("no checkpoint at %s, starting fresh", cfg.CheckpointPath)
+			}
+		default:
+			return nil, fmt.Errorf("trainer: resume: %w", err)
+		}
+	}
+	save := func() error {
+		if !ckpt {
+			return nil
+		}
+		return saveTrainCheckpoint(checkpoint.OS{}, cfg.CheckpointPath, m, opt, neg.r, dropRNG, st)
+	}
+	// An initial checkpoint so the first rollback always has a target.
+	if err := save(); err != nil {
+		return nil, fmt.Errorf("trainer: initial checkpoint: %w", err)
+	}
+
 	res := &Result{}
-	for epoch := 0; epoch < cfg.Epochs; epoch++ {
-		var lossSum float64
-		var batches int
-		for start := 0; start < len(train); start += cfg.BatchSize {
+	batchesPerEpoch := (len(train) + cfg.BatchSize - 1) / cfg.BatchSize
+	done := 0 // batches executed this run (fault hook and MaxBatches cadence)
+	for st.epoch < cfg.Epochs {
+		for st.batch < batchesPerEpoch {
+			if cfg.MaxBatches > 0 && done >= cfg.MaxBatches {
+				if err := save(); err != nil {
+					return nil, fmt.Errorf("trainer: interrupt checkpoint: %w", err)
+				}
+				res.Interrupted = true
+				res.EpochLoss = st.epochLoss
+				if cfg.Logf != nil {
+					cfg.Logf("interrupted after %d batches at epoch %d batch %d", done, st.epoch, st.batch)
+				}
+				return res, nil
+			}
+			if preStepHook != nil {
+				preStepHook(done)
+			}
+			start := st.batch * cfg.BatchSize
 			end := start + cfg.BatchSize
 			if end > len(train) {
 				end = len(train)
 			}
-			loss := trainStep(m, s, train[start:end], neg, opt, cfg, dropRNG)
-			lossSum += loss
-			batches++
+			loss, ok := trainStep(m, s, train[start:end], neg, opt, cfg, dropRNG)
+			done++
+			if !ok {
+				res.NonFinite++
+				if cfg.Logf != nil {
+					cfg.Logf("epoch %d batch %d: non-finite loss/gradients (%v), optimizer step skipped", st.epoch, st.batch, loss)
+				}
+				if !ckpt {
+					st.batch++ // skip the batch; nothing to restore from
+					continue
+				}
+				if res.Rollbacks >= maxRollbacks {
+					return res, fmt.Errorf("trainer: diverged: %d non-finite batches after %d rollbacks", res.NonFinite, res.Rollbacks)
+				}
+				// Restore everything except the RNG streams: the retried
+				// batch sees fresh negatives and dropout masks, so a
+				// deterministic NaN cannot loop forever.
+				rb, err := loadTrainCheckpoint(cfg.CheckpointPath, m, opt, tensor.NewRNG(0), tensor.NewRNG(0))
+				if err != nil {
+					return res, fmt.Errorf("trainer: rollback: %w", err)
+				}
+				*st = *rb
+				res.Rollbacks++
+				continue
+			}
+			st.lossSum += loss
+			st.batches++
+			st.batch++
+			if ckpt && cfg.CheckpointEvery > 0 && done%cfg.CheckpointEvery == 0 {
+				if err := save(); err != nil {
+					return nil, fmt.Errorf("trainer: periodic checkpoint: %w", err)
+				}
+			}
 		}
-		mean := lossSum / float64(batches)
-		res.EpochLoss = append(res.EpochLoss, mean)
+		mean := st.lossSum / float64(st.batches)
+		st.epochLoss = append(st.epochLoss, mean)
 		if cfg.Logf != nil {
-			cfg.Logf("epoch %d/%d: mean loss %.4f", epoch+1, cfg.Epochs, mean)
+			cfg.Logf("epoch %d/%d: mean loss %.4f", st.epoch+1, cfg.Epochs, mean)
+		}
+		st.epoch++
+		st.batch, st.lossSum, st.batches = 0, 0, 0
+		if err := save(); err != nil {
+			return nil, fmt.Errorf("trainer: epoch checkpoint: %w", err)
 		}
 	}
+	res.EpochLoss = st.epochLoss
 	if len(val) > 0 {
 		res.ValAP, res.ValAcc = Evaluate(m, s, val, neg)
 		if cfg.Logf != nil {
@@ -278,7 +410,28 @@ func Train(m *tgat.Model, g *graph.Graph, s *graph.Sampler, cfg Config) (*Result
 	return res, nil
 }
 
-func trainStep(m *tgat.Model, s *graph.Sampler, batch []graph.Edge, neg *negativeSampler, opt *nn.Adam, cfg Config, dropRNG *tensor.RNG) float64 {
+// finiteTensors reports whether every element of every non-nil tensor
+// is finite.
+func finiteTensors(ts []*tensor.Tensor) bool {
+	for _, t := range ts {
+		if t == nil {
+			continue
+		}
+		for _, v := range t.Data() {
+			f := float64(v)
+			if math.IsNaN(f) || math.IsInf(f, 0) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// trainStep runs one forward/backward pass and, when the loss and all
+// gradients are finite, applies the optimizer step. It returns the loss
+// and whether the step was applied; a non-finite batch leaves the
+// parameters and optimizer state untouched.
+func trainStep(m *tgat.Model, s *graph.Sampler, batch []graph.Edge, neg *negativeSampler, opt *nn.Adam, cfg Config, dropRNG *tensor.RNG) (float64, bool) {
 	nb := len(batch)
 	// Pack sources, destinations, negatives into one embedding batch.
 	nodes := make([]int32, 3*nb)
@@ -305,8 +458,13 @@ func trainStep(m *tgat.Model, s *graph.Sampler, batch []graph.Edge, neg *negativ
 	}
 	loss := autograd.BCEWithLogits(logits, labels)
 	loss.Backward()
-	opt.Step(tp.Grads())
-	return float64(loss.T.Data()[0])
+	lv := float64(loss.T.Data()[0])
+	grads := tp.Grads()
+	if math.IsNaN(lv) || math.IsInf(lv, 0) || !finiteTensors(grads) {
+		return lv, false
+	}
+	opt.Step(grads)
+	return lv, true
 }
 
 // Evaluate scores each validation edge against one sampled negative and

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Tier-1 verification plus race checks for the concurrency-sensitive
 # packages (the parallel runtime, the serving middleware, and the
-# sharded cache). Run on every PR.
+# sharded cache) and the crash-safety suites (checkpoint envelope,
+# fault injection, trainer resume). Run on every PR.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -14,7 +15,14 @@ go build ./...
 echo "== go test"
 go test ./...
 
-echo "== go test -race (concurrency-sensitive packages)"
-go test -race ./internal/parallel/... ./internal/serve/... ./internal/core/... ./internal/stats/...
+echo "== go test -race (concurrency-sensitive + fault-injection packages)"
+go test -race ./internal/parallel/... ./internal/serve/... ./internal/core/... \
+    ./internal/stats/... ./internal/checkpoint/... ./internal/faultfs/... \
+    ./internal/trainer/...
+
+echo "== fuzz smoke (persistence parsers, seed corpus + 5s each)"
+go test -run='^$' -fuzz='^FuzzDecode$' -fuzztime=5s ./internal/checkpoint/
+go test -run='^$' -fuzz='^FuzzCacheReadFrom$' -fuzztime=5s ./internal/core/
+go test -run='^$' -fuzz='^FuzzLoadParams$' -fuzztime=5s ./internal/tgat/
 
 echo "OK"
