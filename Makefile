@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check race bench
+.PHONY: build test check race bench microbench
 
 build:
 	$(GO) build ./...
@@ -16,5 +16,11 @@ check:
 race:
 	$(GO) vet ./... && $(GO) test -race ./internal/parallel/... ./internal/serve/...
 
+# Committed perf artifact: kernel + end-to-end report as BENCH_<n>.json
+# at the repo root (see scripts/bench.sh and DESIGN.md §9).
 bench:
-	$(GO) test -bench=. -benchmem .
+	./scripts/bench.sh
+
+# In-place Go microbenchmarks (no artifact).
+microbench:
+	$(GO) test -bench=. -benchmem ./internal/tensor/

@@ -15,6 +15,7 @@
 //	tgopt-bench train-dedup                # §7 training-time dedup
 //	tgopt-bench warmstart                  # cache persistence warm start
 //	tgopt-bench batchsweep                 # batch-size sensitivity
+//	tgopt-bench perf [-o BENCH.json]       # kernel + end-to-end perf report
 //	tgopt-bench all                        # everything above, CPU + GPU
 //
 // Figure subcommands accept --plot <dir> (SVG output) and --csv <dir>
@@ -24,12 +25,14 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
 	"tgopt/internal/dataset"
 	"tgopt/internal/experiments"
+	"tgopt/internal/perfbench"
 )
 
 func main() {
@@ -53,6 +56,7 @@ func main() {
 	seed := fs.Uint64("seed", 1, "deterministic seed")
 	plotDir := fs.String("plot", "", "also write figure SVGs into this directory")
 	csvDir := fs.String("csv", "", "also write machine-readable result CSVs into this directory")
+	out := fs.String("o", "", "perf: write the JSON report here instead of stdout")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}
@@ -178,6 +182,8 @@ func main() {
 	case "batchsweep":
 		_, err = experiments.BatchSweep(w, setup, one(focus, "jodie-lastfm", *ds),
 			[]int{50, 100, 200, 400, 800})
+	case "perf":
+		err = runPerf(setup, one(focus, "snap-msg", *ds), *runs, *out)
 	case "all":
 		err = runAll(setup, selected, focus, *plotDir, *csvDir)
 	default:
@@ -351,8 +357,39 @@ func runAll(setup experiments.Setup, selected, focus []string, plotDir, csvDir s
 	return nil
 }
 
+// runPerf executes the committed performance suite (kernels, attention,
+// end-to-end stream inference) and writes the JSON report to out, or
+// stdout when out is empty. A one-line summary always goes to stderr so
+// scripted runs stay observable.
+func runPerf(setup experiments.Setup, name string, runs int, out string) error {
+	rep, err := perfbench.Run(setup, name, runs)
+	if err != nil {
+		return err
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if out == "" {
+		_, err = os.Stdout.Write(buf)
+	} else {
+		err = os.WriteFile(out, buf, 0o644)
+	}
+	if err != nil {
+		return err
+	}
+	for _, r := range rep.Results {
+		if r.NsPerEdge > 0 {
+			fmt.Fprintf(os.Stderr, "perf: %s %.0f ns/edge (%d edges, %.0f allocs/pass)\n",
+				r.Name, r.NsPerEdge, r.Edges, r.AllocsPerOp)
+		}
+	}
+	return nil
+}
+
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: tgopt-bench <table1|table2|fig3|fig4|fig5|fig6|fig7|table3|table4|table5|sampling|train-dedup|batchsweep|warmstart|all> [flags]
+	fmt.Fprintln(os.Stderr, `usage: tgopt-bench <table1|table2|fig3|fig4|fig5|fig6|fig7|table3|table4|table5|sampling|train-dedup|batchsweep|warmstart|perf|all> [flags]
 run "tgopt-bench fig5 -h" for flags`)
 }
 

@@ -121,35 +121,50 @@ const cacheParallelThreshold = 2048
 // parallelizes for large batches; distinct keys never contend on the
 // same row.
 func (c *Cache) Lookup(keys []uint64, dst *tensor.Tensor) ([]bool, int) {
+	hits := make([]bool, len(keys))
+	n := c.LookupInto(keys, dst, hits)
+	return hits, n
+}
+
+// LookupInto is Lookup writing the hit mask into a caller-supplied
+// slice of length len(keys). Every mask element is written (callers may
+// pass dirty arena scratch). Returns the hit count.
+func (c *Cache) LookupInto(keys []uint64, dst *tensor.Tensor, hits []bool) int {
 	if dst.Dim(0) != len(keys) || dst.Dim(1) != c.dim {
 		panic("core: cache Lookup dst shape mismatch")
 	}
-	hits := make([]bool, len(keys))
-	var nhits atomic.Int64
+	if len(hits) != len(keys) {
+		panic("core: cache Lookup hits length mismatch")
+	}
 	data := dst.Data()
-	body := func(lo, hi int) {
-		local := 0
-		for i := lo; i < hi; i++ {
-			s := c.shardFor(keys[i])
-			s.mu.Lock()
-			v, ok := s.m[keys[i]]
-			if ok {
-				copy(data[i*c.dim:(i+1)*c.dim], v)
-			}
-			s.mu.Unlock()
-			if ok {
-				hits[i] = true
-				local++
-			}
+	if len(keys) >= cacheParallelThreshold && parallel.Degree() > 1 {
+		var nhits atomic.Int64
+		parallel.ForChunked(len(keys), 0, func(lo, hi int) {
+			nhits.Add(int64(c.lookupRange(keys, data, hits, lo, hi)))
+		})
+		return int(nhits.Load())
+	}
+	return c.lookupRange(keys, data, hits, 0, len(keys))
+}
+
+// lookupRange performs lookups for keys [lo,hi), returning the local
+// hit count.
+func (c *Cache) lookupRange(keys []uint64, data []float32, hits []bool, lo, hi int) int {
+	local := 0
+	for i := lo; i < hi; i++ {
+		s := c.shardFor(keys[i])
+		s.mu.Lock()
+		v, ok := s.m[keys[i]]
+		if ok {
+			copy(data[i*c.dim:(i+1)*c.dim], v)
 		}
-		nhits.Add(int64(local))
+		s.mu.Unlock()
+		hits[i] = ok
+		if ok {
+			local++
+		}
 	}
-	if len(keys) >= cacheParallelThreshold {
-		parallel.ForChunked(len(keys), 0, body)
-	} else {
-		body(0, len(keys))
-	}
-	return hits, int(nhits.Load())
+	return local
 }
 
 // Store inserts each (key, row of h) pair, evicting the oldest entries
@@ -161,15 +176,16 @@ func (c *Cache) Store(keys []uint64, h *tensor.Tensor) {
 		panic("core: cache Store shape mismatch")
 	}
 	data := h.Data()
-	body := func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			c.storeOne(keys[i], data[i*c.dim:(i+1)*c.dim])
-		}
+	if len(keys) >= cacheParallelThreshold && parallel.Degree() > 1 {
+		parallel.ForChunked(len(keys), 0, func(lo, hi int) { c.storeRange(keys, data, lo, hi) })
+		return
 	}
-	if len(keys) >= cacheParallelThreshold {
-		parallel.ForChunked(len(keys), 0, body)
-	} else {
-		body(0, len(keys))
+	c.storeRange(keys, data, 0, len(keys))
+}
+
+func (c *Cache) storeRange(keys []uint64, data []float32, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		c.storeOne(keys[i], data[i*c.dim:(i+1)*c.dim])
 	}
 }
 

@@ -25,28 +25,73 @@ func (d *DedupResult) Unique() int { return len(d.Nodes) }
 // The inverse index lets DedupInvert restore the original batch shape
 // after computation.
 func DedupFilter(nodes []int32, ts []float64) *DedupResult {
+	res := DedupFilterWith(nil, nodes, ts)
+	return &res
+}
+
+// DedupFilterWith is DedupFilter with all output and scratch storage
+// drawn from ar (heap when ar is nil), returned by value so the hot
+// path allocates nothing. Instead of a Go map it probes an
+// open-addressed table over arena scratch — the map's per-call bucket
+// allocations were the dominant dedup cost. Results are invalidated by
+// ar.Reset.
+func DedupFilterWith(ar *tensor.Arena, nodes []int32, ts []float64) DedupResult {
 	if len(nodes) != len(ts) {
 		panic("core: DedupFilter nodes/ts length mismatch")
 	}
-	res := &DedupResult{
-		Nodes:  make([]int32, 0, len(nodes)),
-		Times:  make([]float64, 0, len(nodes)),
-		InvIdx: make([]int32, len(nodes)),
+	n := len(nodes)
+	res := DedupResult{
+		Nodes:  ar.Int32s(n),
+		Times:  ar.Float64s(n),
+		InvIdx: ar.Int32s(n),
 	}
-	processed := make(map[uint64]int32, len(nodes))
-	for i := range nodes {
+	// Power-of-two table with load factor <= 1/2; slot -1 is empty.
+	size := 4
+	for size < 2*n {
+		size <<= 1
+	}
+	slots := ar.Int32s(size)
+	for i := range slots {
+		slots[i] = -1
+	}
+	skeys := ar.Uint64s(size)
+	mask := uint64(size - 1)
+	u := 0
+	for i := 0; i < n; i++ {
 		key := Key(nodes[i], ts[i])
-		if idx, ok := processed[key]; ok {
-			res.InvIdx[i] = idx
-			continue
+		p := mix64(key) & mask
+		for {
+			idx := slots[p]
+			if idx < 0 {
+				slots[p] = int32(u)
+				skeys[p] = key
+				res.Nodes[u] = nodes[i]
+				res.Times[u] = ts[i]
+				res.InvIdx[i] = int32(u)
+				u++
+				break
+			}
+			if skeys[p] == key {
+				res.InvIdx[i] = idx
+				break
+			}
+			p = (p + 1) & mask
 		}
-		idx := int32(len(res.Nodes))
-		res.InvIdx[i] = idx
-		res.Nodes = append(res.Nodes, nodes[i])
-		res.Times = append(res.Times, ts[i])
-		processed[key] = idx
 	}
+	res.Nodes = res.Nodes[:u]
+	res.Times = res.Times[:u]
 	return res
+}
+
+// mix64 is the splitmix64 finalizer: Key is structured (node id high,
+// time low), so probe positions need full avalanche.
+func mix64(h uint64) uint64 {
+	h ^= h >> 33
+	h *= 0xFF51AFD7ED558CCD
+	h ^= h >> 33
+	h *= 0xC4CEB9FE1A85EC53
+	h ^= h >> 33
+	return h
 }
 
 // DedupInvert expands the unique-row tensor H (unique, d) back to the
@@ -54,8 +99,14 @@ func DedupFilter(nodes []int32, ts []float64) *DedupResult {
 // output is elementwise identical to what the unoptimized computation
 // would have produced (§4.1).
 func DedupInvert(h *tensor.Tensor, invIdx []int32) *tensor.Tensor {
+	return DedupInvertWith(nil, h, invIdx)
+}
+
+// DedupInvertWith is DedupInvert with the output drawn from ar (heap
+// when ar is nil).
+func DedupInvertWith(ar *tensor.Arena, h *tensor.Tensor, invIdx []int32) *tensor.Tensor {
 	d := h.Dim(1)
-	out := tensor.New(len(invIdx), d)
+	out := ar.Tensor(len(invIdx), d)
 	src := h.Data()
 	dst := out.Data()
 	for i, r := range invIdx {

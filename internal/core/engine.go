@@ -264,32 +264,49 @@ func (e *Engine) clearDeepCaches() {
 // EmbedFunc adapts the engine to the inference driver's signature.
 func (e *Engine) EmbedFunc() tgat.EmbedFunc { return e.Embed }
 
+// EmbedArenaFunc adapts the engine to the arena-aware driver signature
+// — the zero-allocation steady-state path.
+func (e *Engine) EmbedArenaFunc() tgat.EmbedArenaFunc { return e.EmbedWith }
+
 // Embed computes top-layer temporal embeddings for the given targets —
-// the paper's Algorithm 1.
+// the paper's Algorithm 1. The result is an ordinary heap tensor owned
+// by the caller; hot loops should prefer EmbedWith, which skips the
+// final defensive copy.
 func (e *Engine) Embed(nodes []int32, ts []float64) *tensor.Tensor {
+	ar := tensor.GetArena()
+	h := e.EmbedWith(ar, nodes, ts).Clone()
+	tensor.PutArena(ar)
+	return h
+}
+
+// EmbedWith is Embed with every intermediate and the result drawn from
+// ar (heap when ar is nil): the returned tensor is invalidated by
+// ar.Reset. After a warmup batch has grown the arena's slots, a
+// steady-state batch of the same shape performs zero heap allocations
+// end to end (see DESIGN.md §9). Concurrent callers need distinct
+// arenas; the engine itself stays safe for concurrent use.
+func (e *Engine) EmbedWith(ar *tensor.Arena, nodes []int32, ts []float64) *tensor.Tensor {
 	if len(nodes) != len(ts) {
 		panic("core: Embed nodes/ts length mismatch")
 	}
-	return e.embed(e.model.Cfg.Layers, nodes, ts)
+	return e.embed(ar, e.model.Cfg.Layers, nodes, ts)
 }
 
-// timeOp measures an operation's host wall time, converts it through
-// the device model when one is configured, and records it under op. The
-// wall time is also observed into the stage's latency histogram (stage
-// "" skips that), which stays on even without a Collector so a serving
-// deployment always has per-stage visibility.
-func (e *Engine) timeOp(op, stage string, kind device.OpKind, launches int) func() {
+// observe records an operation that started at `start`: wall time into
+// the stage's latency histogram (stage "" skips that; the histograms
+// stay on even without a Collector so a serving deployment always has
+// per-stage visibility), and the device-model-converted duration into
+// the Collector. It replaces a closure-returning predecessor (timeOp)
+// whose per-call closure was measurable garbage on the embed hot path.
+func (e *Engine) observe(op, stage string, kind device.OpKind, launches int, start time.Time) {
 	h := e.stages[stage]
 	if h == nil && e.opt.Collector == nil && e.opt.Device == nil {
-		return func() {}
+		return
 	}
-	start := time.Now()
-	return func() {
-		wall := time.Since(start)
-		h.Observe(wall)
-		if e.opt.Collector != nil || e.opt.Device != nil {
-			e.opt.Collector.Add(op, e.opt.Device.OpTime(kind, wall, launches))
-		}
+	wall := time.Since(start)
+	h.Observe(wall)
+	if e.opt.Collector != nil || e.opt.Device != nil {
+		e.opt.Collector.Add(op, e.opt.Device.OpTime(kind, wall, launches))
 	}
 }
 
@@ -301,13 +318,13 @@ func (e *Engine) chargeTransfer(op string, dir device.Direction, bytes int64, ca
 	e.opt.Collector.Add(op, e.opt.Device.TransferTime(dir, bytes, calls))
 }
 
-func (e *Engine) embed(l int, nodes []int32, ts []float64) *tensor.Tensor {
+func (e *Engine) embed(ar *tensor.Arena, l int, nodes []int32, ts []float64) *tensor.Tensor {
 	cfg := e.model.Cfg
 	d := cfg.NodeDim
 	if l == 0 {
-		stop := e.timeOp(stats.OpFeatLookup, "", device.HostOp, 0)
-		h := gatherRows32(e.model.NodeFeat, nodes)
-		stop()
+		start := time.Now()
+		h := gatherRows32(ar, e.model.NodeFeat, nodes)
+		e.observe(stats.OpFeatLookup, "", device.HostOp, 0, start)
 		e.chargeTransfer(stats.OpFeatLookup, device.HtoD, int64(len(nodes)*d*4), 1)
 		return h
 	}
@@ -316,14 +333,16 @@ func (e *Engine) embed(l int, nodes []int32, ts []float64) *tensor.Tensor {
 	// paper: layer 0 is a pure gather, so deduplicating it buys nothing.
 	var inv []int32
 	if e.opt.EnableDedup {
-		stop := e.timeOp(stats.OpDedupFilter, StageDedup, device.HostOp, 0)
-		res := DedupFilter(nodes, ts)
-		stop()
+		start := time.Now()
+		res := DedupFilterWith(ar, nodes, ts)
+		e.observe(stats.OpDedupFilter, StageDedup, device.HostOp, 0, start)
 		nodes, ts, inv = res.Nodes, res.Times, res.InvIdx
 	}
 
 	n := len(nodes)
-	h := tensor.New(n, d)
+	// Miss rows are either filled below or never read (nhits == 0 hands
+	// the miss tensor back directly), so uninitialized scratch is safe.
+	h := ar.Tensor(n, d)
 
 	// §4.2 — look up memoized embeddings.
 	cache := e.CacheFor(l)
@@ -331,12 +350,14 @@ func (e *Engine) embed(l int, nodes []int32, ts []float64) *tensor.Tensor {
 	var hitMask []bool
 	nhits := 0
 	if cache != nil {
-		stop := e.timeOp(stats.OpComputeKeys, StageCacheLookup, device.HostOp, 0)
-		keys = ComputeKeys(nodes, ts)
-		stop()
-		stop = e.timeOp(stats.OpCacheLookup, StageCacheLookup, device.HostOp, 0)
-		hitMask, nhits = cache.Lookup(keys, h)
-		stop()
+		start := time.Now()
+		keys = ar.Uint64s(n)
+		ComputeKeysInto(keys, nodes, ts)
+		e.observe(stats.OpComputeKeys, StageCacheLookup, device.HostOp, 0, start)
+		start = time.Now()
+		hitMask = ar.Bools(n)
+		nhits = cache.LookupInto(keys, h, hitMask)
+		e.observe(stats.OpCacheLookup, StageCacheLookup, device.HostOp, 0, start)
 		if e.opt.CacheOnDevice {
 			// Device-resident cache: every hit is a small on-device copy.
 			e.chargeTransfer(stats.OpCacheLookup, device.DtoD, int64(nhits*d*4), nhits)
@@ -356,22 +377,24 @@ func (e *Engine) embed(l int, nodes []int32, ts []float64) *tensor.Tensor {
 		var missKeys []uint64
 		if nhits > 0 {
 			nm := n - nhits
-			missNodes = make([]int32, 0, nm)
-			missTs = make([]float64, 0, nm)
-			missPos = make([]int32, 0, nm)
+			missNodes = ar.Int32s(nm)
+			missTs = ar.Float64s(nm)
+			missPos = ar.Int32s(nm)
 			if keys != nil {
-				missKeys = make([]uint64, 0, nm)
+				missKeys = ar.Uint64s(nm)
 			}
+			w := 0
 			for i := 0; i < n; i++ {
 				if hitMask[i] {
 					continue
 				}
-				missNodes = append(missNodes, nodes[i])
-				missTs = append(missTs, ts[i])
-				missPos = append(missPos, int32(i))
+				missNodes[w] = nodes[i]
+				missTs[w] = ts[i]
+				missPos[w] = int32(i)
 				if keys != nil {
-					missKeys = append(missKeys, keys[i])
+					missKeys[w] = keys[i]
 				}
+				w++
 			}
 		} else if keys != nil {
 			missKeys = keys
@@ -379,35 +402,44 @@ func (e *Engine) embed(l int, nodes []int32, ts []float64) *tensor.Tensor {
 		nm := len(missNodes)
 		k := cfg.NumNeighbors
 
-		stop := e.timeOp(stats.OpNghLookup, StageSample, device.HostOp, 0)
-		b := e.sampler.Sample(missNodes, missTs)
-		stop()
+		start := time.Now()
+		b := graph.Batch{
+			K:     k,
+			Nghs:  ar.Int32s(nm * k),
+			EIdxs: ar.Int32s(nm * k),
+			Times: ar.Float64s(nm * k),
+			Valid: ar.Bools(nm * k),
+		}
+		e.sampler.SampleTo(&b, missNodes, missTs)
+		e.observe(stats.OpNghLookup, StageSample, device.HostOp, 0, start)
 
 		// Recurse over targets ∪ neighbors (line 12).
-		allNodes := make([]int32, nm+nm*k)
-		allTs := make([]float64, nm+nm*k)
+		allNodes := ar.Int32s(nm + nm*k)
+		allTs := ar.Float64s(nm + nm*k)
 		copy(allNodes, missNodes)
 		copy(allTs, missTs)
 		copy(allNodes[nm:], b.Nghs)
 		copy(allTs[nm:], b.Times)
-		hAll := e.embed(l-1, allNodes, allTs)
-		hTgt := tensor.FromSlice(hAll.Data()[:nm*d], nm, d)
-		hNgh := tensor.FromSlice(hAll.Data()[nm*d:], nm*k, d)
+		hAll := e.embed(ar, l-1, allNodes, allTs)
+		hTgt := ar.Wrap(hAll.Data()[:nm*d], nm, d)
+		hNgh := ar.Wrap(hAll.Data()[nm*d:], nm*k, d)
 
-		tEnc0 := e.encodeZeros(nm)
-		tEncD := e.encodeDeltas(missTs, b, nm, k)
+		tEnc0 := e.encodeZeros(ar, nm)
+		tEncD := e.encodeDeltas(ar, missTs, &b, nm, k)
 
-		stop = e.timeOp(stats.OpFeatLookup, "", device.HostOp, 0)
-		eFeat := gatherRows32(e.model.EdgeFeat, b.EIdxs)
-		stop()
+		start = time.Now()
+		eFeat := gatherRows32(ar, e.model.EdgeFeat, b.EIdxs)
+		e.observe(stats.OpFeatLookup, "", device.HostOp, 0, start)
 		e.chargeTransfer(stats.OpFeatLookup, device.HtoD, int64(nm*k*cfg.EdgeDim*4), 1)
 
-		stop = e.timeOp(stats.OpAttention, StageAttention, device.TensorOp, 8)
-		hm := e.model.LayerForward(l, hTgt, hNgh, eFeat, tEnc0, tEncD, b.Valid)
-		stop()
+		start = time.Now()
+		hm := e.model.LayerForwardWith(ar, l, hTgt, hNgh, eFeat, tEnc0, tEncD, b.Valid)
+		e.observe(stats.OpAttention, StageAttention, device.TensorOp, 8, start)
 
 		if cache != nil {
 			if e.deps != nil {
+				// Dependency tracking is an opt-in diagnostic; its
+				// per-target slices stay on the heap deliberately.
 				for i := 0; i < nm; i++ {
 					depNodes := make([]int32, 0, k+1)
 					depNodes = append(depNodes, missNodes[i])
@@ -415,9 +447,9 @@ func (e *Engine) embed(l int, nodes []int32, ts []float64) *tensor.Tensor {
 					e.deps.Record(missKeys[i], depNodes, b.EIdxs[i*k:(i+1)*k])
 				}
 			}
-			stop = e.timeOp(stats.OpCacheStore, StageCacheStore, device.HostOp, 0)
+			start = time.Now()
 			cache.Store(missKeys, hm)
-			stop()
+			e.observe(stats.OpCacheStore, StageCacheStore, device.HostOp, 0, start)
 			if e.opt.CacheOnDevice {
 				e.chargeTransfer(stats.OpCacheStore, device.DtoD, int64(nm*d*4), nm)
 			} else {
@@ -439,9 +471,9 @@ func (e *Engine) embed(l int, nodes []int32, ts []float64) *tensor.Tensor {
 
 	// §4.1 — restore the original batch shape (line 20).
 	if inv != nil {
-		stop := e.timeOp(stats.OpDedupInvert, StageDedup, device.HostOp, 0)
-		h = DedupInvert(h, inv)
-		stop()
+		start := time.Now()
+		h = DedupInvertWith(ar, h, inv)
+		e.observe(stats.OpDedupInvert, StageDedup, device.HostOp, 0, start)
 	}
 	return h
 }
@@ -449,21 +481,23 @@ func (e *Engine) embed(l int, nodes []int32, ts []float64) *tensor.Tensor {
 // encodeZeros produces Φ(0) rows for n targets, from the precomputed
 // table when enabled (§3.3: the zero encoding never changes at
 // inference time).
-func (e *Engine) encodeZeros(n int) *tensor.Tensor {
+func (e *Engine) encodeZeros(ar *tensor.Arena, n int) *tensor.Tensor {
 	d := e.model.Cfg.TimeDim
-	out := tensor.New(n, d)
+	out := ar.Tensor(n, d)
 	if e.ttable != nil {
-		stop := e.timeOp(stats.OpTimeEncZero, StageTimeEncode, device.HostOp, 0)
+		start := time.Now()
 		e.ttable.EncodeZerosInto(n, out)
-		stop()
+		e.observe(stats.OpTimeEncZero, StageTimeEncode, device.HostOp, 0, start)
 		// Device run: the Φ(0) row is already resident; replicating it is
 		// an on-device broadcast.
 		e.chargeTransfer(stats.OpTimeEncZero, device.DtoD, int64(n*d*4), 1)
 		return out
 	}
-	stop := e.timeOp(stats.OpTimeEncZero, StageTimeEncode, device.TensorOp, 2)
-	e.model.Time.EncodeInto(make([]float64, n), out)
-	stop()
+	start := time.Now()
+	zeros := ar.Float64s(n)
+	clear(zeros) // arena scratch is dirty; the encoder reads it
+	e.model.Time.EncodeInto(zeros, out)
+	e.observe(stats.OpTimeEncZero, StageTimeEncode, device.TensorOp, 2, start)
 	// Baseline on device: materialize the zero-delta tensor host-side
 	// and ship it, then encode (the intermediate-tensor cost the paper
 	// measures for TimeEncode(0) on GPU).
@@ -472,19 +506,19 @@ func (e *Engine) encodeZeros(n int) *tensor.Tensor {
 }
 
 // encodeDeltas produces Φ(t − t_j) for every neighbor slot.
-func (e *Engine) encodeDeltas(ts []float64, b *graph.Batch, n, k int) *tensor.Tensor {
+func (e *Engine) encodeDeltas(ar *tensor.Arena, ts []float64, b *graph.Batch, n, k int) *tensor.Tensor {
 	d := e.model.Cfg.TimeDim
-	deltas := make([]float64, n*k)
+	deltas := ar.Float64s(n * k)
 	for i := 0; i < n; i++ {
 		for j := 0; j < k; j++ {
 			deltas[i*k+j] = ts[i] - b.Times[i*k+j]
 		}
 	}
-	out := tensor.New(n*k, d)
+	out := ar.Tensor(n*k, d)
 	if e.ttable != nil {
-		stop := e.timeOp(stats.OpTimeEncDelta, StageTimeEncode, device.HostOp, 0)
-		hits := e.ttable.EncodeInto(deltas, out)
-		stop()
+		start := time.Now()
+		hits := e.ttable.EncodeIntoWith(ar, deltas, out)
+		e.observe(stats.OpTimeEncDelta, StageTimeEncode, device.HostOp, 0, start)
 		e.opt.Collector.Count("ttable_hits", int64(hits))
 		e.opt.Collector.Count("ttable_lookups", int64(len(deltas)))
 		// Table rows are gathered host-side and shipped to the device —
@@ -493,17 +527,18 @@ func (e *Engine) encodeDeltas(ts []float64, b *graph.Batch, n, k int) *tensor.Te
 		e.chargeTransfer(stats.OpTimeEncDelta, device.HtoD, int64(n*k*d*4), 1)
 		return out
 	}
-	stop := e.timeOp(stats.OpTimeEncDelta, StageTimeEncode, device.TensorOp, 2)
+	start := time.Now()
 	e.model.Time.EncodeInto(deltas, out)
-	stop()
+	e.observe(stats.OpTimeEncDelta, StageTimeEncode, device.TensorOp, 2, start)
 	e.chargeTransfer(stats.OpTimeEncDelta, device.HtoD, int64(n*k*8), 1)
 	return out
 }
 
-// gatherRows32 copies rows of t selected by 32-bit indices.
-func gatherRows32(t *tensor.Tensor, idx []int32) *tensor.Tensor {
+// gatherRows32 copies rows of t selected by 32-bit indices into an
+// arena tensor (heap when ar is nil).
+func gatherRows32(ar *tensor.Arena, t *tensor.Tensor, idx []int32) *tensor.Tensor {
 	w := t.Dim(1)
-	out := tensor.New(len(idx), w)
+	out := ar.Tensor(len(idx), w)
 	src := t.Data()
 	dst := out.Data()
 	for i, r := range idx {

@@ -34,16 +34,25 @@ const computeKeysParallelThreshold = 1024
 // independent, so large batches are processed in parallel (§4.2.1).
 func ComputeKeys(nodes []int32, ts []float64) []uint64 {
 	keys := make([]uint64, len(nodes))
-	if len(nodes) >= computeKeysParallelThreshold {
+	ComputeKeysInto(keys, nodes, ts)
+	return keys
+}
+
+// ComputeKeysInto is ComputeKeys writing into a caller-supplied slice of
+// length len(nodes) (the engine passes arena scratch).
+func ComputeKeysInto(keys []uint64, nodes []int32, ts []float64) {
+	if len(keys) != len(nodes) {
+		panic("core: ComputeKeysInto keys length mismatch")
+	}
+	if len(nodes) >= computeKeysParallelThreshold && parallel.Degree() > 1 {
 		parallel.ForChunked(len(nodes), 0, func(lo, hi int) {
 			for i := lo; i < hi; i++ {
 				keys[i] = Key(nodes[i], ts[i])
 			}
 		})
-		return keys
+		return
 	}
 	for i := range nodes {
 		keys[i] = Key(nodes[i], ts[i])
 	}
-	return keys
 }

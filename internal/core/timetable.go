@@ -59,11 +59,19 @@ func (tt *TimeTable) EncodeZerosInto(n int, dst *tensor.Tensor) {
 // with the original encoder. It returns the number of table hits
 // (instrumented by the breakdown analysis).
 func (tt *TimeTable) EncodeInto(dts []float64, dst *tensor.Tensor) int {
+	return tt.EncodeIntoWith(nil, dts, dst)
+}
+
+// EncodeIntoWith is EncodeInto drawing the miss-path scratch from ar
+// (heap when ar is nil), so a steady-state batch with out-of-window
+// deltas still allocates nothing.
+func (tt *TimeTable) EncodeIntoWith(ar *tensor.Arena, dts []float64, dst *tensor.Tensor) int {
 	d := tt.Dim()
 	data := dst.Data()
 	tab := tt.table.Data()
 	hitCount := 0
-	var missIdx []int
+	missIdx := ar.Int32s(len(dts))
+	nm := 0
 	for i, dt := range dts {
 		idx := int(dt)
 		if dt >= 0 && float64(idx) == dt && idx < tt.window {
@@ -71,16 +79,18 @@ func (tt *TimeTable) EncodeInto(dts []float64, dst *tensor.Tensor) int {
 			hitCount++
 			continue
 		}
-		missIdx = append(missIdx, i)
+		missIdx[nm] = int32(i)
+		nm++
 	}
-	if len(missIdx) > 0 {
-		missDts := make([]float64, len(missIdx))
-		for j, i := range missIdx {
+	if nm > 0 {
+		missDts := ar.Float64s(nm)
+		for j, i := range missIdx[:nm] {
 			missDts[j] = dts[i]
 		}
-		missEnc := tt.enc.Encode(missDts)
-		for j, i := range missIdx {
-			copy(data[i*d:(i+1)*d], missEnc.Data()[j*d:(j+1)*d])
+		missEnc := ar.Tensor(nm, d)
+		tt.enc.EncodeInto(missDts, missEnc)
+		for j, i := range missIdx[:nm] {
+			copy(data[int(i)*d:(int(i)+1)*d], missEnc.Data()[j*d:(j+1)*d])
 		}
 	}
 	return hitCount

@@ -106,9 +106,6 @@ func (s *Sampler) Graph() *Graph { return s.g }
 // targets. The per-target work is independent and is parallelized
 // across the worker pool, mirroring the paper's C++ parallel sampler.
 func (s *Sampler) Sample(nodes []int32, ts []float64) *Batch {
-	if len(nodes) != len(ts) {
-		panic("graph: Sample nodes/ts length mismatch")
-	}
 	n := len(nodes)
 	b := &Batch{
 		K:     s.k,
@@ -117,20 +114,51 @@ func (s *Sampler) Sample(nodes []int32, ts []float64) *Batch {
 		Times: make([]float64, n*s.k),
 		Valid: make([]bool, n*s.k),
 	}
-	parallel.ForChunked(n, 0, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			s.sampleOne(nodes[i], ts[i], b, i)
-		}
-	})
+	s.SampleTo(b, nodes, ts)
 	return b
+}
+
+// SampleTo is Sample writing into b, whose slices must already have
+// length n*k (typically drawn from a tensor.Arena by the hot inference
+// path). Every slot of every slice is written — callers may pass dirty
+// reused buffers.
+func (s *Sampler) SampleTo(b *Batch, nodes []int32, ts []float64) {
+	if len(nodes) != len(ts) {
+		panic("graph: Sample nodes/ts length mismatch")
+	}
+	n := len(nodes)
+	if len(b.Nghs) != n*s.k || len(b.EIdxs) != n*s.k || len(b.Times) != n*s.k || len(b.Valid) != n*s.k {
+		panic("graph: SampleTo batch buffers sized wrong")
+	}
+	b.K = s.k
+	if n >= parallel.MinParallelWork && parallel.Degree() > 1 {
+		// Capture a copy of the header (the slices still share backing
+		// arrays) so the caller's *Batch does not leak into the escaping
+		// closure — hot callers keep the Batch on their stack.
+		bb := *b
+		parallel.ForChunked(n, 0, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				s.sampleOne(nodes[i], ts[i], &bb, i)
+			}
+		})
+		return
+	}
+	for i := 0; i < n; i++ {
+		s.sampleOne(nodes[i], ts[i], b, i)
+	}
 }
 
 func (s *Sampler) sampleOne(v int32, t float64, b *Batch, i int) {
 	base := i * s.k
-	// Padding slots carry the target time so Δt = t - time = 0 for them,
-	// matching the baseline TGAT implementation's zero-padded deltas.
+	// Write every slot explicitly — the buffers may be recycled arena
+	// scratch. Padding slots carry the target time so Δt = t - time = 0
+	// for them, matching the baseline TGAT implementation's zero-padded
+	// deltas.
 	for j := 0; j < s.k; j++ {
+		b.Nghs[base+j] = 0
+		b.EIdxs[base+j] = 0
 		b.Times[base+j] = t
+		b.Valid[base+j] = false
 	}
 	if v == 0 {
 		return

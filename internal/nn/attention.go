@@ -56,6 +56,18 @@ func NewTemporalAttention(r *tensor.RNG, heads, qDim, kDim int) *TemporalAttenti
 // Targets with no valid neighbors receive a zero attention output,
 // matching the baseline's masked-softmax behavior.
 func (a *TemporalAttention) Forward(q, kv *tensor.Tensor, k int, mask []bool, wantWeights bool) (*tensor.Tensor, *tensor.Tensor) {
+	return a.forward(nil, q, kv, k, mask, wantWeights)
+}
+
+// ForwardWith is Forward without the optional attention weights, with
+// every intermediate and the output drawn from ar (heap when ar is
+// nil). The result is invalidated by ar.Reset.
+func (a *TemporalAttention) ForwardWith(ar *tensor.Arena, q, kv *tensor.Tensor, k int, mask []bool) *tensor.Tensor {
+	out, _ := a.forward(ar, q, kv, k, mask, false)
+	return out
+}
+
+func (a *TemporalAttention) forward(ar *tensor.Arena, q, kv *tensor.Tensor, k int, mask []bool, wantWeights bool) (*tensor.Tensor, *tensor.Tensor) {
 	n := q.Dim(0)
 	if kv.Dim(0) != n*k {
 		panic(fmt.Sprintf("nn: attention kv rows %d != n*k %d", kv.Dim(0), n*k))
@@ -63,88 +75,96 @@ func (a *TemporalAttention) Forward(q, kv *tensor.Tensor, k int, mask []bool, wa
 	if len(mask) != n*k {
 		panic(fmt.Sprintf("nn: attention mask len %d != n*k %d", len(mask), n*k))
 	}
-	qp := a.WQ.Forward(q)  // (n, embed)
-	kp := a.WK.Forward(kv) // (n*k, embed)
-	vp := a.WV.Forward(kv) // (n*k, embed)
+	qp := a.WQ.ForwardWith(ar, q)  // (n, embed)
+	kp := a.WK.ForwardWith(ar, kv) // (n*k, embed)
+	vp := a.WV.ForwardWith(ar, kv) // (n*k, embed)
 	hd := a.EmbedDim / a.Heads
 	scale := float32(1 / math.Sqrt(float64(hd)))
 
-	ctx := tensor.New(n, a.EmbedDim)
+	ctx := ar.TensorZero(n, a.EmbedDim)
 	var weights *tensor.Tensor
 	if wantWeights {
-		weights = tensor.New(n, a.Heads, k)
+		weights = tensor.New(n, a.Heads, k) // diagnostics path: heap is fine
 	}
-	scoresBuf := make([]float32, k) // reused per (i, h) in serial mode
+	// One score row per target, drawn before any fan-out: parallel chunk
+	// bodies index disjoint rows instead of allocating private buffers,
+	// and the arena is never bumped inside the parallel region.
+	scoresAll := ar.Float32s(n * k)
 
-	body := func(lo, hi int) {
-		scores := scoresBuf
-		if lo != 0 || hi != n {
-			scores = make([]float32, k) // parallel chunk: private buffer
-		}
-		for i := lo; i < hi; i++ {
-			for h := 0; h < a.Heads; h++ {
-				qrow := qp.Data()[i*a.EmbedDim+h*hd : i*a.EmbedDim+(h+1)*hd]
-				// Scores for valid slots.
-				maxv := float32(math.Inf(-1))
-				any := false
-				for j := 0; j < k; j++ {
-					p := i*k + j
-					if !mask[p] {
-						continue
-					}
-					krow := kp.Data()[p*a.EmbedDim+h*hd : p*a.EmbedDim+(h+1)*hd]
-					var s float32
-					for d, qv := range qrow {
-						s += qv * krow[d]
-					}
-					s *= scale
-					scores[j] = s
-					any = true
-					if s > maxv {
-						maxv = s
-					}
+	qd, kd, vd, cd := qp.Data(), kp.Data(), vp.Data(), ctx.Data()
+	// The closure exists only on the fan-out branch so the serial path
+	// stays allocation-free (see the same pattern in tensor's kernels).
+	if n >= parallel.MinParallelWork && parallel.Degree() > 1 {
+		parallel.ForChunked(n, 0, func(lo, hi int) {
+			a.attnRows(qd, kd, vd, cd, scoresAll, mask, weights, lo, hi, k, hd, scale, wantWeights)
+		})
+	} else {
+		a.attnRows(qd, kd, vd, cd, scoresAll, mask, weights, 0, n, k, hd, scale, wantWeights)
+	}
+	return a.WO.ForwardWith(ar, ctx), weights
+}
+
+// attnRows computes the fused score/softmax/weighted-sum loop for
+// targets [lo,hi), writing per-head context into cd.
+func (a *TemporalAttention) attnRows(qd, kd, vd, cd, scoresAll []float32, mask []bool, weights *tensor.Tensor, lo, hi, k, hd int, scale float32, wantWeights bool) {
+	for i := lo; i < hi; i++ {
+		scores := scoresAll[i*k : (i+1)*k]
+		for h := 0; h < a.Heads; h++ {
+			qrow := qd[i*a.EmbedDim+h*hd : i*a.EmbedDim+(h+1)*hd]
+			// Scores for valid slots.
+			maxv := float32(math.Inf(-1))
+			any := false
+			for j := 0; j < k; j++ {
+				p := i*k + j
+				if !mask[p] {
+					continue
 				}
-				out := ctx.Data()[i*a.EmbedDim+h*hd : i*a.EmbedDim+(h+1)*hd]
-				if !any {
-					continue // zero context for neighbor-less targets
+				krow := kd[p*a.EmbedDim+h*hd : p*a.EmbedDim+(h+1)*hd]
+				var s float32
+				for d, qv := range qrow {
+					s += qv * krow[d]
 				}
-				// Stable softmax over valid slots.
-				var sum float64
-				for j := 0; j < k; j++ {
-					if !mask[i*k+j] {
-						continue
-					}
-					e := math.Exp(float64(scores[j] - maxv))
-					scores[j] = float32(e)
-					sum += e
+				s *= scale
+				scores[j] = s
+				any = true
+				if s > maxv {
+					maxv = s
 				}
-				inv := float32(1 / sum)
-				for j := 0; j < k; j++ {
-					p := i*k + j
-					if !mask[p] {
-						if wantWeights {
-							weights.Set(0, i, h, j)
-						}
-						continue
-					}
-					alpha := scores[j] * inv
+			}
+			out := cd[i*a.EmbedDim+h*hd : i*a.EmbedDim+(h+1)*hd]
+			if !any {
+				continue // zero context for neighbor-less targets
+			}
+			// Stable softmax over valid slots.
+			var sum float64
+			for j := 0; j < k; j++ {
+				if !mask[i*k+j] {
+					continue
+				}
+				e := math.Exp(float64(scores[j] - maxv))
+				scores[j] = float32(e)
+				sum += e
+			}
+			inv := float32(1 / sum)
+			for j := 0; j < k; j++ {
+				p := i*k + j
+				if !mask[p] {
 					if wantWeights {
-						weights.Set(alpha, i, h, j)
+						weights.Set(0, i, h, j)
 					}
-					vrow := vp.Data()[p*a.EmbedDim+h*hd : p*a.EmbedDim+(h+1)*hd]
-					for d, vv := range vrow {
-						out[d] += alpha * vv
-					}
+					continue
+				}
+				alpha := scores[j] * inv
+				if wantWeights {
+					weights.Set(alpha, i, h, j)
+				}
+				vrow := vd[p*a.EmbedDim+h*hd : p*a.EmbedDim+(h+1)*hd]
+				for d, vv := range vrow {
+					out[d] += alpha * vv
 				}
 			}
 		}
 	}
-	if n >= parallel.MinParallelWork {
-		parallel.ForChunked(n, 0, body)
-	} else {
-		body(0, n)
-	}
-	return a.WO.Forward(ctx), weights
 }
 
 // Params returns the trainable tensors of all projections.

@@ -16,6 +16,13 @@ import (
 // projections in place. Outputs are identical within float tolerance;
 // BenchmarkAttentionKernels compares their cost.
 func (a *TemporalAttention) ForwardBatched(q, kv *tensor.Tensor, k int, mask []bool) *tensor.Tensor {
+	return a.ForwardBatchedWith(nil, q, kv, k, mask)
+}
+
+// ForwardBatchedWith is ForwardBatched with every intermediate and the
+// output drawn from ar (heap when ar is nil). The result is
+// invalidated by ar.Reset.
+func (a *TemporalAttention) ForwardBatchedWith(ar *tensor.Arena, q, kv *tensor.Tensor, k int, mask []bool) *tensor.Tensor {
 	n := q.Dim(0)
 	if kv.Dim(0) != n*k {
 		panic(fmt.Sprintf("nn: attention kv rows %d != n*k %d", kv.Dim(0), n*k))
@@ -23,17 +30,19 @@ func (a *TemporalAttention) ForwardBatched(q, kv *tensor.Tensor, k int, mask []b
 	if len(mask) != n*k {
 		panic(fmt.Sprintf("nn: attention mask len %d != n*k %d", len(mask), n*k))
 	}
-	qp := a.WQ.Forward(q)
-	kp := a.WK.Forward(kv)
-	vp := a.WV.Forward(kv)
+	qp := a.WQ.ForwardWith(ar, q)
+	kp := a.WK.ForwardWith(ar, kv)
+	vp := a.WV.ForwardWith(ar, kv)
 	h := a.Heads
 	hd := a.EmbedDim / h
 	scale := float32(1 / math.Sqrt(float64(hd)))
 
 	// Repack into (n*h, 1, hd) queries and (n*h, hd, k) transposed keys.
-	qb := tensor.New(n*h, 1, hd)
-	kb := tensor.New(n*h, hd, k)
-	vb := tensor.New(n*h, k, hd)
+	// Every element is overwritten below, so the uninitialized arena
+	// tensors are safe.
+	qb := ar.Tensor(n*h, 1, hd)
+	kb := ar.Tensor(n*h, hd, k)
+	vb := ar.Tensor(n*h, k, hd)
 	for i := 0; i < n; i++ {
 		for hh := 0; hh < h; hh++ {
 			b := i*h + hh
@@ -50,25 +59,30 @@ func (a *TemporalAttention) ForwardBatched(q, kv *tensor.Tensor, k int, mask []b
 		}
 	}
 
-	// scores: (n*h, 1, k) = qb × kb, then scale + masked softmax.
-	scores := tensor.BatchedMatMul(qb, kb)
+	// scores: (n*h, 1, k) = qb × kb, then scale + masked softmax (the
+	// softmax aliases its input; no extra alpha tensor).
+	scores := ar.Tensor(n*h, 1, k)
+	tensor.BatchedMatMulInto(qb, kb, scores)
 	tensor.ScaleInPlace(scores, scale)
-	smask := make([]bool, n*h*k)
+	smask := ar.Bools(n * h * k)
 	for i := 0; i < n; i++ {
 		for hh := 0; hh < h; hh++ {
 			copy(smask[(i*h+hh)*k:(i*h+hh+1)*k], mask[i*k:(i+1)*k])
 		}
 	}
-	alpha := tensor.MaskedSoftmaxLastDim(scores, smask)
+	tensor.MaskedSoftmaxLastDimInto(scores, smask, scores)
 
-	// Context: (n*h, 1, hd) = alpha × vb, reassembled to (n, embed).
-	ctxB := tensor.BatchedMatMul(alpha, vb)
-	ctx := tensor.New(n, a.EmbedDim)
+	// Context: (n*h, 1, hd) = α × vb, reassembled to (n, embed). The
+	// masked softmax zeroes every padded slot, so α is genuinely sparse
+	// for small neighborhoods — the zero-skipping kernel's home turf.
+	ctxB := ar.Tensor(n*h, 1, hd)
+	tensor.BatchedMatMulSparseInto(scores, vb, ctxB)
+	ctx := ar.Tensor(n, a.EmbedDim)
 	for i := 0; i < n; i++ {
 		for hh := 0; hh < h; hh++ {
 			b := i*h + hh
 			copy(ctx.Data()[i*a.EmbedDim+hh*hd:i*a.EmbedDim+(hh+1)*hd], ctxB.Data()[b*hd:(b+1)*hd])
 		}
 	}
-	return a.WO.Forward(ctx)
+	return a.WO.ForwardWith(ar, ctx)
 }

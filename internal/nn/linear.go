@@ -32,6 +32,14 @@ func (l *Linear) Forward(x *tensor.Tensor) *tensor.Tensor {
 	return tensor.Linear(x, l.W, l.B)
 }
 
+// ForwardWith is Forward with the output drawn from ar (heap when ar is
+// nil). The result is invalidated by ar.Reset.
+func (l *Linear) ForwardWith(ar *tensor.Arena, x *tensor.Tensor) *tensor.Tensor {
+	dst := ar.Tensor(x.Dim(0), l.Out())
+	tensor.LinearInto(x, l.W, l.B, dst)
+	return dst
+}
+
 // Params returns the trainable tensors (bias omitted when absent).
 func (l *Linear) Params() []*tensor.Tensor {
 	if l.B == nil {
@@ -60,9 +68,17 @@ func NewMergeLayer(r *tensor.RNG, dim1, dim2, hidden, out int) *MergeLayer {
 
 // Forward computes the merge of a (n, dim1) and b (n, dim2).
 func (m *MergeLayer) Forward(a, b *tensor.Tensor) *tensor.Tensor {
-	x := tensor.ConcatCols(a, b)
-	h := tensor.ReLU(m.FC1.Forward(x))
-	return m.FC2.Forward(h)
+	return m.ForwardWith(nil, a, b)
+}
+
+// ForwardWith is Forward with every intermediate and the output drawn
+// from ar (heap when ar is nil). The result is invalidated by ar.Reset.
+func (m *MergeLayer) ForwardWith(ar *tensor.Arena, a, b *tensor.Tensor) *tensor.Tensor {
+	x := ar.Tensor(a.Dim(0), a.Dim(1)+b.Dim(1))
+	tensor.ConcatColsInto(x, a, b)
+	h := m.FC1.ForwardWith(ar, x)
+	tensor.ReLUInPlace(h)
+	return m.FC2.ForwardWith(ar, h)
 }
 
 // Params returns the trainable tensors of both sublayers.

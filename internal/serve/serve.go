@@ -251,13 +251,17 @@ func (s *Server) handleEmbed(w http.ResponseWriter, r *http.Request) {
 	if !s.validNodes(w, req.Nodes) {
 		return
 	}
-	h := s.engine.Embed(req.Nodes, req.Times)
+	// The embedding tensor lives on a pooled arena; rows are copied into
+	// the response before the arena goes back to the pool.
+	ar := tensor.GetArena()
+	h := s.engine.EmbedWith(ar, req.Nodes, req.Times)
 	out := make([][]float32, h.Dim(0))
 	for i := range out {
 		row := make([]float32, h.Dim(1))
 		copy(row, h.Row(i))
 		out[i] = row
 	}
+	tensor.PutArena(ar)
 	writeJSON(w, embedResponse{Embeddings: out})
 }
 
@@ -290,17 +294,21 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 	if !s.validNodes(w, nodes) {
 		return
 	}
-	h := s.engine.Embed(nodes, ts)
+	// Full arena hot path: embed src‖dst, split, score — zero heap
+	// allocations in the engine once the pooled arenas are warm.
+	ar := tensor.GetArena()
+	h := s.engine.EmbedWith(ar, nodes, ts)
 	d := s.model.Cfg.NodeDim
-	hSrc := tensor.FromSlice(h.Data()[:nb*d], nb, d)
-	hDst := tensor.FromSlice(h.Data()[nb*d:], nb, d)
-	logits := s.model.Score(hSrc, hDst)
+	hSrc := ar.Wrap(h.Data()[:nb*d], nb, d)
+	hDst := ar.Wrap(h.Data()[nb*d:], nb, d)
+	logits := s.model.ScoreWith(ar, hSrc, hDst)
 	resp := scoreResponse{Logits: make([]float64, nb), Probs: make([]float64, nb)}
 	for i := 0; i < nb; i++ {
 		l := float64(logits.At(i, 0))
 		resp.Logits[i] = l
 		resp.Probs[i] = sigmoid(l)
 	}
+	tensor.PutArena(ar)
 	writeJSON(w, resp)
 }
 

@@ -16,6 +16,16 @@ func ReLU(a *Tensor) *Tensor {
 	return out
 }
 
+// ReLUInPlace clamps every element of a to max(0, v) and returns a.
+func ReLUInPlace(a *Tensor) *Tensor {
+	for i, v := range a.data {
+		if v < 0 {
+			a.data[i] = 0
+		}
+	}
+	return a
+}
+
 // LeakyReLU returns a where a > 0, otherwise slope*a. TGAT's attention
 // uses slope 0.2 (the GAT default) before the softmax.
 func LeakyReLU(a *Tensor, slope float32) *Tensor {
@@ -56,12 +66,21 @@ func Tanh(a *Tensor) *Tensor {
 // dimension, treating the tensor as (rows, w).
 func SoftmaxLastDim(a *Tensor) *Tensor {
 	out := New(a.shape...)
+	SoftmaxLastDimInto(a, out)
+	return out
+}
+
+// SoftmaxLastDimInto is SoftmaxLastDim writing into dst, which must
+// have a's element count. a and dst may alias.
+func SoftmaxLastDimInto(a, dst *Tensor) {
+	if dst.Len() != a.Len() {
+		panic(fmt.Sprintf("tensor: SoftmaxLastDimInto dst has %d elements, want %d", dst.Len(), a.Len()))
+	}
 	w := a.Dim(-1)
 	rows := a.Len() / w
 	for i := 0; i < rows; i++ {
-		softmaxRow(a.data[i*w:(i+1)*w], out.data[i*w:(i+1)*w], nil)
+		softmaxRow(a.data[i*w:(i+1)*w], dst.data[i*w:(i+1)*w], nil)
 	}
-	return out
 }
 
 // MaskedSoftmaxLastDim computes softmax along the trailing dimension
@@ -71,16 +90,25 @@ func SoftmaxLastDim(a *Tensor) *Tensor {
 // slots of nodes with no temporal neighbors. mask must have a.Len()
 // elements.
 func MaskedSoftmaxLastDim(a *Tensor, mask []bool) *Tensor {
-	if len(mask) != a.Len() {
-		panic(fmt.Sprintf("tensor: MaskedSoftmaxLastDim mask length %d != %d elements", len(mask), a.Len()))
-	}
 	out := New(a.shape...)
+	MaskedSoftmaxLastDimInto(a, mask, out)
+	return out
+}
+
+// MaskedSoftmaxLastDimInto is MaskedSoftmaxLastDim writing into dst,
+// which must have a's element count. a and dst may alias.
+func MaskedSoftmaxLastDimInto(a *Tensor, mask []bool, dst *Tensor) {
+	if len(mask) != a.Len() {
+		panic(fmt.Sprintf("tensor: MaskedSoftmaxLastDimInto mask length %d != %d elements", len(mask), a.Len()))
+	}
+	if dst.Len() != a.Len() {
+		panic(fmt.Sprintf("tensor: MaskedSoftmaxLastDimInto dst has %d elements, want %d", dst.Len(), a.Len()))
+	}
 	w := a.Dim(-1)
 	rows := a.Len() / w
 	for i := 0; i < rows; i++ {
-		softmaxRow(a.data[i*w:(i+1)*w], out.data[i*w:(i+1)*w], mask[i*w:(i+1)*w])
+		softmaxRow(a.data[i*w:(i+1)*w], dst.data[i*w:(i+1)*w], mask[i*w:(i+1)*w])
 	}
-	return out
 }
 
 // softmaxRow computes a stable softmax of src into dst, honoring an

@@ -49,6 +49,65 @@ func BenchmarkMatMulSerialVsParallel(b *testing.B) {
 	})
 }
 
+// BenchmarkMatMulKernels compares the dense kernel variants on the
+// tall-skinny shape the layer-1 projections produce, plus a mostly-zero
+// operand for the sparse kernel's home turf. This is the benchmark the
+// kernel doc comments cite for the default choices.
+func BenchmarkMatMulKernels(b *testing.B) {
+	r := NewRNG(4)
+	const m, k, n = 4096, 96, 64
+	a := Rand(r, m, k)
+	w := Rand(r, k, n)
+	dst := New(m, n)
+	bytes := int64(4 * (m*k + k*n + m*n))
+	b.Run("naive", func(b *testing.B) {
+		b.SetBytes(bytes)
+		for i := 0; i < b.N; i++ {
+			for row := 0; row < m; row++ {
+				crow := dst.data[row*n : (row+1)*n]
+				clear(crow)
+				for kk := 0; kk < k; kk++ {
+					av := a.data[row*k+kk]
+					for j := 0; j < n; j++ {
+						crow[j] += av * w.data[kk*n+j]
+					}
+				}
+			}
+		}
+	})
+	b.Run("blocked", func(b *testing.B) {
+		b.SetBytes(bytes)
+		for i := 0; i < b.N; i++ {
+			MatMulInto(a, w, dst)
+		}
+	})
+	pack := make([]float32, PackedScratchLen(k, n))
+	b.Run("packed", func(b *testing.B) {
+		b.SetBytes(bytes)
+		for i := 0; i < b.N; i++ {
+			MatMulPackedInto(a, w, dst, pack)
+		}
+	})
+	b.Run("sparse/dense-input", func(b *testing.B) {
+		b.SetBytes(bytes)
+		for i := 0; i < b.N; i++ {
+			MatMulSparseInto(a, w, dst)
+		}
+	})
+	sp := a.Clone()
+	for i := range sp.data {
+		if i%8 != 0 {
+			sp.data[i] = 0
+		}
+	}
+	b.Run("sparse/87pct-zero", func(b *testing.B) {
+		b.SetBytes(bytes)
+		for i := 0; i < b.N; i++ {
+			MatMulSparseInto(sp, w, dst)
+		}
+	})
+}
+
 func BenchmarkMatMulT(b *testing.B) {
 	r := NewRNG(3)
 	x := Rand(r, 4096, 96)

@@ -200,16 +200,37 @@ func ConcatCols(ts ...*Tensor) *Tensor {
 		total += t.shape[1]
 	}
 	out := New(n, total)
+	ConcatColsInto(out, ts...)
+	return out
+}
+
+// ConcatColsInto is ConcatCols writing into dst, which must have shape
+// (rows, Σ widths).
+func ConcatColsInto(dst *Tensor, ts ...*Tensor) {
+	if len(ts) == 0 {
+		panic("tensor: ConcatColsInto of nothing")
+	}
+	n := ts[0].shape[0]
+	total := dst.shape[1]
+	sum := 0
+	for _, t := range ts {
+		if t.Rank() != 2 || t.shape[0] != n {
+			panic("tensor: ConcatColsInto operand shape mismatch")
+		}
+		sum += t.shape[1]
+	}
+	if dst.Rank() != 2 || dst.shape[0] != n || sum != total {
+		panic(fmt.Sprintf("tensor: ConcatColsInto dst shape %v, want [%d %d]", dst.shape, n, sum))
+	}
 	for i := 0; i < n; i++ {
-		dst := out.data[i*total : (i+1)*total]
+		row := dst.data[i*total : (i+1)*total]
 		off := 0
 		for _, t := range ts {
 			w := t.shape[1]
-			copy(dst[off:off+w], t.data[i*w:(i+1)*w])
+			copy(row[off:off+w], t.data[i*w:(i+1)*w])
 			off += w
 		}
 	}
-	return out
 }
 
 // ConcatRows concatenates rank-2 tensors with equal column counts along

@@ -36,7 +36,9 @@ func New(shape ...int) *Tensor {
 func FromSlice(data []float32, shape ...int) *Tensor {
 	n := checkShape(shape)
 	if len(data) != n {
-		panic(fmt.Sprintf("tensor: FromSlice data length %d does not match shape %v (%d elements)", len(data), shape, n))
+		// Clone shape for the message so the panic path does not leak the
+		// parameter (which would force callers' variadic slices onto the heap).
+		panic(fmt.Sprintf("tensor: FromSlice data length %d does not match shape %v (%d elements)", len(data), append([]int(nil), shape...), n))
 	}
 	return &Tensor{shape: append([]int(nil), shape...), data: data}
 }
@@ -63,7 +65,9 @@ func checkShape(shape []int) int {
 	n := 1
 	for _, d := range shape {
 		if d < 0 {
-			panic(fmt.Sprintf("tensor: negative dimension in shape %v", shape))
+			// Clone: keeps the shape parameter non-escaping (hot callers pass
+			// stack-allocated variadic slices).
+			panic(fmt.Sprintf("tensor: negative dimension in shape %v", append([]int(nil), shape...)))
 		}
 		n *= d
 	}

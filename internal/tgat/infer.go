@@ -2,6 +2,7 @@ package tgat
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"tgopt/internal/graph"
 	"tgopt/internal/tensor"
@@ -12,6 +13,12 @@ import (
 // optimized engine (internal/core) satisfy this signature, so the same
 // inference driver measures both.
 type EmbedFunc func(nodes []int32, ts []float64) *tensor.Tensor
+
+// EmbedArenaFunc is EmbedFunc drawing all result storage from the
+// caller's arena: the returned tensor is invalidated by ar.Reset. The
+// stream-inference drivers reset the arena once per batch, making a
+// steady-state batch allocation-free end to end (DESIGN.md §9).
+type EmbedArenaFunc func(ar *tensor.Arena, nodes []int32, ts []float64) *tensor.Tensor
 
 // BaselineEmbedFunc adapts Model.Embed to an EmbedFunc over the given
 // sampler.
@@ -27,6 +34,14 @@ type StreamResult struct {
 	Batches int
 }
 
+// arenaAdapter lifts a plain EmbedFunc into an EmbedArenaFunc (the
+// result simply lives on the heap instead of the arena).
+func arenaAdapter(embed EmbedFunc) EmbedArenaFunc {
+	return func(_ *tensor.Arena, nodes []int32, ts []float64) *tensor.Tensor {
+		return embed(nodes, ts)
+	}
+}
+
 // StreamInferenceConcurrent is StreamInference with up to `workers`
 // batches in flight at once. Temporal embeddings depend only on the
 // (immutable) graph and model — the TGOpt cache changes how fast a
@@ -35,47 +50,96 @@ type StreamResult struct {
 // written into stream order. The embed function must be safe for
 // concurrent use (both the baseline and the TGOpt engine are).
 func StreamInferenceConcurrent(g *graph.Graph, m *Model, batchSize, workers int, embed EmbedFunc) *StreamResult {
-	if workers <= 1 {
-		return StreamInference(g, m, batchSize, embed)
-	}
+	return StreamInferenceArena(g, m, batchSize, workers, arenaAdapter(embed))
+}
+
+// StreamInferenceArena is StreamInferenceConcurrent for an arena-aware
+// embed function. A fixed pool of `workers` goroutines claims batch
+// indices off an atomic counter; each worker owns one arena and one set
+// of batch buffers for its whole lifetime, reset/reused per batch, so
+// steady-state batches perform no heap allocation in the driver. With
+// workers <= 1 the stream runs on the calling goroutine.
+func StreamInferenceArena(g *graph.Graph, m *Model, batchSize, workers int, embed EmbedArenaFunc) *StreamResult {
 	edges := g.Edges()
 	nBatches := (len(edges) + batchSize - 1) / batchSize
 	res := &StreamResult{Scores: make([]float64, len(edges)), Batches: nBatches}
-	d := m.Cfg.NodeDim
-
-	sem := make(chan struct{}, workers)
-	var wg sync.WaitGroup
-	for start := 0; start < len(edges); start += batchSize {
-		start := start
-		end := start + batchSize
-		if end > len(edges) {
-			end = len(edges)
+	if workers > nBatches {
+		workers = nBatches
+	}
+	if workers <= 1 {
+		w := newStreamWorker(m, batchSize)
+		for bi := 0; bi < nBatches; bi++ {
+			w.runBatch(edges, bi, batchSize, embed, res.Scores)
 		}
-		sem <- struct{}{}
+		return res
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
 		wg.Add(1)
 		go func() {
-			defer func() { <-sem; wg.Done() }()
-			batch := edges[start:end]
-			nb := len(batch)
-			nodes := make([]int32, 2*nb)
-			ts := make([]float64, 2*nb)
-			for i, e := range batch {
-				nodes[i] = e.Src
-				nodes[nb+i] = e.Dst
-				ts[i] = e.Time
-				ts[nb+i] = e.Time
-			}
-			h := embed(nodes, ts)
-			hSrc := tensor.FromSlice(h.Data()[:nb*d], nb, d)
-			hDst := tensor.FromSlice(h.Data()[nb*d:], nb, d)
-			logits := m.Score(hSrc, hDst)
-			for i := 0; i < nb; i++ {
-				res.Scores[start+i] = float64(logits.At(i, 0))
+			defer wg.Done()
+			w := newStreamWorker(m, batchSize)
+			for {
+				bi := int(next.Add(1)) - 1
+				if bi >= nBatches {
+					return
+				}
+				w.runBatch(edges, bi, batchSize, embed, res.Scores)
 			}
 		}()
 	}
 	wg.Wait()
 	return res
+}
+
+// streamWorker carries the per-worker reusable state of a stream pass:
+// the scratch arena and the packed node/timestamp buffers. One worker
+// processes one batch at a time, so all fields are single-owner.
+type streamWorker struct {
+	m     *Model
+	ar    *tensor.Arena
+	nodes []int32
+	ts    []float64
+}
+
+func newStreamWorker(m *Model, batchSize int) *streamWorker {
+	return &streamWorker{
+		m:     m,
+		ar:    tensor.NewArena(),
+		nodes: make([]int32, 2*batchSize),
+		ts:    make([]float64, 2*batchSize),
+	}
+}
+
+// runBatch embeds and scores batch bi, writing logits into stream
+// order. Sources are packed before destinations with duplicated
+// timestamps — the batching rule of §3.1.
+func (w *streamWorker) runBatch(edges []graph.Edge, bi, batchSize int, embed EmbedArenaFunc, scores []float64) {
+	start := bi * batchSize
+	end := start + batchSize
+	if end > len(edges) {
+		end = len(edges)
+	}
+	batch := edges[start:end]
+	nb := len(batch)
+	w.ar.Reset()
+	nodes := w.nodes[:2*nb]
+	ts := w.ts[:2*nb]
+	for i, e := range batch {
+		nodes[i] = e.Src
+		nodes[nb+i] = e.Dst
+		ts[i] = e.Time
+		ts[nb+i] = e.Time
+	}
+	d := w.m.Cfg.NodeDim
+	h := embed(w.ar, nodes, ts)
+	hSrc := w.ar.Wrap(h.Data()[:nb*d], nb, d)
+	hDst := w.ar.Wrap(h.Data()[nb*d:], nb, d)
+	logits := w.m.ScoreWith(w.ar, hSrc, hDst)
+	for i := 0; i < nb; i++ {
+		scores[start+i] = float64(logits.At(i, 0))
+	}
 }
 
 // StreamInference performs the paper's standard inference task (§5.1):
@@ -85,34 +149,5 @@ func StreamInferenceConcurrent(g *graph.Graph, m *Model, batchSize, workers int,
 // and score each (source, destination) pair with the model's affinity
 // head.
 func StreamInference(g *graph.Graph, m *Model, batchSize int, embed EmbedFunc) *StreamResult {
-	edges := g.Edges()
-	res := &StreamResult{Scores: make([]float64, 0, len(edges))}
-	d := m.Cfg.NodeDim
-	for start := 0; start < len(edges); start += batchSize {
-		end := start + batchSize
-		if end > len(edges) {
-			end = len(edges)
-		}
-		batch := edges[start:end]
-		nb := len(batch)
-		// Pack sources then destinations, duplicating the timestamps:
-		// the batching rule of §3.1.
-		nodes := make([]int32, 2*nb)
-		ts := make([]float64, 2*nb)
-		for i, e := range batch {
-			nodes[i] = e.Src
-			nodes[nb+i] = e.Dst
-			ts[i] = e.Time
-			ts[nb+i] = e.Time
-		}
-		h := embed(nodes, ts)
-		hSrc := tensor.FromSlice(h.Data()[:nb*d], nb, d)
-		hDst := tensor.FromSlice(h.Data()[nb*d:], nb, d)
-		logits := m.Score(hSrc, hDst)
-		for i := 0; i < nb; i++ {
-			res.Scores = append(res.Scores, float64(logits.At(i, 0)))
-		}
-		res.Batches++
-	}
-	return res
+	return StreamInferenceArena(g, m, batchSize, 1, arenaAdapter(embed))
 }

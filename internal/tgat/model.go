@@ -70,10 +70,20 @@ func NewModel(cfg Config, nodeFeat, edgeFeat *tensor.Tensor) (*Model, error) {
 //
 // Returns the layer-l embeddings (n, NodeDim).
 func (m *Model) LayerForward(l int, hTgt, hNgh, eFeat, tEnc0, tEncD *tensor.Tensor, mask []bool) *tensor.Tensor {
-	q := tensor.ConcatCols(hTgt, tEnc0)         // z_i(t)
-	kv := tensor.ConcatCols(hNgh, eFeat, tEncD) // z_j(t)
-	attnOut, _ := m.Attn[l-1].Forward(q, kv, m.Cfg.NumNeighbors, mask, false)
-	return m.Merge[l-1].Forward(attnOut, hTgt) // FFN(r_i ‖ h_i)
+	return m.LayerForwardWith(nil, l, hTgt, hNgh, eFeat, tEnc0, tEncD, mask)
+}
+
+// LayerForwardWith is LayerForward with every intermediate and the
+// output drawn from ar (heap when ar is nil). The result is invalidated
+// by ar.Reset.
+func (m *Model) LayerForwardWith(ar *tensor.Arena, l int, hTgt, hNgh, eFeat, tEnc0, tEncD *tensor.Tensor, mask []bool) *tensor.Tensor {
+	n := hTgt.Dim(0)
+	q := ar.Tensor(n, m.Cfg.QDim()) // z_i(t)
+	tensor.ConcatColsInto(q, hTgt, tEnc0)
+	kv := ar.Tensor(hNgh.Dim(0), m.Cfg.KDim()) // z_j(t)
+	tensor.ConcatColsInto(kv, hNgh, eFeat, tEncD)
+	attnOut := m.Attn[l-1].ForwardWith(ar, q, kv, m.Cfg.NumNeighbors, mask)
+	return m.Merge[l-1].ForwardWith(ar, attnOut, hTgt) // FFN(r_i ‖ h_i)
 }
 
 // Embed computes baseline (unoptimized) temporal embeddings at the top
@@ -156,6 +166,12 @@ func gatherRows32(t *tensor.Tensor, idx []int32) *tensor.Tensor {
 // hDst, shape (n, 1).
 func (m *Model) Score(hSrc, hDst *tensor.Tensor) *tensor.Tensor {
 	return m.Affinity.Forward(hSrc, hDst)
+}
+
+// ScoreWith is Score with the output drawn from ar (heap when ar is
+// nil). The result is invalidated by ar.Reset.
+func (m *Model) ScoreWith(ar *tensor.Arena, hSrc, hDst *tensor.Tensor) *tensor.Tensor {
+	return m.Affinity.ForwardWith(ar, hSrc, hDst)
 }
 
 // Attribution is one neighbor's contribution to a target's top-layer

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Runs the committed performance suite (kernels, attention, end-to-end
+# stream inference) and writes BENCH_<n>.json at the repo root, where
+# <n> is the first free index — or the explicit index given as $1.
+# BENCH_0.json is the pre-optimization reference; later indices track
+# the hot path over time. RUNS overrides the e2e repetitions.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+n="${1:-}"
+if [ -z "$n" ]; then
+  n=0
+  while [ -e "BENCH_${n}.json" ]; do n=$((n + 1)); done
+fi
+
+go run ./cmd/tgopt-bench perf -runs "${RUNS:-3}" -o "BENCH_${n}.json"
+echo "wrote BENCH_${n}.json" >&2

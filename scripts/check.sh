@@ -18,7 +18,10 @@ go test ./...
 echo "== go test -race (concurrency-sensitive + fault-injection packages)"
 go test -race ./internal/parallel/... ./internal/serve/... ./internal/core/... \
     ./internal/stats/... ./internal/checkpoint/... ./internal/faultfs/... \
-    ./internal/trainer/...
+    ./internal/trainer/... ./internal/tensor/... ./internal/nn/... ./internal/tgat/...
+
+echo "== bench smoke (compile + one iteration of every benchmark)"
+go test -run='^$' -bench=. -benchtime=1x ./internal/tensor/ ./internal/core/ > /dev/null
 
 echo "== fuzz smoke (persistence parsers, seed corpus + 5s each)"
 go test -run='^$' -fuzz='^FuzzDecode$' -fuzztime=5s ./internal/checkpoint/
