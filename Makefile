@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check race bench microbench
+.PHONY: build test check race bench bench-serve microbench
 
 build:
 	$(GO) build ./...
@@ -20,6 +20,12 @@ race:
 # at the repo root (see scripts/bench.sh and DESIGN.md §9).
 bench:
 	./scripts/bench.sh
+
+# Committed serving-path artifact: closed-loop HTTP load at several
+# concurrency levels, cross-request batching off vs on (BENCH_2.json,
+# see DESIGN.md §10).
+bench-serve:
+	$(GO) run ./cmd/tgopt-bench serve -o BENCH_2.json
 
 # In-place Go microbenchmarks (no artifact).
 microbench:

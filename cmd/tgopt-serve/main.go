@@ -26,6 +26,7 @@ import (
 	"syscall"
 	"time"
 
+	"tgopt/internal/batcher"
 	"tgopt/internal/core"
 	"tgopt/internal/experiments"
 	"tgopt/internal/graph"
@@ -48,6 +49,9 @@ func main() {
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request deadline (0 disables; exceeded requests get 504)")
 	maxInflight := flag.Int("max-inflight", 256, "max concurrently-executing requests (0 = unlimited; excess gets 429)")
 	grace := flag.Duration("grace", 10*time.Second, "shutdown grace period for draining in-flight requests")
+	batchWindow := flag.Duration("batch-window", batcher.DefaultWindow, "max wait before flushing a partial cross-request batch (only applies while another fused pass is executing)")
+	batchMax := flag.Int("batch-max", batcher.DefaultMaxBatch, "flush a cross-request batch at this many unique targets")
+	batchOff := flag.Bool("batch-off", false, "disable cross-request micro-batching (each request runs its own engine pass)")
 	flag.Parse()
 
 	setup := experiments.Setup{
@@ -77,6 +81,9 @@ func main() {
 	opt.CacheLimit = setup.EffectiveCacheLimit()
 	srv := serve.New(wl.Model, dyn, opt)
 	srv.SetLimits(serve.Limits{Timeout: *timeout, MaxInFlight: *maxInflight})
+	if !*batchOff {
+		srv.SetBatching(batcher.Config{Window: *batchWindow, MaxBatch: *batchMax})
+	}
 
 	// A missing or corrupt warm cache must never stop the service from
 	// booting: WarmStart logs the cold start and continues.
@@ -116,6 +123,11 @@ func main() {
 	log.Printf("tgopt-serve: %s (%d nodes, %d edges pre-ingested) listening on %s",
 		*name, dyn.NumNodes(), dyn.NumEdges(), *addr)
 	log.Printf("limits: timeout=%s max-inflight=%d", *timeout, *maxInflight)
+	if *batchOff {
+		log.Printf("cross-request batching: off")
+	} else {
+		log.Printf("cross-request batching: window=%s max=%d", *batchWindow, *batchMax)
+	}
 	log.Printf("endpoints: POST /v1/ingest /v1/embed /v1/score /v1/explain, GET /v1/stats /metrics")
 	if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 		fatal(err)

@@ -1,0 +1,349 @@
+package perfbench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tgopt/internal/batcher"
+	"tgopt/internal/core"
+	"tgopt/internal/experiments"
+	"tgopt/internal/graph"
+	"tgopt/internal/serve"
+)
+
+// ServeLoadConfig shapes the closed-loop serving benchmark behind
+// `tgopt-bench serve`: at each concurrency level, that many clients
+// each send embed requests back-to-back (closed loop — a client's next
+// request waits for its previous response) against an in-process server
+// with cross-request batching off and then on. Target nodes are drawn
+// from a small shared pool, so concurrent requests overlap — the
+// redundancy the paper exploits within a batch and the batcher extends
+// across requests.
+//
+// With RotateEvery > 0 (the default) every request queries one shared
+// "now" timestamp that steps forward each RotateEvery requests across
+// all clients. This is the live-serving workload: time advances, so
+// keys are continually fresh (the memo cache alone cannot absorb them),
+// yet concurrent requests land in the same time slot and overlap.
+// RotateEvery = 0 freezes per-target timestamps instead, a fully
+// memoizable workload that degenerates to cache-hit serving after
+// warmup.
+type ServeLoadConfig struct {
+	Concurrency       []int         // closed-loop client counts, one level each
+	RequestsPerClient int           // measured requests per client per level
+	WarmupPerClient   int           // unmeasured requests per client per level
+	TargetsPerRequest int           // ⟨node, ts⟩ targets per embed request
+	TargetPool        int           // distinct targets shared by all clients
+	RotateEvery       int           // advance the query timestamp every this many requests (0 = static times)
+	Window            time.Duration // batcher flush window (batching-on runs)
+	MaxBatch          int           // batcher size trigger (batching-on runs)
+	Seed              uint64
+}
+
+// DefaultServeLoadConfig is the committed BENCH_2.json configuration.
+func DefaultServeLoadConfig() ServeLoadConfig {
+	return ServeLoadConfig{
+		Concurrency:       []int{1, 8, 32},
+		RequestsPerClient: 400,
+		WarmupPerClient:   30,
+		TargetsPerRequest: 4,
+		TargetPool:        48,
+		RotateEvery:       64,
+		Window:            batcher.DefaultWindow,
+		MaxBatch:          batcher.DefaultMaxBatch,
+		Seed:              1,
+	}
+}
+
+// ServeLevel is one measured (concurrency, batching) cell.
+type ServeLevel struct {
+	Concurrency int     `json:"concurrency"`
+	Batching    bool    `json:"batching"`
+	Requests    int     `json:"requests"`
+	WallMs      float64 `json:"wall_ms"`
+	Throughput  float64 `json:"req_per_s"`
+	MeanUs      float64 `json:"mean_us"`
+	P50us       float64 `json:"p50_us"`
+	P90us       float64 `json:"p90_us"`
+	P99us       float64 `json:"p99_us"`
+	// Batcher accounting (zero when batching is off).
+	Batches       int64   `json:"batches,omitempty"`
+	Enqueued      int64   `json:"enqueued,omitempty"`
+	Coalesced     int64   `json:"coalesced,omitempty"`
+	CoalesceRatio float64 `json:"coalesce_ratio,omitempty"`
+	OccupancyMean float64 `json:"occupancy_mean,omitempty"`
+}
+
+// ServeReport is the full `tgopt-bench serve` output (BENCH_2.json).
+type ServeReport struct {
+	Schema            int          `json:"schema"`
+	GoVersion         string       `json:"go_version"`
+	GOOS              string       `json:"goos"`
+	GOARCH            string       `json:"goarch"`
+	MaxProcs          int          `json:"maxprocs"`
+	Dataset           string       `json:"dataset"`
+	Scale             float64      `json:"scale"`
+	TargetPool        int          `json:"target_pool"`
+	TargetsPerRequest int          `json:"targets_per_request"`
+	RotateEvery       int          `json:"rotate_every"`
+	RequestsPerClient int          `json:"requests_per_client"`
+	WindowMs          float64      `json:"batch_window_ms"`
+	MaxBatch          int          `json:"batch_max"`
+	Levels            []ServeLevel `json:"levels"`
+	// SpeedupMaxConc is the acceptance number: batched / unbatched
+	// throughput at the highest concurrency level.
+	SpeedupMaxConc float64 `json:"speedup_at_max_concurrency"`
+}
+
+// target is one pool entry.
+type target struct {
+	node int32
+	ts   float64
+}
+
+// RunServe executes the closed-loop serving benchmark and returns the
+// report. The same target pool, client schedule, and request count are
+// used for the batching-off and batching-on runs of each level, each
+// against a fresh server (fresh engine cache), so the cells differ only
+// in the serving path under test.
+func RunServe(setup experiments.Setup, datasetName string, cfg ServeLoadConfig) (*ServeReport, error) {
+	if len(cfg.Concurrency) == 0 || cfg.RequestsPerClient <= 0 {
+		return nil, fmt.Errorf("perfbench: serve load needs concurrency levels and a request count")
+	}
+	if cfg.TargetsPerRequest <= 0 {
+		cfg.TargetsPerRequest = 1
+	}
+	if cfg.TargetPool <= 0 {
+		cfg.TargetPool = 48
+	}
+	w, err := experiments.LoadWorkload(datasetName, setup)
+	if err != nil {
+		return nil, err
+	}
+	dyn := graph.NewDynamic(w.DS.Graph.NumNodes())
+	for _, e := range w.DS.Graph.Edges() {
+		if _, err := dyn.Append(e); err != nil {
+			return nil, err
+		}
+	}
+
+	// The shared target pool: nodes across the graph, integral times
+	// past the end of history (so every target sees its full sampled
+	// neighborhood and keys stay in the collision-free domain).
+	rng := rand.New(rand.NewSource(int64(cfg.Seed)))
+	pool := make([]target, cfg.TargetPool)
+	base := dyn.MaxTime() + 1
+	for i := range pool {
+		pool[i] = target{
+			node: int32(1 + rng.Intn(dyn.NumNodes())),
+			ts:   base + float64(rng.Intn(1000)),
+		}
+	}
+
+	rep := &ServeReport{
+		Schema:            1,
+		GoVersion:         runtime.Version(),
+		GOOS:              runtime.GOOS,
+		GOARCH:            runtime.GOARCH,
+		MaxProcs:          runtime.GOMAXPROCS(0),
+		Dataset:           datasetName,
+		Scale:             setup.Scale,
+		TargetPool:        cfg.TargetPool,
+		TargetsPerRequest: cfg.TargetsPerRequest,
+		RotateEvery:       cfg.RotateEvery,
+		RequestsPerClient: cfg.RequestsPerClient,
+		WindowMs:          float64(cfg.Window) / float64(time.Millisecond),
+		MaxBatch:          cfg.MaxBatch,
+	}
+
+	opt := core.OptAll()
+	opt.CacheLimit = setup.EffectiveCacheLimit()
+	opt.TimeWindow = setup.TimeWindow
+
+	for _, conc := range cfg.Concurrency {
+		for _, batching := range []bool{false, true} {
+			srv := serve.New(w.Model, dyn, opt)
+			if batching {
+				srv.SetBatching(batcher.Config{Window: cfg.Window, MaxBatch: cfg.MaxBatch})
+			}
+			level, err := runServeLevel(srv, pool, base, conc, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("concurrency %d batching %v: %w", conc, batching, err)
+			}
+			level.Batching = batching
+			rep.Levels = append(rep.Levels, *level)
+		}
+	}
+
+	// Acceptance number: batched vs unbatched at the highest level.
+	var offTP, onTP float64
+	maxConc := cfg.Concurrency[0]
+	for _, c := range cfg.Concurrency {
+		if c > maxConc {
+			maxConc = c
+		}
+	}
+	for _, l := range rep.Levels {
+		if l.Concurrency == maxConc {
+			if l.Batching {
+				onTP = l.Throughput
+			} else {
+				offTP = l.Throughput
+			}
+		}
+	}
+	if offTP > 0 {
+		rep.SpeedupMaxConc = onTP / offTP
+	}
+	return rep, nil
+}
+
+// runServeLevel drives one (server, concurrency) cell and aggregates
+// the per-request latencies. The rotation counter is per-cell, so the
+// batching-off and batching-on runs see the same timestamp schedule
+// against their fresh servers.
+func runServeLevel(srv *serve.Server, pool []target, base float64, conc int, cfg ServeLoadConfig) (*ServeLevel, error) {
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        conc * 2,
+		MaxIdleConnsPerHost: conc * 2,
+	}}
+	defer client.CloseIdleConnections()
+	url := ts.URL + "/v1/embed"
+
+	type clientResult struct {
+		lat []time.Duration
+		err error
+	}
+	results := make([]clientResult, conc)
+	var reqSeq atomic.Int64
+	doOne := func(rng *rand.Rand) (time.Duration, error) {
+		nodes := make([]int32, cfg.TargetsPerRequest)
+		times := make([]float64, cfg.TargetsPerRequest)
+		var now float64
+		if cfg.RotateEvery > 0 {
+			// Advancing "now": all targets of a request query the current
+			// time slot; concurrent requests share it.
+			now = base + float64(reqSeq.Add(1)/int64(cfg.RotateEvery))
+		}
+		for j := range nodes {
+			t := pool[rng.Intn(len(pool))]
+			nodes[j], times[j] = t.node, t.ts
+			if cfg.RotateEvery > 0 {
+				times[j] = now
+			}
+		}
+		body, err := json.Marshal(map[string]any{"nodes": nodes, "times": times})
+		if err != nil {
+			return 0, err
+		}
+		start := time.Now()
+		resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+		if err != nil {
+			return 0, err
+		}
+		var sink bytes.Buffer
+		sink.ReadFrom(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return 0, fmt.Errorf("status %d: %s", resp.StatusCode, sink.String())
+		}
+		return time.Since(start), nil
+	}
+
+	// Warmup phase (populates the engine cache and the HTTP conn pool),
+	// then a barrier once EVERY client is warm, then the measured
+	// closed loop — the wall clock covers only measured requests.
+	var warm, wg sync.WaitGroup
+	startGate := make(chan struct{})
+	for c := 0; c < conc; c++ {
+		c := c
+		warm.Add(1)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(cfg.Seed) + int64(c)*7919 + 1))
+			for i := 0; i < cfg.WarmupPerClient; i++ {
+				if _, err := doOne(rng); err != nil {
+					results[c].err = err
+					break
+				}
+			}
+			warm.Done()
+			<-startGate
+			if results[c].err != nil {
+				return
+			}
+			lat := make([]time.Duration, 0, cfg.RequestsPerClient)
+			for i := 0; i < cfg.RequestsPerClient; i++ {
+				d, err := doOne(rng)
+				if err != nil {
+					results[c].err = err
+					return
+				}
+				lat = append(lat, d)
+			}
+			results[c].lat = lat
+		}()
+	}
+	warm.Wait()
+	wall := time.Now()
+	close(startGate)
+	wg.Wait()
+	elapsed := time.Since(wall)
+
+	var all []time.Duration
+	for c := range results {
+		if results[c].err != nil {
+			return nil, results[c].err
+		}
+		all = append(all, results[c].lat...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	quantile := func(q float64) float64 {
+		if len(all) == 0 {
+			return 0
+		}
+		i := int(q*float64(len(all))) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(all) {
+			i = len(all) - 1
+		}
+		return float64(all[i]) / float64(time.Microsecond)
+	}
+	var sum time.Duration
+	for _, d := range all {
+		sum += d
+	}
+	level := &ServeLevel{
+		Concurrency: conc,
+		Requests:    len(all),
+		WallMs:      float64(elapsed) / float64(time.Millisecond),
+		Throughput:  float64(len(all)) / elapsed.Seconds(),
+		MeanUs:      float64(sum) / float64(len(all)) / float64(time.Microsecond),
+		P50us:       quantile(0.50),
+		P90us:       quantile(0.90),
+		P99us:       quantile(0.99),
+	}
+	if b := srv.Batcher(); b != nil {
+		snap := b.Stats()
+		level.Batches = snap.Batches
+		level.Enqueued = snap.Enqueued
+		level.Coalesced = snap.Coalesced
+		level.CoalesceRatio = snap.CoalesceRatio()
+		level.OccupancyMean = b.Occupancy().Mean()
+	}
+	return level, nil
+}

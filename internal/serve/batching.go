@@ -1,0 +1,69 @@
+package serve
+
+import (
+	"time"
+
+	"tgopt/internal/batcher"
+)
+
+// SetBatching enables cross-request dynamic micro-batching: /v1/embed
+// and /v1/score stop calling the engine directly and instead enqueue
+// their targets into a shared batcher that fuses concurrent requests
+// into single engine passes with single-flight deduplication (see
+// package batcher). Call before Handler, like SetLimits; it is not safe
+// to toggle while requests are in flight.
+func (s *Server) SetBatching(cfg batcher.Config) {
+	s.batcher = batcher.New(s.engine, s.model.Cfg.NodeDim, cfg)
+}
+
+// Batcher returns the serving batcher, or nil when batching is off.
+func (s *Server) Batcher() *batcher.Batcher { return s.batcher }
+
+// batchStats is the JSON rendering of the batcher's state on /v1/stats.
+type batchStats struct {
+	WindowMs      float64 `json:"window_ms"`
+	MaxBatch      int     `json:"max_batch"`
+	Enqueued      int64   `json:"enqueued"`
+	Coalesced     int64   `json:"coalesced"`
+	CoalesceRatio float64 `json:"coalesce_ratio"`
+	Batches       int64   `json:"batches"`
+	FlushSize     int64   `json:"flush_size"`
+	FlushWindow   int64   `json:"flush_window"`
+	FlushIdle     int64   `json:"flush_idle"`
+	FlushDrain    int64   `json:"flush_drain"`
+	Panics        int64   `json:"panics"`
+	OccupancyMean float64 `json:"occupancy_mean"`
+	OccupancyP50  int64   `json:"occupancy_p50"`
+	OccupancyP99  int64   `json:"occupancy_p99"`
+	QueueWaitP50  float64 `json:"queue_wait_p50_us"`
+	QueueWaitP99  float64 `json:"queue_wait_p99_us"`
+}
+
+// batchStatsJSON snapshots the batcher for /v1/stats, nil when off.
+func (s *Server) batchStatsJSON() *batchStats {
+	b := s.batcher
+	if b == nil {
+		return nil
+	}
+	snap := b.Stats()
+	occ := b.Occupancy()
+	qw := b.QueueWait()
+	return &batchStats{
+		WindowMs:      float64(b.Config().Window) / float64(time.Millisecond),
+		MaxBatch:      b.Config().MaxBatch,
+		Enqueued:      snap.Enqueued,
+		Coalesced:     snap.Coalesced,
+		CoalesceRatio: snap.CoalesceRatio(),
+		Batches:       snap.Batches,
+		FlushSize:     snap.FlushSize,
+		FlushWindow:   snap.FlushWindow,
+		FlushIdle:     snap.FlushIdle,
+		FlushDrain:    snap.FlushDrain,
+		Panics:        snap.Panics,
+		OccupancyMean: occ.Mean(),
+		OccupancyP50:  occ.Quantile(0.5),
+		OccupancyP99:  occ.Quantile(0.99),
+		QueueWaitP50:  float64(qw.Quantile(0.5)) / float64(time.Microsecond),
+		QueueWaitP99:  float64(qw.Quantile(0.99)) / float64(time.Microsecond),
+	}
+}

@@ -34,6 +34,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"tgopt/internal/batcher"
 	"tgopt/internal/core"
 	"tgopt/internal/graph"
 	"tgopt/internal/stats"
@@ -47,6 +48,10 @@ type Server struct {
 	model   *tgat.Model
 	engine  *core.Engine
 	hitRate *stats.HitRate
+
+	// batcher, when non-nil (SetBatching), fuses concurrent embed and
+	// score targets into shared engine passes with single-flight dedup.
+	batcher *batcher.Batcher
 
 	// Request bounds (SetLimits) and the middleware's counters: the
 	// admission semaphore, the live in-flight gauge, and totals for
@@ -164,6 +169,31 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	write("tgopt_panics_total", "Handler panics recovered to 500.", float64(s.panics.Load()))
 	write("tgopt_snapshots_total", "Background cache snapshots written.", float64(s.snapshotSaves.Load()))
 	write("tgopt_snapshot_errors_total", "Cache snapshot or warm-start failures.", float64(s.snapshotErrors.Load()))
+	if bs := s.batchStatsJSON(); bs != nil {
+		write("tgopt_batch_enqueued_total", "Targets enqueued into the micro-batcher.", float64(bs.Enqueued))
+		write("tgopt_batch_coalesced_total", "Targets deduplicated onto an in-flight computation.", float64(bs.Coalesced))
+		write("tgopt_batch_coalesce_ratio", "Fraction of targets served by single-flight dedup.", bs.CoalesceRatio)
+		write("tgopt_batch_passes_total", "Fused engine passes executed.", float64(bs.Batches))
+		write("tgopt_batch_panics_total", "Fused passes that panicked (recovered to errors).", float64(bs.Panics))
+		fmt.Fprintf(&b, "# HELP tgopt_batch_occupancy Unique targets per fused pass.\n# TYPE tgopt_batch_occupancy summary\n")
+		occ := s.batcher.Occupancy()
+		for _, q := range []struct {
+			label string
+			q     float64
+		}{{"0.5", 0.5}, {"0.9", 0.9}, {"0.99", 0.99}} {
+			fmt.Fprintf(&b, "tgopt_batch_occupancy{quantile=%q} %d\n", q.label, occ.Quantile(q.q))
+		}
+		fmt.Fprintf(&b, "tgopt_batch_occupancy_sum %d\ntgopt_batch_occupancy_count %d\n", occ.Sum(), occ.Count())
+		fmt.Fprintf(&b, "# HELP tgopt_batch_queue_wait_seconds Enqueue-to-flush wait.\n# TYPE tgopt_batch_queue_wait_seconds summary\n")
+		qw := s.batcher.QueueWait()
+		for _, q := range []struct {
+			label string
+			q     float64
+		}{{"0.5", 0.5}, {"0.9", 0.9}, {"0.99", 0.99}} {
+			fmt.Fprintf(&b, "tgopt_batch_queue_wait_seconds{quantile=%q} %g\n", q.label, qw.Quantile(q.q).Seconds())
+		}
+		fmt.Fprintf(&b, "tgopt_batch_queue_wait_seconds_sum %g\ntgopt_batch_queue_wait_seconds_count %d\n", qw.Sum().Seconds(), qw.Count())
+	}
 	fmt.Fprintf(&b, "# HELP tgopt_stage_latency_seconds Engine per-stage latency quantiles.\n")
 	fmt.Fprintf(&b, "# TYPE tgopt_stage_latency_seconds summary\n")
 	hists := s.engine.StageStats()
@@ -248,21 +278,46 @@ func (s *Server) handleEmbed(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "nodes and times must be non-empty and equal length")
 		return
 	}
-	if !s.validNodes(w, req.Nodes) {
+	if !s.validNodes(w, req.Nodes) || !s.validTimes(w, req.Times) {
 		return
 	}
-	// The embedding tensor lives on a pooled arena; rows are copied into
-	// the response before the arena goes back to the pool.
-	ar := tensor.GetArena()
-	h := s.engine.EmbedWith(ar, req.Nodes, req.Times)
-	out := make([][]float32, h.Dim(0))
-	for i := range out {
-		row := make([]float32, h.Dim(1))
-		copy(row, h.Row(i))
-		out[i] = row
+	slab, ok := s.embedSlab(w, r, req.Nodes, req.Times)
+	if !ok {
+		return
 	}
-	tensor.PutArena(ar)
+	// Response rows sub-slice the single backing slab instead of
+	// allocating one []float32 per row.
+	d := s.model.Cfg.NodeDim
+	out := make([][]float32, len(req.Nodes))
+	for i := range out {
+		out[i] = slab[i*d : (i+1)*d]
+	}
 	writeJSON(w, embedResponse{Embeddings: out})
+}
+
+// embedSlab computes the embeddings of the given targets as one backing
+// slab (row i at [i*d, (i+1)*d)) — through the batcher when batching is
+// on, else by a direct engine pass on a pooled arena. On failure it
+// writes the error response and returns ok=false.
+func (s *Server) embedSlab(w http.ResponseWriter, r *http.Request, nodes []int32, ts []float64) ([]float32, bool) {
+	if s.batcher != nil {
+		slab, err := s.batcher.Embed(r.Context(), nodes, ts)
+		if err != nil {
+			// Cancellation races the middleware's own 504: whatever we
+			// write here is discarded once the deadline response wins,
+			// so a plain 503 is only seen on client-side cancels.
+			httpError(w, http.StatusServiceUnavailable, "request abandoned: %v", err)
+			return nil, false
+		}
+		return slab, true
+	}
+	d := s.model.Cfg.NodeDim
+	ar := tensor.GetArena()
+	h := s.engine.EmbedWith(ar, nodes, ts)
+	slab := make([]float32, len(nodes)*d)
+	copy(slab, h.Data()[:len(nodes)*d])
+	tensor.PutArena(ar)
+	return slab, true
 }
 
 type scoreRequest struct {
@@ -291,25 +346,47 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 		nodes[i], nodes[nb+i] = p.Src, p.Dst
 		ts[i], ts[nb+i] = p.Time, p.Time
 	}
-	if !s.validNodes(w, nodes) {
+	if !s.validNodes(w, nodes) || !s.validTimes(w, ts[:nb]) {
 		return
 	}
-	// Full arena hot path: embed src‖dst, split, score — zero heap
-	// allocations in the engine once the pooled arenas are warm.
-	ar := tensor.GetArena()
-	h := s.engine.EmbedWith(ar, nodes, ts)
 	d := s.model.Cfg.NodeDim
-	hSrc := ar.Wrap(h.Data()[:nb*d], nb, d)
-	hDst := ar.Wrap(h.Data()[nb*d:], nb, d)
-	logits := s.model.ScoreWith(ar, hSrc, hDst)
+	var resp scoreResponse
+	if s.batcher != nil {
+		// Batched path: the src‖dst embeddings come out of the shared
+		// fused pass; only the tiny affinity head runs per-request.
+		slab, err := s.batcher.Embed(r.Context(), nodes, ts)
+		if err != nil {
+			httpError(w, http.StatusServiceUnavailable, "request abandoned: %v", err)
+			return
+		}
+		ar := tensor.GetArena()
+		hSrc := ar.Wrap(slab[:nb*d], nb, d)
+		hDst := ar.Wrap(slab[nb*d:], nb, d)
+		resp = scoreLogits(s.model.ScoreWith(ar, hSrc, hDst), nb)
+		tensor.PutArena(ar)
+	} else {
+		// Full arena hot path: embed src‖dst, split, score — zero heap
+		// allocations in the engine once the pooled arenas are warm.
+		ar := tensor.GetArena()
+		h := s.engine.EmbedWith(ar, nodes, ts)
+		hSrc := ar.Wrap(h.Data()[:nb*d], nb, d)
+		hDst := ar.Wrap(h.Data()[nb*d:], nb, d)
+		resp = scoreLogits(s.model.ScoreWith(ar, hSrc, hDst), nb)
+		tensor.PutArena(ar)
+	}
+	writeJSON(w, resp)
+}
+
+// scoreLogits renders an affinity-head output column into the score
+// response (logit plus overflow-safe sigmoid probability).
+func scoreLogits(logits *tensor.Tensor, nb int) scoreResponse {
 	resp := scoreResponse{Logits: make([]float64, nb), Probs: make([]float64, nb)}
 	for i := 0; i < nb; i++ {
 		l := float64(logits.At(i, 0))
 		resp.Logits[i] = l
 		resp.Probs[i] = sigmoid(l)
 	}
-	tensor.PutArena(ar)
-	writeJSON(w, resp)
+	return resp
 }
 
 type statsResponse struct {
@@ -328,6 +405,7 @@ type statsResponse struct {
 	Snapshots  int64                 `json:"snapshots"`
 	SnapErrors int64                 `json:"snapshot_errors"`
 	Stages     map[string]stageStats `json:"stages"`
+	Batching   *batchStats           `json:"batching,omitempty"`
 }
 
 // stageStats is the JSON rendering of one engine stage's latency
@@ -372,7 +450,21 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Snapshots:  s.snapshotSaves.Load(),
 		SnapErrors: s.snapshotErrors.Load(),
 		Stages:     stages,
+		Batching:   s.batchStatsJSON(),
 	})
+}
+
+// validTimes rejects non-finite timestamps with 400: NaN/Inf truncate
+// to arbitrary low bits in the memo key (core.Key), poisoning the cache
+// and the single-flight registry with unreachable-yet-resident entries.
+func (s *Server) validTimes(w http.ResponseWriter, ts []float64) bool {
+	for _, t := range ts {
+		if math.IsNaN(t) || math.IsInf(t, 0) {
+			httpError(w, http.StatusBadRequest, "non-finite time %v", t)
+			return false
+		}
+	}
+	return true
 }
 
 // validNodes rejects node ids outside the graph (and the feature

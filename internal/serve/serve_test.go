@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"math"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -150,6 +151,54 @@ func TestServeValidation(t *testing.T) {
 	r2, _ := post(t, ts.URL+"/v1/stats", map[string]any{})
 	if r2.StatusCode != http.StatusMethodNotAllowed {
 		t.Fatalf("POST /v1/stats: %d", r2.StatusCode)
+	}
+}
+
+func TestServeRejectsNonFiniteTimes(t *testing.T) {
+	// Non-finite times would truncate to arbitrary low bits in the memo
+	// key, poisoning the cache and the single-flight registry. JSON has
+	// no NaN/Inf literals, so over the wire they can only appear as
+	// out-of-range numbers like 1e999 — rejected at decode — but the
+	// handler-level guard must hold for any transport.
+	_, ts := testServer(t)
+	ingest(t, ts.URL, []edgeJSON{{Src: 1, Dst: 2, Time: 1}})
+	for _, raw := range []string{
+		`{"nodes":[1],"times":[1e999]}`,
+		`{"nodes":[1],"times":[-1e999]}`,
+	} {
+		resp, err := http.Post(ts.URL+"/v1/embed", "application/json", strings.NewReader(raw))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("embed %s: status %d, want 400", raw, resp.StatusCode)
+		}
+	}
+	resp, err := http.Post(ts.URL+"/v1/score", "application/json",
+		strings.NewReader(`{"pairs":[{"src":1,"dst":2,"time":1e999}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("score with overflow time: status %d, want 400", resp.StatusCode)
+	}
+
+	// The in-process guard itself, for values that bypass JSON.
+	s, _ := testServer(t)
+	for _, bad := range [][]float64{{math.NaN()}, {math.Inf(1)}, {1, math.Inf(-1)}} {
+		rec := httptest.NewRecorder()
+		if s.validTimes(rec, bad) {
+			t.Fatalf("validTimes accepted %v", bad)
+		}
+		if rec.Code != http.StatusBadRequest {
+			t.Fatalf("validTimes(%v) wrote %d, want 400", bad, rec.Code)
+		}
+	}
+	rec := httptest.NewRecorder()
+	if !s.validTimes(rec, []float64{0, 1e308, -5}) {
+		t.Fatal("validTimes rejected finite times")
 	}
 }
 

@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
 # Tier-1 verification plus race checks for the concurrency-sensitive
-# packages (the parallel runtime, the serving middleware, and the
-# sharded cache) and the crash-safety suites (checkpoint envelope,
-# fault injection, trainer resume). Run on every PR.
+# packages (the parallel runtime, the serving middleware, the request
+# micro-batcher, and the sharded cache) and the crash-safety suites
+# (checkpoint envelope, fault injection, trainer resume). Run on every PR.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -17,11 +17,15 @@ go test ./...
 
 echo "== go test -race (concurrency-sensitive + fault-injection packages)"
 go test -race ./internal/parallel/... ./internal/serve/... ./internal/core/... \
+    ./internal/batcher/... \
     ./internal/stats/... ./internal/checkpoint/... ./internal/faultfs/... \
     ./internal/trainer/... ./internal/tensor/... ./internal/nn/... ./internal/tgat/...
 
 echo "== bench smoke (compile + one iteration of every benchmark)"
 go test -run='^$' -bench=. -benchtime=1x ./internal/tensor/ ./internal/core/ > /dev/null
+
+echo "== serve load smoke (tgopt-bench serve, tiny closed loop)"
+go run ./cmd/tgopt-bench serve -conc 1,4 -requests 10 -warmup 2 > /dev/null
 
 echo "== fuzz smoke (persistence parsers, seed corpus + 5s each)"
 go test -run='^$' -fuzz='^FuzzDecode$' -fuzztime=5s ./internal/checkpoint/
