@@ -52,6 +52,7 @@ func main() {
 	batchWindow := flag.Duration("batch-window", batcher.DefaultWindow, "max wait before flushing a partial cross-request batch (only applies while another fused pass is executing)")
 	batchMax := flag.Int("batch-max", batcher.DefaultMaxBatch, "flush a cross-request batch at this many unique targets")
 	batchOff := flag.Bool("batch-off", false, "disable cross-request micro-batching (each request runs its own engine pass)")
+	lateness := flag.Float64("lateness", 0, "out-of-order tolerance: accept late edges within this many time units of the stream maximum (0 = strict chronological ingest; older edges are dropped against the watermark)")
 	flag.Parse()
 
 	setup := experiments.Setup{
@@ -69,6 +70,9 @@ func main() {
 	}
 
 	dyn := graph.NewDynamic(wl.DS.Graph.NumNodes())
+	if *lateness > 0 {
+		dyn.SetLateness(*lateness)
+	}
 	if !*empty {
 		for _, e := range wl.DS.Graph.Edges() {
 			if _, err := dyn.Append(e); err != nil {
@@ -123,6 +127,11 @@ func main() {
 	log.Printf("tgopt-serve: %s (%d nodes, %d edges pre-ingested) listening on %s",
 		*name, dyn.NumNodes(), dyn.NumEdges(), *addr)
 	log.Printf("limits: timeout=%s max-inflight=%d", *timeout, *maxInflight)
+	if *lateness > 0 {
+		log.Printf("out-of-order ingest: lateness window %g (late edges sorted-insert + selective cache invalidation)", *lateness)
+	} else {
+		log.Printf("out-of-order ingest: off (out-of-order edges are dropped against the watermark)")
+	}
 	if *batchOff {
 		log.Printf("cross-request batching: off")
 	} else {

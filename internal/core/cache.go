@@ -34,6 +34,13 @@ type cacheShard struct {
 	m     map[uint64][]float32
 	fifo  []uint64 // insertion order; head compacts lazily
 	head  int
+	// dead counts FIFO occurrences orphaned by Remove: re-storing a
+	// removed key appends a fresh occurrence, so the old one must be
+	// skipped by eviction — not treated as the key's position — or a
+	// remove→restore→evict sequence would evict the freshly stored
+	// entry (it looks "oldest" through its stale occurrence).
+	dead  map[uint64]int
+	ndead int
 }
 
 // NewCache creates a cache for dim-wide embeddings holding at most limit
@@ -209,14 +216,18 @@ func (c *Cache) storeOne(key uint64, vec []float32) {
 	s.fifo = append(s.fifo, key)
 }
 
-// evictOldestLocked removes the oldest live entry of the shard. The FIFO
-// queue may contain stale heads (keys already evicted are impossible
-// here since we never delete elsewhere, but guard anyway); the head
-// region compacts once it grows past half the queue.
+// evictOldestLocked removes the oldest live entry of the shard,
+// skipping dead occurrences left behind by Remove (consuming their
+// dead marks) and any key already gone from the map; the head region
+// compacts once it grows past half the queue.
 func (s *cacheShard) evictOldestLocked() {
 	for s.head < len(s.fifo) {
 		key := s.fifo[s.head]
 		s.head++
+		if n := s.dead[key]; n > 0 {
+			s.markPoppedLocked(key, n)
+			continue
+		}
 		if _, ok := s.m[key]; ok {
 			delete(s.m, key)
 			break
@@ -228,16 +239,65 @@ func (s *cacheShard) evictOldestLocked() {
 	}
 }
 
+// markPoppedLocked consumes one dead mark for a key whose stale FIFO
+// occurrence was just popped or compacted away.
+func (s *cacheShard) markPoppedLocked(key uint64, n int) {
+	if n <= 1 {
+		delete(s.dead, key)
+	} else {
+		s.dead[key] = n - 1
+	}
+	s.ndead--
+}
+
+// removeLocked deletes one key, marking its FIFO occurrence dead so a
+// later re-store of the same key cannot be mistaken for the old
+// occurrence, then compacts the queue if dead occurrences dominate —
+// an invalidation storm must not grow the FIFO without bound.
+func (s *cacheShard) removeLocked(key uint64) bool {
+	if _, ok := s.m[key]; !ok {
+		return false
+	}
+	delete(s.m, key)
+	if s.dead == nil {
+		s.dead = make(map[uint64]int)
+	}
+	s.dead[key]++
+	s.ndead++
+	if s.ndead > 64 && s.ndead > (len(s.fifo)-s.head)/2 {
+		s.compactLocked()
+	}
+	return true
+}
+
+// compactLocked rewrites the FIFO without its dead occurrences (and
+// the consumed head region), preserving order.
+func (s *cacheShard) compactLocked() {
+	live := s.fifo[s.head:]
+	w := 0
+	for _, key := range live {
+		if n := s.dead[key]; n > 0 {
+			s.markPoppedLocked(key, n)
+			continue
+		}
+		live[w] = key
+		w++
+	}
+	n := copy(s.fifo, live[:w])
+	s.fifo = s.fifo[:n]
+	s.head = 0
+}
+
 // Remove deletes the given keys if present and returns how many were
-// actually removed. The FIFO queue is left as-is: eviction skips keys
-// that are already gone.
+// actually removed. Removed keys' FIFO occurrences are marked dead (and
+// compacted away under churn) so eviction order stays correct if the
+// same keys are stored again.
 func (c *Cache) Remove(keys []uint64) int {
 	removed := 0
 	for _, key := range keys {
 		s := c.shardFor(key)
 		s.mu.Lock()
-		if _, ok := s.m[key]; ok {
-			delete(s.m, key)
+		if s.removeLocked(key) {
 			removed++
 		}
 		s.mu.Unlock()
@@ -253,8 +313,25 @@ func (c *Cache) Clear() {
 		s.m = make(map[uint64][]float32)
 		s.fifo = nil
 		s.head = 0
+		s.dead = nil
+		s.ndead = 0
 		s.mu.Unlock()
 	}
+}
+
+// Keys returns every resident key (no particular order). Used to
+// rebuild derived indexes after a snapshot load.
+func (c *Cache) Keys() []uint64 {
+	out := make([]uint64, 0, c.Len())
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		for key := range s.m {
+			out = append(out, key)
+		}
+		s.mu.Unlock()
+	}
+	return out
 }
 
 // Contains reports whether key is cached (test helper).

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sync/atomic"
 	"time"
 
 	"tgopt/internal/device"
@@ -50,6 +51,14 @@ type Options struct {
 	// deletions (Engine.InvalidateNode / InvalidateEdge). Costs extra
 	// memory proportional to cached items × (k+1).
 	TrackDependencies bool
+
+	// TrackTargets maintains the per-node key index that makes
+	// out-of-order edge inserts sound under memoization
+	// (Engine.InvalidateLateEdge): one index record per cached entry —
+	// far cheaper than TrackDependencies' k+1 — listing, for every
+	// node, the cached ⟨node, t⟩ keys. Serving over a graph.Dynamic
+	// with a lateness window enables this automatically.
+	TrackTargets bool
 }
 
 // OptAll returns Options with all three optimizations enabled at the
@@ -111,6 +120,16 @@ type Engine struct {
 	caches []*Cache
 	ttable *TimeTable
 	deps   *DepTracker
+	// targets indexes cached keys by target node (Options.TrackTargets)
+	// and dyn is the live graph when serving a stream — together they
+	// implement selective staleness invalidation for late edge inserts.
+	targets *TargetIndex
+	dyn     *graph.Dynamic
+	// staleSkips counts memoizations abandoned because the graph's
+	// mutation epoch advanced between sampling and store: the sampled
+	// neighborhoods may predate a history rewrite, so caching the
+	// result could resurrect invalidated state.
+	staleSkips atomic.Int64
 	// stages holds always-on per-stage latency histograms (one atomic
 	// observation per op, so the cost is negligible next to the ops).
 	stages map[string]*stats.Histogram
@@ -153,6 +172,10 @@ func NewEngine(m *tgat.Model, s *graph.Sampler, opt Options) *Engine {
 	}
 	if opt.TrackDependencies && opt.EnableCache {
 		e.deps = NewDepTracker()
+	}
+	e.dyn = s.Dynamic()
+	if opt.TrackTargets && opt.EnableCache {
+		e.targets = NewTargetIndex(e.CacheFor(1).Contains)
 	}
 	if opt.EnableTimePrecompute {
 		e.ttable = NewTimeTable(m.Time, opt.TimeWindow)
@@ -252,6 +275,68 @@ func (e *Engine) InvalidateEdge(eidx int32) int {
 	e.clearDeepCaches()
 	return removed
 }
+
+// InvalidateLateEdge makes the memo cache exact again after an
+// out-of-order edge (u, v, t) was sorted-inserted into the live graph
+// (graph.Dynamic.InsertLate): it drops every memoized embedding
+// ⟨w, t'⟩ with t' > t whose sampled neighborhood could now include the
+// new edge. Only targets u and v qualify — the edge enters no other
+// node's adjacency — and a candidate is kept (reuse maximized, §7) when
+// k or more of the target's interactions already lie strictly between t
+// and t': the most-recent-k window is then full of newer edges and the
+// insert cannot surface in it. Deeper cached layers (L > 2) lack
+// transitive dependencies and are cleared conservatively. Returns the
+// number of entries removed.
+//
+// Without Options.TrackTargets there is no index to consult, so the
+// only sound response is dropping every cache; enable tracking on any
+// engine serving a stream with a lateness window.
+func (e *Engine) InvalidateLateEdge(u, v int32, t float64) int {
+	if e.caches == nil {
+		return 0
+	}
+	if e.targets == nil {
+		removed := e.CacheLen()
+		for _, c := range e.caches {
+			if c != nil {
+				c.Clear()
+			}
+		}
+		return removed
+	}
+	removed := 0
+	if c := e.CacheFor(1); c != nil {
+		k := e.model.Cfg.NumNeighbors
+		endpoints := [2]int32{u, v}
+		n := 2
+		if u == v {
+			n = 1 // self-loop: one scan suffices
+		}
+		for _, w := range endpoints[:n] {
+			keys := e.targets.CollectNewer(w, t, func(_ uint64, at float64) bool {
+				if e.dyn == nil {
+					return true
+				}
+				// The insert displaces the window of ⟨w, at⟩ only if
+				// fewer than k interactions separate it from the query
+				// time (CountBetween runs post-insert and excludes the
+				// new edge itself at time t).
+				return e.dyn.CountBetween(w, t, at) < k
+			})
+			removed += c.Remove(keys)
+		}
+	}
+	e.clearDeepCaches()
+	return removed
+}
+
+// StaleStoreSkips returns how many batch memoizations were abandoned
+// (or rolled back) because a history rewrite raced the computation.
+func (e *Engine) StaleStoreSkips() int64 { return e.staleSkips.Load() }
+
+// Targets returns the per-node key index, or nil when
+// Options.TrackTargets is off.
+func (e *Engine) Targets() *TargetIndex { return e.targets }
 
 func (e *Engine) clearDeepCaches() {
 	for l := 2; l < len(e.caches); l++ {
@@ -402,6 +487,15 @@ func (e *Engine) embed(ar *tensor.Arena, l int, nodes []int32, ts []float64) *te
 		nm := len(missNodes)
 		k := cfg.NumNeighbors
 
+		// Snapshot the history-rewrite epoch before sampling: if a late
+		// insert or deletion lands while this batch computes, the
+		// sampled neighborhoods may predate it and must not be memoized
+		// (the store below would resurrect just-invalidated state).
+		var epoch int64
+		if cache != nil && e.dyn != nil {
+			epoch = e.dyn.Mutations()
+		}
+
 		start := time.Now()
 		b := graph.Batch{
 			K:     k,
@@ -436,7 +530,13 @@ func (e *Engine) embed(ar *tensor.Arena, l int, nodes []int32, ts []float64) *te
 		hm := e.model.LayerForwardWith(ar, l, hTgt, hNgh, eFeat, tEnc0, tEncD, b.Valid)
 		e.observe(stats.OpAttention, StageAttention, device.TensorOp, 8, start)
 
-		if cache != nil {
+		if cache != nil && e.dyn != nil && e.dyn.Mutations() != epoch {
+			// A history rewrite landed while this batch computed: the
+			// results may be built on pre-rewrite neighborhoods.
+			// Recompute-next-time is cheap, a stale memo would be
+			// permanent, so skip memoizing the whole batch.
+			e.staleSkips.Add(1)
+		} else if cache != nil {
 			if e.deps != nil {
 				// Dependency tracking is an opt-in diagnostic; its
 				// per-target slices stay on the heap deliberately.
@@ -450,6 +550,22 @@ func (e *Engine) embed(ar *tensor.Arena, l int, nodes []int32, ts []float64) *te
 			start = time.Now()
 			cache.Store(missKeys, hm)
 			e.observe(stats.OpCacheStore, StageCacheStore, device.HostOp, 0, start)
+			if e.targets != nil && l == 1 {
+				// Index per-target (layer 1 only: deeper cached layers
+				// are invalidated conservatively).
+				for i := 0; i < nm; i++ {
+					e.targets.Record(missNodes[i], missKeys[i], missTs[i])
+				}
+			}
+			if e.dyn != nil && e.dyn.Mutations() != epoch {
+				// A rewrite raced the store itself. Its invalidation
+				// scan may have run before our entries were indexed, so
+				// roll the whole batch back: once the entries are both
+				// stored and indexed (checked-epoch unchanged), any
+				// later rewrite is guaranteed to see them.
+				cache.Remove(missKeys)
+				e.staleSkips.Add(1)
+			}
 			if e.opt.CacheOnDevice {
 				e.chargeTransfer(stats.OpCacheStore, device.DtoD, int64(nm*d*4), nm)
 			} else {
@@ -538,10 +654,17 @@ func (e *Engine) encodeDeltas(ar *tensor.Arena, ts []float64, b *graph.Batch, n,
 // arena tensor (heap when ar is nil).
 func gatherRows32(ar *tensor.Arena, t *tensor.Tensor, idx []int32) *tensor.Tensor {
 	w := t.Dim(1)
+	rows := t.Dim(0)
 	out := ar.Tensor(len(idx), w)
 	src := t.Data()
 	dst := out.Data()
 	for i, r := range idx {
+		// Edges ingested after the feature table was built have ids past
+		// its last row; they carry no features, so fall back to the
+		// all-zero padding row instead of reading out of bounds.
+		if int(r) >= rows || r < 0 {
+			r = 0
+		}
 		copy(dst[i*w:(i+1)*w], src[int(r)*w:(int(r)+1)*w])
 	}
 	return out

@@ -69,6 +69,122 @@ func (d *DepTracker) KeysForEdge(e int32) []uint64 {
 	return keys
 }
 
+// targetIndexShards fixes the TargetIndex lock striping; recording is
+// one short critical section per cached entry.
+const targetIndexShards = 64
+
+// TargetIndex is the per-node key index behind late-edge invalidation:
+// for every node it lists the cache keys memoized *with that node as
+// target*, together with their query timestamps. A late edge (u,v,t)
+// can only change the sampled neighborhood of targets u and v at times
+// after t, so the index turns "which memoized embeddings might now be
+// stale?" into two list scans instead of a full cache sweep — targeted
+// invalidation rather than Cache.Clear, complementing DepTracker
+// (which maps *inputs* to keys and costs k+1 records per entry; this
+// index costs one).
+//
+// Entries whose keys age out of the cache by eviction linger until a
+// scan or an occasional prune (Record compacts a node's list against
+// the liveness probe as it grows); stale entries are harmless — they
+// only cause no-op removes.
+type TargetIndex struct {
+	alive  func(uint64) bool // liveness probe, prunes evicted keys
+	shards [targetIndexShards]targetShard
+}
+
+type targetShard struct {
+	mu sync.Mutex
+	m  map[int32][]keyAt
+}
+
+type keyAt struct {
+	key uint64
+	t   float64
+}
+
+// NewTargetIndex creates an empty index. alive reports whether a key is
+// still cached; it may be nil (no pruning).
+func NewTargetIndex(alive func(uint64) bool) *TargetIndex {
+	ix := &TargetIndex{alive: alive}
+	for i := range ix.shards {
+		ix.shards[i].m = make(map[int32][]keyAt)
+	}
+	return ix
+}
+
+func (ix *TargetIndex) shardFor(v int32) *targetShard {
+	h := uint64(uint32(v)) * 0x9E3779B97F4A7C15
+	return &ix.shards[(h>>32)%targetIndexShards]
+}
+
+// Record registers that key memoizes node v's embedding at time t.
+func (ix *TargetIndex) Record(v int32, key uint64, t float64) {
+	if v == 0 {
+		return
+	}
+	s := ix.shardFor(v)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	list := append(s.m[v], keyAt{key, t})
+	// Occasional prune: a hot node's list would otherwise accumulate
+	// entries for keys long evicted from the cache.
+	if ix.alive != nil && len(list) >= 1024 && len(list)%1024 == 0 {
+		w := 0
+		for _, ka := range list {
+			if ix.alive(ka.key) {
+				list[w] = ka
+				w++
+			}
+		}
+		list = list[:w]
+	}
+	s.m[v] = list
+}
+
+// CollectNewer removes and returns the keys recorded for node v at
+// times strictly after t for which drop returns true (nil drop keeps
+// every candidate). Entries at or before t, and candidates drop
+// declines, stay indexed.
+func (ix *TargetIndex) CollectNewer(v int32, t float64, drop func(key uint64, at float64) bool) []uint64 {
+	s := ix.shardFor(v)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	list := s.m[v]
+	if len(list) == 0 {
+		return nil
+	}
+	var out []uint64
+	w := 0
+	for _, ka := range list {
+		if ka.t > t && (drop == nil || drop(ka.key, ka.t)) {
+			out = append(out, ka.key)
+			continue
+		}
+		list[w] = ka
+		w++
+	}
+	if w == 0 {
+		delete(s.m, v)
+	} else {
+		s.m[v] = list[:w]
+	}
+	return out
+}
+
+// Len returns the number of indexed entries (diagnostics).
+func (ix *TargetIndex) Len() int {
+	total := 0
+	for i := range ix.shards {
+		s := &ix.shards[i]
+		s.mu.Lock()
+		for _, list := range s.m {
+			total += len(list)
+		}
+		s.mu.Unlock()
+	}
+	return total
+}
+
 // Recorded returns the number of Record calls (diagnostics).
 func (d *DepTracker) Recorded() int64 {
 	d.mu.Lock()

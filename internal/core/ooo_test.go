@@ -1,0 +1,279 @@
+package core
+
+import (
+	"testing"
+
+	"tgopt/internal/graph"
+	"tgopt/internal/tensor"
+	"tgopt/internal/tgat"
+)
+
+func TestCacheRemoveRestoreEviction(t *testing.T) {
+	// Regression: Remove left the key's old FIFO occurrence behind, so
+	// re-storing the key and then evicting dropped the *fresh* entry —
+	// the stale occurrence made it look oldest.
+	c := NewCache(2, 1, 1)
+	c.Store([]uint64{1, 2}, tensor.Ones(2, 1))
+	c.Remove([]uint64{1})
+	c.Store([]uint64{1}, tensor.Ones(1, 1)) // restore: must queue as newest
+	c.Store([]uint64{3}, tensor.Ones(1, 1)) // overflow: must evict 2
+	if !c.Contains(1) {
+		t.Fatal("restored entry evicted through its stale FIFO occurrence")
+	}
+	if c.Contains(2) || !c.Contains(3) {
+		t.Fatal("eviction picked the wrong victim after remove→restore")
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+}
+
+func TestCacheRemoveChurnCompactsFIFO(t *testing.T) {
+	// An invalidation storm (store+remove cycles) must not grow the FIFO
+	// without bound: dead occurrences compact away once they dominate.
+	c := NewCache(4, 1, 1)
+	one := tensor.Ones(1, 1)
+	for i := 0; i < 50_000; i++ {
+		k := uint64(i + 1)
+		c.Store([]uint64{k}, one)
+		c.Remove([]uint64{k})
+	}
+	s := &c.shards[0]
+	s.mu.Lock()
+	pending, ndead := len(s.fifo)-s.head, s.ndead
+	s.mu.Unlock()
+	if pending > 1024 {
+		t.Fatalf("FIFO holds %d slots after remove churn (compaction broken)", pending)
+	}
+	if ndead > pending {
+		t.Fatalf("ndead=%d exceeds pending FIFO slots %d", ndead, pending)
+	}
+	// The cache still behaves after the churn.
+	c.Store([]uint64{100_001, 100_002}, tensor.Ones(2, 1))
+	if !c.Contains(100_001) || !c.Contains(100_002) {
+		t.Fatal("cache broken after remove churn")
+	}
+}
+
+func TestTargetIndexRecordCollect(t *testing.T) {
+	ix := NewTargetIndex(nil)
+	ix.Record(5, 100, 10)
+	ix.Record(5, 101, 20)
+	ix.Record(5, 102, 30)
+	ix.Record(7, 103, 5)
+	ix.Record(0, 999, 1) // padding node: ignored
+	if ix.Len() != 4 {
+		t.Fatalf("Len = %d", ix.Len())
+	}
+	got := ix.CollectNewer(5, 15, nil)
+	if len(got) != 2 {
+		t.Fatalf("CollectNewer(5, 15) = %v, want keys 101,102", got)
+	}
+	seen := map[uint64]bool{got[0]: true, got[1]: true}
+	if !seen[101] || !seen[102] {
+		t.Fatalf("wrong keys collected: %v", got)
+	}
+	// Collected entries left the index; older ones stayed.
+	if rest := ix.CollectNewer(5, 0, nil); len(rest) != 1 || rest[0] != 100 {
+		t.Fatalf("second collect = %v, want [100]", rest)
+	}
+	// Other nodes are untouched.
+	if keys := ix.CollectNewer(7, 0, nil); len(keys) != 1 || keys[0] != 103 {
+		t.Fatalf("node 7 = %v", keys)
+	}
+	// A declining drop predicate keeps candidates indexed.
+	ix.Record(9, 200, 50)
+	if keys := ix.CollectNewer(9, 0, func(uint64, float64) bool { return false }); len(keys) != 0 {
+		t.Fatalf("declined candidates collected: %v", keys)
+	}
+	if keys := ix.CollectNewer(9, 0, nil); len(keys) != 1 || keys[0] != 200 {
+		t.Fatal("declined candidate was dropped from the index")
+	}
+}
+
+func TestTargetIndexPrunesEvictedKeys(t *testing.T) {
+	// With a liveness probe, a hot node's list compacts as it grows
+	// instead of accumulating entries for long-evicted keys.
+	ix := NewTargetIndex(func(key uint64) bool { return key%2 == 0 })
+	for i := 0; i < 4096; i++ {
+		ix.Record(1, uint64(i), float64(i))
+	}
+	if n := ix.Len(); n >= 4096 || n == 0 {
+		t.Fatalf("Len = %d after recording 4096 half-dead keys", n)
+	}
+}
+
+// oooSetup is invalidationSetup with out-of-order ingestion enabled: a
+// lateness window on the graph and the target index on the engine.
+func oooSetup(t *testing.T, lateness float64) (*tgat.Model, *graph.Dynamic, *Engine, []graph.Edge) {
+	t.Helper()
+	r := tensor.NewRNG(5)
+	const nodes, total = 25, 600
+	stream := make([]graph.Edge, 0, total)
+	clock := 0.0
+	for len(stream) < total {
+		clock += 1 + r.Float64()*10
+		src := int32(1 + r.Intn(nodes))
+		dst := int32(1 + r.Intn(nodes))
+		if src == dst {
+			continue
+		}
+		stream = append(stream, graph.Edge{Src: src, Dst: dst, Time: clock, Idx: int32(len(stream) + 1)})
+	}
+	nodeFeat := tensor.Randn(r, nodes+1, 16)
+	edgeFeat := tensor.Randn(r, total+2, 16)
+	for j := 0; j < 16; j++ {
+		nodeFeat.Set(0, 0, j)
+		edgeFeat.Set(0, 0, j)
+	}
+	cfg := tgat.Config{Layers: 2, Heads: 2, NodeDim: 16, EdgeDim: 16, TimeDim: 16, NumNeighbors: 5, Seed: 11}
+	m, err := tgat.NewModel(cfg, nodeFeat, edgeFeat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dyn := graph.NewDynamic(nodes)
+	dyn.SetLateness(lateness)
+	for _, e := range stream {
+		if _, err := dyn.Append(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	opt := OptAll()
+	opt.TrackTargets = true
+	eng := NewEngine(m, graph.NewDynamicSampler(dyn, cfg.NumNeighbors, graph.MostRecent, 0), opt)
+	for start := 0; start < total; start += 100 {
+		batch := stream[start : start+100]
+		ns := make([]int32, 2*len(batch))
+		ts := make([]float64, 2*len(batch))
+		for i, e := range batch {
+			ns[i], ns[len(batch)+i] = e.Src, e.Dst
+			ts[i], ts[len(batch)+i] = e.Time, e.Time
+		}
+		eng.Embed(ns, ts)
+	}
+	if eng.CacheLen() == 0 || eng.Targets().Len() == 0 {
+		t.Fatal("warming pass cached nothing / indexed nothing")
+	}
+	return m, dyn, eng, stream
+}
+
+func TestInvalidateLateEdgeRestoresExactness(t *testing.T) {
+	m, dyn, eng, stream := oooSetup(t, 200)
+	// A late edge landing ~20 interactions before the stream head, well
+	// inside the window, between two nodes busy enough to be cached.
+	total := len(stream)
+	tLate := (stream[total-20].Time + stream[total-19].Time) / 2
+	u, v := stream[total-20].Src, stream[total-19].Dst
+	if u == v {
+		v = stream[total-18].Dst
+	}
+	res, _, err := dyn.Ingest(graph.Edge{Src: u, Dst: v, Time: tLate, Idx: int32(total + 1)})
+	if err != nil || res != graph.IngestLate {
+		t.Fatalf("late ingest: res=%v err=%v", res, err)
+	}
+
+	before := eng.CacheLen()
+	removed := eng.InvalidateLateEdge(u, v, tLate)
+	if removed == 0 {
+		t.Fatal("late edge between busy nodes invalidated nothing")
+	}
+	if removed == before {
+		t.Fatal("invalidation was not selective (entire cache dropped)")
+	}
+	if eng.CacheLen() != before-removed {
+		t.Fatalf("cache len %d, want %d", eng.CacheLen(), before-removed)
+	}
+
+	// Replay every cached query against a fresh no-cache baseline: the
+	// surviving entries must all still be exact.
+	for start := 0; start < total; start += 150 {
+		batch := stream[start : start+150]
+		ns := make([]int32, 2*len(batch))
+		ts := make([]float64, 2*len(batch))
+		for i, e := range batch {
+			ns[i], ns[len(batch)+i] = e.Src, e.Dst
+			ts[i], ts[len(batch)+i] = e.Time, e.Time
+		}
+		if d := eng.Embed(ns, ts).MaxAbsDiff(freshBaseline(t, m, dyn, ns, ts)); d > 1e-5 {
+			t.Fatalf("replay at offset %d disagrees by %g after late insert", start, d)
+		}
+	}
+}
+
+func TestInvalidateLateEdgeFutureTimeRemovesNothing(t *testing.T) {
+	// No cached query is newer than the stream head, so an "insert" at
+	// the head invalidates nothing and preserves every entry.
+	_, dyn, eng, _ := oooSetup(t, 200)
+	before := eng.CacheLen()
+	if removed := eng.InvalidateLateEdge(1, 2, dyn.MaxTime()+1); removed != 0 {
+		t.Fatalf("future-time invalidation removed %d entries", removed)
+	}
+	if eng.CacheLen() != before {
+		t.Fatal("cache shrank on a no-op invalidation")
+	}
+}
+
+func TestInvalidateLateEdgeMostRecentWindowRefinement(t *testing.T) {
+	// Node 1 interacts 10 times before the only cached query time. A
+	// late edge older than all of them cannot enter the most-recent-k
+	// window, so the CountBetween refinement keeps the entry; a late
+	// edge inside the window drops it.
+	r := tensor.NewRNG(9)
+	const nodes = 9
+	nodeFeat := tensor.Randn(r, nodes+1, 16)
+	edgeFeat := tensor.Randn(r, 64, 16)
+	for j := 0; j < 16; j++ {
+		nodeFeat.Set(0, 0, j)
+		edgeFeat.Set(0, 0, j)
+	}
+	cfg := tgat.Config{Layers: 2, Heads: 2, NodeDim: 16, EdgeDim: 16, TimeDim: 16, NumNeighbors: 5, Seed: 3}
+	m, err := tgat.NewModel(cfg, nodeFeat, edgeFeat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dyn := graph.NewDynamic(nodes)
+	dyn.SetLateness(1_000)
+	for i := 0; i < 10; i++ {
+		// Alternate partners so node 1's degree is 10.
+		if _, err := dyn.Append(graph.Edge{Src: 1, Dst: int32(2 + i%3), Time: float64(10 * (i + 1))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	opt := OptAll()
+	opt.TrackTargets = true
+	eng := NewEngine(m, graph.NewDynamicSampler(dyn, cfg.NumNeighbors, graph.MostRecent, 0), opt)
+	eng.Embed([]int32{1}, []float64{150})
+	if eng.CacheLen() == 0 {
+		t.Fatal("warming query cached nothing")
+	}
+
+	// Ten interactions separate t=5 from the query at 150: the late edge
+	// cannot displace the most-recent-5 window, entry kept. Node 9 has
+	// no cached entries at all.
+	if removed := eng.InvalidateLateEdge(1, 9, 5); removed != 0 {
+		t.Fatalf("out-of-window late edge removed %d entries", removed)
+	}
+	if eng.CacheLen() == 0 {
+		t.Fatal("refinement dropped the cache anyway")
+	}
+	// Only 3 interactions in (75, 150): the window shifts, entry dropped.
+	if removed := eng.InvalidateLateEdge(1, 9, 75); removed == 0 {
+		t.Fatal("in-window late edge removed nothing")
+	}
+}
+
+func TestInvalidateLateEdgeWithoutIndexClearsAll(t *testing.T) {
+	// Without the target index the only sound response is a full clear —
+	// and the count must reflect it.
+	_, _, eng, _ := invalidationSetup(t)
+	before := eng.CacheLen()
+	if before == 0 {
+		t.Fatal("setup cached nothing")
+	}
+	if removed := eng.InvalidateLateEdge(1, 2, 0); removed != before {
+		t.Fatalf("fallback clear reported %d, want %d", removed, before)
+	}
+	if eng.CacheLen() != 0 {
+		t.Fatal("fallback did not clear the cache")
+	}
+}

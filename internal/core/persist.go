@@ -321,5 +321,24 @@ func (e *Engine) loadCacheStream(r io.Reader) error {
 	for l, sc := range staged {
 		e.caches[l].absorb(sc)
 	}
+	e.rebuildTargetIndex()
 	return nil
+}
+
+// rebuildTargetIndex re-derives the per-node key index from the
+// layer-1 cache after a snapshot load, so late-edge invalidation also
+// covers warm-started entries. Keys decode exactly within Key's
+// documented domain (integral timestamps fitting 32 bits); outside it
+// the cache keying itself already forfeits its guarantees.
+func (e *Engine) rebuildTargetIndex() {
+	if e.targets == nil {
+		return
+	}
+	c := e.CacheFor(1)
+	if c == nil {
+		return
+	}
+	for _, key := range c.Keys() {
+		e.targets.Record(int32(key>>32), key, float64(uint32(key)))
+	}
 }

@@ -1,0 +1,72 @@
+package graph
+
+import (
+	"fmt"
+	"testing"
+)
+
+// buildStream appends n chronological edges and returns the graph plus
+// the assigned edge ids. The node count scales with n so the mean
+// degree stays constant across sizes — the benchmarks then isolate the
+// stream-size-dependent cost (the log E searches) from the O(degree)
+// adjacency rebuild.
+func buildStream(b *testing.B, n int) (*Dynamic, []int32) {
+	b.Helper()
+	nodes := n / 100
+	d := NewDynamic(nodes)
+	ids := make([]int32, n)
+	for i := 0; i < n; i++ {
+		idx, err := d.Append(Edge{Src: int32(1 + i%(nodes-1)), Dst: int32(2 + i%(nodes-2)), Time: float64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ids[i] = idx
+	}
+	return d, ids
+}
+
+// BenchmarkDeleteEdge measures removal cost at different stream sizes:
+// the id index plus binary search keep it O(degree + log E), so the
+// per-op time should stay nearly flat as E grows 10×.
+func BenchmarkDeleteEdge(b *testing.B) {
+	for _, size := range []int{10_000, 100_000} {
+		b.Run(fmt.Sprintf("E=%d", size), func(b *testing.B) {
+			d, ids := buildStream(b, size)
+			nodes := size / 100
+			// Delete and re-append in pairs so the stream size stays
+			// steady across iterations.
+			clock := float64(size)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				id := ids[i%len(ids)]
+				if d.DeleteEdge(id) {
+					clock++
+					nid, err := d.Append(Edge{Src: int32(1 + i%(nodes-1)), Dst: int32(2 + i%(nodes-2)), Time: clock})
+					if err != nil {
+						b.Fatal(err)
+					}
+					ids[i%len(ids)] = nid
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkInsertLate measures sorted insertion of an edge trailing the
+// stream clock by half the lateness window.
+func BenchmarkInsertLate(b *testing.B) {
+	for _, window := range []float64{100, 1000} {
+		b.Run(fmt.Sprintf("window=%g", window), func(b *testing.B) {
+			d, _ := buildStream(b, 50_000)
+			nodes := 50_000 / 100
+			d.SetLateness(window)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tm := d.MaxTime() - window/2
+				if _, err := d.InsertLate(Edge{Src: int32(1 + i%(nodes-1)), Dst: int32(2 + i%(nodes-2)), Time: tm}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

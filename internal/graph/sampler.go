@@ -102,6 +102,13 @@ func (s *Sampler) Strategy() Strategy { return s.strategy }
 // was built over a Dynamic.
 func (s *Sampler) Graph() *Graph { return s.g }
 
+// Dynamic returns the underlying streaming graph, or nil when the
+// sampler was built over an immutable Graph.
+func (s *Sampler) Dynamic() *Dynamic {
+	d, _ := s.adj.(*Dynamic)
+	return d
+}
+
 // Sample draws the temporal neighborhoods of the given node–timestamp
 // targets. The per-target work is independent and is parallelized
 // across the worker pool, mirroring the paper's C++ parallel sampler.

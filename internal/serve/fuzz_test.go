@@ -1,0 +1,99 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"tgopt/internal/core"
+	"tgopt/internal/graph"
+	"tgopt/internal/tensor"
+	"tgopt/internal/tgat"
+)
+
+// fuzzIngestServer is built once per fuzz process: state accumulates
+// across iterations, which is exactly what the invariant wants — the
+// ingested counter must track the live edge count no matter how many
+// partial, late, dropped, or rejected requests have gone before.
+var (
+	fuzzOnce sync.Once
+	fuzzSrv  *Server
+	fuzzTS   *httptest.Server
+)
+
+func fuzzIngestTarget(f *testing.F) (*Server, *httptest.Server) {
+	f.Helper()
+	fuzzOnce.Do(func() {
+		const nodes, d = 20, 8
+		r := tensor.NewRNG(4)
+		nodeFeat := tensor.Randn(r, nodes+1, d)
+		edgeFeat := tensor.Randn(r, 4096, d)
+		for j := 0; j < d; j++ {
+			nodeFeat.Set(0, 0, j)
+			edgeFeat.Set(0, 0, j)
+		}
+		cfg := tgat.Config{Layers: 2, Heads: 2, NodeDim: d, EdgeDim: d, TimeDim: d, NumNeighbors: 3, Seed: 6}
+		m, err := tgat.NewModel(cfg, nodeFeat, edgeFeat)
+		if err != nil {
+			f.Fatal(err)
+		}
+		dyn := graph.NewDynamic(nodes)
+		dyn.SetLateness(100)
+		fuzzSrv = New(m, dyn, core.OptAll())
+		fuzzTS = httptest.NewServer(fuzzSrv.Handler())
+	})
+	return fuzzSrv, fuzzTS
+}
+
+// FuzzIngest throws arbitrary bodies at /v1/ingest and asserts the
+// accepted-prefix accounting invariant stays exact: the ingested
+// counter always equals the number of live edges in the graph —
+// appends and late inserts count, drops and rejected suffixes never do.
+func FuzzIngest(f *testing.F) {
+	f.Add([]byte(`{"edges":[{"src":1,"dst":2,"time":10}]}`))
+	f.Add([]byte(`{"edges":[{"src":1,"dst":2,"time":50},{"src":2,"dst":3,"time":20}]}`))
+	f.Add([]byte(`{"edges":[{"src":1,"dst":2,"time":1e9},{"src":3,"dst":4,"time":1}]}`))
+	f.Add([]byte(`{"edges":[{"src":0,"dst":2,"time":5}]}`))
+	f.Add([]byte(`{"edges":[{"src":1,"dst":99,"time":5}]}`))
+	f.Add([]byte(`{"edges":[{"src":1,"dst":2,"time":1e999}]}`))
+	f.Add([]byte(`{"edges":[{"src":1,"dst":2,"time":3,"idx":7},{"src":1,"dst":2,"time":4,"idx":7}]}`))
+	f.Add([]byte(`{"edges":[{"src":1,"dst":2,"time":3,"bogus":1}]}`))
+	f.Add([]byte(`{"edges":`))
+	f.Add([]byte(`not json at all`))
+	f.Add([]byte(`{"edges":[{"src":2147483647,"dst":-2147483648,"time":-1e308}]}`))
+
+	srv, ts := fuzzIngestTarget(f)
+	f.Fuzz(func(t *testing.T, body []byte) {
+		resp, err := http.Post(ts.URL+"/v1/ingest", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("unexpected status %d: %s", resp.StatusCode, buf.String())
+		}
+		if resp.StatusCode == http.StatusOK {
+			var ir ingestResponse
+			if err := json.Unmarshal(buf.Bytes(), &ir); err != nil {
+				t.Fatalf("bad ingest response %q: %v", buf.String(), err)
+			}
+			if ir.Accepted < 0 || ir.Late < 0 || ir.Dropped < 0 || ir.Invalidated < 0 {
+				t.Fatalf("negative counters: %+v", ir)
+			}
+			if ir.NumEdges != srv.dyn.NumEdges() {
+				t.Fatalf("response NumEdges %d != graph %d", ir.NumEdges, srv.dyn.NumEdges())
+			}
+		}
+		// The invariant: every edge counted as ingested is in the graph,
+		// and every edge in the graph was counted — across the whole
+		// accumulated fuzz history, partial failures included.
+		if got, want := srv.ingested.Load(), int64(srv.dyn.NumEdges()); got != want {
+			t.Fatalf("ingested counter %d != live edges %d", got, want)
+		}
+	})
+}

@@ -262,12 +262,15 @@ func TestServeStatsIncludesStageAndLimitFields(t *testing.T) {
 
 func TestServeIngestCountsAcceptedPrefix(t *testing.T) {
 	s, ts := testServer(t)
-	// Two good edges, then a time regression: the request fails with 400
-	// but the accepted prefix is in the graph and must be counted.
+	// Two good edges, then an invalid endpoint: the request fails with
+	// 400 but the accepted prefix is in the graph and must be counted.
+	// (A mere time regression no longer fails the request — it is
+	// dropped against the watermark and counted, see
+	// TestServeIngestDropsTimeRegression.)
 	resp, body := post(t, ts.URL+"/v1/ingest", ingestRequest{Edges: []edgeJSON{
 		{Src: 1, Dst: 2, Time: 100},
 		{Src: 2, Dst: 3, Time: 200},
-		{Src: 3, Dst: 4, Time: 50}, // regresses: rejected
+		{Src: 0, Dst: 4, Time: 300}, // invalid endpoint: rejected
 	}})
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("partial ingest status %d: %s", resp.StatusCode, body)

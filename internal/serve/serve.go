@@ -13,8 +13,15 @@
 //	GET  /v1/stats
 //
 // Because the engine's memoization is sound under chronological appends
-// (§3.2 of the paper), embeddings served before an ingest remain valid
-// after it; the server never needs to invalidate the cache.
+// (§3.2 of the paper), embeddings served before an in-order ingest
+// remain valid after it. Real event streams are not chronological:
+// with a lateness window configured on the dynamic graph
+// (graph.Dynamic.SetLateness), /v1/ingest also accepts bounded
+// out-of-order edges by sorted insert and keeps the cache exact by
+// selective invalidation of the embeddings whose sampled neighborhoods
+// the late edge could reach (core.Engine.InvalidateLateEdge); edges
+// older than the low-watermark are dropped and counted, never silently
+// applied. See DESIGN.md §11.
 //
 // Every endpoint is wrapped in the serving middleware (middleware.go):
 // a semaphore-based in-flight limit (429 at saturation), a per-request
@@ -65,6 +72,9 @@ type Server struct {
 
 	requests atomic.Int64
 	ingested atomic.Int64
+	// invalidated counts cache entries dropped by late-edge selective
+	// invalidation.
+	invalidated atomic.Int64
 
 	// Background snapshotter counters (snapshot.go).
 	snapshotSaves  atomic.Int64
@@ -81,6 +91,12 @@ func New(model *tgat.Model, dyn *graph.Dynamic, opt core.Options) *Server {
 		hitRate: stats.NewHitRate(10),
 	}
 	opt.HitRate = s.hitRate
+	if dyn.Lateness() > 0 {
+		// Out-of-order ingestion is enabled: the engine must keep the
+		// per-node key index that makes late-edge invalidation targeted
+		// rather than a full cache clear.
+		opt.TrackTargets = true
+	}
 	sampler := graph.NewDynamicSampler(dyn, model.Cfg.NumNeighbors, graph.MostRecent, 0)
 	s.engine = core.NewEngine(model, sampler, opt)
 	return s
@@ -163,6 +179,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	write("tgopt_cache_hit_rate", "Average embedding cache hit rate.", s.hitRate.Average())
 	write("tgopt_requests_total", "API requests handled.", float64(s.requests.Load()))
 	write("tgopt_ingested_total", "Edges accepted via /v1/ingest.", float64(s.ingested.Load()))
+	write("tgopt_ingest_late_accepted_total", "Out-of-order edges absorbed inside the lateness window.", float64(s.dyn.LateAccepted()))
+	write("tgopt_ingest_late_dropped_total", "Edges dropped below the low-watermark.", float64(s.dyn.LateDropped()))
+	write("tgopt_ingest_watermark", "Low-watermark: edges older than this are dropped.", s.dyn.Watermark())
+	write("tgopt_cache_invalidated_total", "Memoized embeddings dropped by late-edge invalidation.", float64(s.invalidated.Load()))
+	write("tgopt_cache_stale_store_skips_total", "Memo stores skipped or rolled back because a mutation raced the compute.", float64(s.engine.StaleStoreSkips()))
 	write("tgopt_inflight_requests", "Requests currently executing.", float64(s.inflight.Load()))
 	write("tgopt_rejected_total", "Requests rejected with 429 at the in-flight limit.", float64(s.rejected.Load()))
 	write("tgopt_timeouts_total", "Requests that exceeded the deadline (504).", float64(s.timeouts.Load()))
@@ -225,9 +246,18 @@ type ingestRequest struct {
 }
 
 type ingestResponse struct {
-	Accepted int     `json:"accepted"`
-	NumEdges int     `json:"num_edges"`
-	MaxTime  float64 `json:"max_time"`
+	// Accepted counts in-order appends, Late the out-of-order edges
+	// absorbed by sorted insert inside the lateness window, Dropped the
+	// edges older than the low-watermark (counted, never applied).
+	Accepted int `json:"accepted"`
+	Late     int `json:"late"`
+	Dropped  int `json:"dropped"`
+	// Invalidated is how many memoized embeddings the late edges forced
+	// out of the cache to keep served results exact.
+	Invalidated int     `json:"invalidated"`
+	NumEdges    int     `json:"num_edges"`
+	MaxTime     float64 `json:"max_time"`
+	Watermark   float64 `json:"watermark"`
 }
 
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
@@ -236,27 +266,41 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	if !decode(w, r, &req) {
 		return
 	}
-	// Partial-ingest semantics: edges append in request order, and the
-	// prefix before the first rejected edge stays in the graph (appends
-	// are not transactional). The error response reports the accepted
-	// count, and tgopt_ingested_total counts exactly the edges that are
-	// actually in the graph — including that accepted prefix.
-	accepted := 0
-	for _, e := range req.Edges {
-		if _, err := s.dyn.Append(graph.Edge{Src: e.Src, Dst: e.Dst, Time: e.Time, Idx: e.Idx}); err != nil {
-			s.ingested.Add(int64(accepted))
+	// Partial-ingest semantics: edges are absorbed in request order, and
+	// the prefix before the first invalid edge stays in the graph
+	// (ingestion is not transactional). The error response reports the
+	// absorbed prefix, and tgopt_ingested_total counts exactly the edges
+	// that are actually in the graph — including that prefix. Late edges
+	// inside the lateness window sorted-insert and selectively
+	// invalidate the memoized embeddings they could reach; edges below
+	// the watermark are dropped and counted, never silently applied.
+	var resp ingestResponse
+	for i, e := range req.Edges {
+		res, _, err := s.dyn.Ingest(graph.Edge{Src: e.Src, Dst: e.Dst, Time: e.Time, Idx: e.Idx})
+		if err != nil {
+			s.ingested.Add(int64(resp.Accepted + resp.Late))
 			httpError(w, http.StatusBadRequest,
-				"edge %d rejected after %d accepted: %v", accepted, accepted, err)
+				"edge %d rejected after %d appended, %d late, %d dropped: %v",
+				i, resp.Accepted, resp.Late, resp.Dropped, err)
 			return
 		}
-		accepted++
+		switch res {
+		case graph.IngestAppended:
+			resp.Accepted++
+		case graph.IngestLate:
+			resp.Late++
+			n := s.engine.InvalidateLateEdge(e.Src, e.Dst, e.Time)
+			resp.Invalidated += n
+			s.invalidated.Add(int64(n))
+		case graph.IngestDropped:
+			resp.Dropped++
+		}
 	}
-	s.ingested.Add(int64(accepted))
-	writeJSON(w, ingestResponse{
-		Accepted: accepted,
-		NumEdges: s.dyn.NumEdges(),
-		MaxTime:  s.dyn.MaxTime(),
-	})
+	s.ingested.Add(int64(resp.Accepted + resp.Late))
+	resp.NumEdges = s.dyn.NumEdges()
+	resp.MaxTime = s.dyn.MaxTime()
+	resp.Watermark = s.dyn.Watermark()
+	writeJSON(w, resp)
 }
 
 type embedRequest struct {
@@ -404,8 +448,21 @@ type statsResponse struct {
 	Panics     int64                 `json:"panics"`
 	Snapshots  int64                 `json:"snapshots"`
 	SnapErrors int64                 `json:"snapshot_errors"`
+	Ingest     ingestStats           `json:"ingest"`
 	Stages     map[string]stageStats `json:"stages"`
 	Batching   *batchStats           `json:"batching,omitempty"`
+}
+
+// ingestStats reports the out-of-order ingestion state: the configured
+// lateness window, the current low-watermark, the late-edge outcome
+// counters, and the invalidation work late edges have caused.
+type ingestStats struct {
+	Lateness        float64 `json:"lateness"`
+	Watermark       float64 `json:"watermark"`
+	LateAccepted    int64   `json:"late_accepted"`
+	LateDropped     int64   `json:"late_dropped"`
+	Invalidated     int64   `json:"invalidated"`
+	StaleStoreSkips int64   `json:"stale_store_skips"`
 }
 
 // stageStats is the JSON rendering of one engine stage's latency
@@ -449,7 +506,15 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Panics:     s.panics.Load(),
 		Snapshots:  s.snapshotSaves.Load(),
 		SnapErrors: s.snapshotErrors.Load(),
-		Stages:     stages,
+		Ingest: ingestStats{
+			Lateness:        s.dyn.Lateness(),
+			Watermark:       s.dyn.Watermark(),
+			LateAccepted:    s.dyn.LateAccepted(),
+			LateDropped:     s.dyn.LateDropped(),
+			Invalidated:     s.invalidated.Load(),
+			StaleStoreSkips: s.engine.StaleStoreSkips(),
+		},
+		Stages: stages,
 		Batching:   s.batchStatsJSON(),
 	})
 }

@@ -202,12 +202,28 @@ func TestServeRejectsNonFiniteTimes(t *testing.T) {
 	}
 }
 
-func TestServeIngestRejectsTimeRegression(t *testing.T) {
-	_, ts := testServer(t)
+func TestServeIngestDropsTimeRegression(t *testing.T) {
+	// With no lateness window configured, an out-of-order edge is below
+	// the watermark: it is dropped and counted — never applied, never a
+	// request failure (drops are per-edge outcomes, not client errors).
+	s, ts := testServer(t)
 	ingest(t, ts.URL, []edgeJSON{{Src: 1, Dst: 2, Time: 100}})
 	resp, body := post(t, ts.URL+"/v1/ingest", ingestRequest{Edges: []edgeJSON{{Src: 1, Dst: 3, Time: 50}}})
-	if resp.StatusCode != http.StatusBadRequest {
+	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("time-regressing ingest: %d %s", resp.StatusCode, body)
+	}
+	var ir ingestResponse
+	if err := json.Unmarshal([]byte(body), &ir); err != nil {
+		t.Fatal(err)
+	}
+	if ir.Accepted != 0 || ir.Dropped != 1 {
+		t.Fatalf("drop accounting wrong: %s", body)
+	}
+	if s.dyn.NumEdges() != 1 {
+		t.Fatalf("dropped edge reached the graph: %d edges", s.dyn.NumEdges())
+	}
+	if s.dyn.LateDropped() != 1 {
+		t.Fatalf("LateDropped = %d, want 1", s.dyn.LateDropped())
 	}
 }
 

@@ -153,10 +153,16 @@ func (m *Model) embed(s *graph.Sampler, l int, nodes []int32, ts []float64, col 
 // gatherRows32 is tensor.GatherRows for int32 indices.
 func gatherRows32(t *tensor.Tensor, idx []int32) *tensor.Tensor {
 	w := t.Dim(1)
+	rows := t.Dim(0)
 	out := tensor.New(len(idx), w)
 	src := t.Data()
 	dst := out.Data()
 	for i, r := range idx {
+		// Live-ingested edges have ids past the feature table; they
+		// carry no features, so use the all-zero padding row.
+		if int(r) >= rows || r < 0 {
+			r = 0
+		}
 		copy(dst[i*w:(i+1)*w], src[int(r)*w:(int(r)+1)*w])
 	}
 	return out
@@ -211,7 +217,11 @@ func (m *Model) Explain(s *graph.Sampler, node int32, t float64) (*tensor.Tensor
 	tEncD := m.Time.Encode(deltas)
 	eFeat := tensor.New(k, m.Cfg.EdgeDim)
 	for j := 0; j < k; j++ {
-		copy(eFeat.Row(j), m.EdgeFeat.Row(int(b.EIdxs[j])))
+		row := int(b.EIdxs[j])
+		if row >= m.EdgeFeat.Dim(0) || row < 0 {
+			row = 0 // live-ingested edge: no features, use the padding row
+		}
+		copy(eFeat.Row(j), m.EdgeFeat.Row(row))
 	}
 
 	q := tensor.ConcatCols(hTgt, tEnc0)

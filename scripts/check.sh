@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Tier-1 verification plus race checks for the concurrency-sensitive
 # packages (the parallel runtime, the serving middleware, the request
-# micro-batcher, and the sharded cache) and the crash-safety suites
-# (checkpoint envelope, fault injection, trainer resume). Run on every PR.
+# micro-batcher, the sharded cache, and the mutable dynamic graph) and
+# the crash-safety suites (checkpoint envelope, fault injection, trainer
+# resume). Run on every PR.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -17,19 +18,20 @@ go test ./...
 
 echo "== go test -race (concurrency-sensitive + fault-injection packages)"
 go test -race ./internal/parallel/... ./internal/serve/... ./internal/core/... \
-    ./internal/batcher/... \
+    ./internal/batcher/... ./internal/graph/... \
     ./internal/stats/... ./internal/checkpoint/... ./internal/faultfs/... \
     ./internal/trainer/... ./internal/tensor/... ./internal/nn/... ./internal/tgat/...
 
 echo "== bench smoke (compile + one iteration of every benchmark)"
-go test -run='^$' -bench=. -benchtime=1x ./internal/tensor/ ./internal/core/ > /dev/null
+go test -run='^$' -bench=. -benchtime=1x ./internal/tensor/ ./internal/core/ ./internal/graph/ > /dev/null
 
 echo "== serve load smoke (tgopt-bench serve, tiny closed loop)"
 go run ./cmd/tgopt-bench serve -conc 1,4 -requests 10 -warmup 2 > /dev/null
 
-echo "== fuzz smoke (persistence parsers, seed corpus + 5s each)"
+echo "== fuzz smoke (persistence parsers + ingest bodies, seed corpus + 5s each)"
 go test -run='^$' -fuzz='^FuzzDecode$' -fuzztime=5s ./internal/checkpoint/
 go test -run='^$' -fuzz='^FuzzCacheReadFrom$' -fuzztime=5s ./internal/core/
 go test -run='^$' -fuzz='^FuzzLoadParams$' -fuzztime=5s ./internal/tgat/
+go test -run='^$' -fuzz='^FuzzIngest$' -fuzztime=5s ./internal/serve/
 
 echo "OK"
