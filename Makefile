@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check race bench bench-serve microbench
+.PHONY: build test check race bench bench-serve bench-cache microbench
 
 build:
 	$(GO) build ./...
@@ -26,6 +26,12 @@ bench:
 # see DESIGN.md §10).
 bench-serve:
 	$(GO) run ./cmd/tgopt-bench serve -o BENCH_2.json
+
+# Committed cache-policy artifact: memo-cache hit rate vs byte budget
+# on a Zipf-skewed trace, FIFO vs TinyLFU admission (BENCH_3.json, see
+# DESIGN.md §12).
+bench-cache:
+	$(GO) run ./cmd/tgopt-bench cachesweep -o BENCH_3.json
 
 # In-place Go microbenchmarks (no artifact).
 microbench:

@@ -18,6 +18,8 @@
 //	tgopt-bench perf [-o BENCH.json]       # kernel + end-to-end perf report
 //	tgopt-bench serve [-o BENCH.json]      # closed-loop serving load: throughput
 //	                                       # and latency vs concurrency, batching on/off
+//	tgopt-bench cachesweep [-o BENCH.json] # memo-cache hit rate vs byte budget,
+//	                                       # FIFO vs TinyLFU admission
 //	tgopt-bench all                        # everything above, CPU + GPU
 //
 // Figure subcommands accept --plot <dir> (SVG output) and --csv <dir>
@@ -211,6 +213,10 @@ func main() {
 		if cfg.Concurrency, err = parseConc(*conc); err == nil {
 			err = runServe(setup, one(focus, "snap-msg", *ds), cfg, *out)
 		}
+	case "cachesweep":
+		cfg := perfbench.DefaultCacheSweepConfig()
+		cfg.Seed = *seed
+		err = runCacheSweep(cfg, *out)
 	case "all":
 		err = runAll(setup, selected, focus, *plotDir, *csvDir)
 	default:
@@ -461,8 +467,36 @@ func runServe(setup experiments.Setup, name string, cfg perfbench.ServeLoadConfi
 	return nil
 }
 
+// runCacheSweep executes the FIFO-vs-TinyLFU hit-rate sweep and writes
+// the JSON report to out (stdout when empty), one summary line per
+// budget on stderr.
+func runCacheSweep(cfg perfbench.CacheSweepConfig, out string) error {
+	rep, err := perfbench.RunCacheSweep(cfg)
+	if err != nil {
+		return err
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if out == "" {
+		_, err = os.Stdout.Write(buf)
+	} else {
+		err = os.WriteFile(out, buf, 0o644)
+	}
+	if err != nil {
+		return err
+	}
+	for _, p := range rep.Points {
+		fmt.Fprintf(os.Stderr, "cachesweep: budget=%8d entries=%6d fifo=%.4f tinylfu=%.4f (%+.4f)\n",
+			p.BudgetBytes, p.Entries, p.FIFOHitRate, p.TinyLFUHitRate, p.Improvement)
+	}
+	return nil
+}
+
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: tgopt-bench <table1|table2|fig3|fig4|fig5|fig6|fig7|table3|table4|table5|sampling|train-dedup|batchsweep|warmstart|perf|serve|all> [flags]
+	fmt.Fprintln(os.Stderr, `usage: tgopt-bench <table1|table2|fig3|fig4|fig5|fig6|fig7|table3|table4|table5|sampling|train-dedup|batchsweep|warmstart|perf|serve|cachesweep|all> [flags]
 run "tgopt-bench fig5 -h" for flags`)
 }
 

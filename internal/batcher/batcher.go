@@ -115,6 +115,8 @@ type Batcher struct {
 	flushIdle   atomic.Int64 // flushes by the idle fast path
 	flushDrain  atomic.Int64 // flushes draining the queue after a pass
 	panics      atomic.Int64 // recovered fused-pass panics
+	retireCalls atomic.Int64 // RetireTargets invocations
+	retired     atomic.Int64 // flights retired by RetireTargets
 
 	queueWait *stats.Histogram      // enqueue -> flush start
 	occupancy *stats.CountHistogram // unique targets per fused pass
@@ -338,8 +340,15 @@ func (b *Batcher) runPass(fs []*flight) {
 		// fresh computations (which then hit the engine's memo cache).
 		// A retired flight that raced with a just-attached waiter is
 		// fine: its done/row/err are already published and immutable.
+		// The identity check matters: RetireTargets may have already
+		// removed a flight and a successor for the same key may be in
+		// the table — deleting blindly would orphan the successor into
+		// permanent single-flight misses.
 		for _, f := range fs {
-			delete(b.flights, core.Key(f.node, f.t))
+			key := core.Key(f.node, f.t)
+			if b.flights[key] == f {
+				delete(b.flights, key)
+			}
 		}
 		b.mu.Unlock()
 	}()
@@ -374,6 +383,40 @@ func (b *Batcher) runPass(fs []*flight) {
 	}
 }
 
+// RetireTargets removes from the single-flight table every in-flight
+// computation targeting one of the given nodes at a query time
+// strictly after t, returning how many were retired. It closes the
+// read-your-writes gap of single-flight dedup under history edits: a
+// flight computed against the pre-insert history stays valid for the
+// waiters that attached before the insert was acknowledged, but a
+// request arriving after the acknowledgement must not attach to it —
+// retiring the key forces a fresh computation against the updated
+// history. The engine's invalidation hook calls this before its cache
+// scan (see core.Engine.SetInvalidationHook); retired flights still
+// complete and publish to their existing waiters.
+func (b *Batcher) RetireTargets(nodes []int32, t float64) int {
+	b.retireCalls.Add(1)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	retired := 0
+	for key, f := range b.flights {
+		if f.t <= t {
+			continue
+		}
+		for _, n := range nodes {
+			if f.node == n {
+				delete(b.flights, key)
+				retired++
+				break
+			}
+		}
+	}
+	if retired > 0 {
+		b.retired.Add(int64(retired))
+	}
+	return retired
+}
+
 // InFlight reports the live queue state: targets pending in the open
 // batch and fused passes currently executing.
 func (b *Batcher) InFlight() (pending, running int) {
@@ -392,6 +435,8 @@ type Snapshot struct {
 	FlushIdle   int64 // flushes by the idle fast path
 	FlushDrain  int64 // flushes draining the queue after a pass
 	Panics      int64 // recovered fused-pass panics
+	RetireCalls int64 // RetireTargets invocations (invalidation hook fires)
+	Retired     int64 // in-flight computations retired by history edits
 }
 
 // CoalesceRatio is the fraction of enqueued targets that were served by
@@ -414,6 +459,8 @@ func (b *Batcher) Stats() Snapshot {
 		FlushIdle:   b.flushIdle.Load(),
 		FlushDrain:  b.flushDrain.Load(),
 		Panics:      b.panics.Load(),
+		RetireCalls: b.retireCalls.Load(),
+		Retired:     b.retired.Load(),
 	}
 }
 

@@ -432,3 +432,116 @@ func TestBatcherMatchesEngineBitwise(t *testing.T) {
 		}
 	}
 }
+
+func TestBatcherRetireTargetsBreaksSingleFlight(t *testing.T) {
+	// Read-your-writes: once a history edit retires an in-flight key, a
+	// request arriving after the edit must start a fresh pass against
+	// the post-edit graph — never attach to the executing pre-edit one.
+	f := &fakeEmbedder{gate: make(chan struct{})}
+	b := New(f, fakeDim, Config{Window: time.Hour, MaxBatch: 1024})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		slab, err := b.Embed(context.Background(), []int32{42}, []float64{7})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		checkSlab(t, slab, []int32{42}, []float64{7})
+	}()
+	waitUntil(t, "first pass executing", func() bool { _, r := b.InFlight(); return r == 1 })
+
+	// An edit at t=7 does not retire the t=7 flight (only strictly newer
+	// query times read the edited window)…
+	if got := b.RetireTargets([]int32{42}, 7); got != 0 {
+		t.Fatalf("edit at the flight's own time retired %d flights, want 0", got)
+	}
+	// …an edit beneath it does.
+	if got := b.RetireTargets([]int32{42}, 5); got != 1 {
+		t.Fatalf("retired %d flights, want 1", got)
+	}
+	if s := b.Stats(); s.RetireCalls != 2 || s.Retired != 1 {
+		t.Fatalf("retire stats %+v", s)
+	}
+
+	// Same (node, ts) again: must queue a new slot, not coalesce into
+	// the executing retired flight.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		slab, err := b.Embed(context.Background(), []int32{42}, []float64{7})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		checkSlab(t, slab, []int32{42}, []float64{7})
+	}()
+	waitUntil(t, "post-retire request queued", func() bool { p, _ := b.InFlight(); return p == 1 })
+	if got := b.Stats().Coalesced; got != 0 {
+		t.Fatalf("post-retire request coalesced into the retired flight (%d)", got)
+	}
+
+	f.gate <- struct{}{} // release the pre-edit pass
+	waitUntil(t, "second pass executing", func() bool { return f.numCalls() == 2 })
+	f.gate <- struct{}{} // release the post-edit pass
+	wg.Wait()
+	if f.numCalls() != 2 {
+		t.Fatalf("%d passes, want 2 (retire must break single-flight)", f.numCalls())
+	}
+	// The successor flight was created under the same key after the
+	// retire; the retired pass's cleanup must not orphan it. (The pass
+	// marks itself done just after publishing results, so poll.)
+	waitUntil(t, "flight table drained", func() bool {
+		p, r := b.InFlight()
+		return p == 0 && r == 0
+	})
+}
+
+func TestBatcherRetireTargetsConcurrentChurn(t *testing.T) {
+	// Race pin (run with -race): embeds and retires interleaving freely
+	// must neither race nor wedge, and every result stays correct.
+	f := &fakeEmbedder{}
+	b := New(f, fakeDim, Config{MaxBatch: 8})
+	stop := make(chan struct{})
+	var retirer sync.WaitGroup
+	retirer.Add(1)
+	go func() {
+		defer retirer.Done()
+		tm := 0.0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				b.RetireTargets([]int32{1, 2, 3, 4}, tm)
+				tm += 0.25
+				time.Sleep(50 * time.Microsecond)
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				node := int32(1 + (w+i)%4)
+				ts := float64(i)
+				slab, err := b.Embed(context.Background(), []int32{node}, []float64{ts})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				checkSlab(t, slab, []int32{node}, []float64{ts})
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	retirer.Wait()
+	if p, r := b.InFlight(); p != 0 || r != 0 {
+		t.Fatalf("leaked flights after churn: pending=%d running=%d", p, r)
+	}
+}

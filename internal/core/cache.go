@@ -16,16 +16,104 @@ import (
 // payload × 1.16).
 const cacheEntryOverhead = 64
 
-// Cache is the embedding memoization cache of §4.2: a sharded concurrent
-// hash table from 64-bit ⟨node, t⟩ keys to embedding vectors, with a
-// global item limit enforced by per-shard FIFO eviction. Sharding keeps
-// Store and Lookup parallelizable, mirroring the concurrent hash table
-// of the C++ implementation.
+// EntriesForBudget converts a byte budget into a hot-tier item limit
+// for dim-wide entries — the vector payload plus per-item bookkeeping,
+// the same accounting UsedBytes reports. Always at least 1.
+func EntriesForBudget(budget int64, dim int) int {
+	n := int(budget / int64(4*dim+cacheEntryOverhead))
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// CachePolicy selects the hot-tier admission/eviction policy.
+type CachePolicy int
+
+const (
+	// CacheTinyLFU keeps a 4-bit count-min sketch of key frequencies
+	// per shard and admits a new entry only when its estimated
+	// frequency beats the would-be FIFO victim's. Under skewed reuse
+	// (the JODIE-style repeat-consumption of production traffic) this
+	// keeps heavy hitters resident where plain FIFO churns them out.
+	// The zero value: new engines get TinyLFU unless they opt out.
+	CacheTinyLFU CachePolicy = iota
+	// CacheFIFO is the original paper policy (§4.2.2): evict strictly
+	// oldest-first, admit everything.
+	CacheFIFO
+)
+
+// CacheConfig configures a memo cache tier stack.
+type CacheConfig struct {
+	// Limit is the maximum hot-tier item count (required, >= 1).
+	Limit int
+	// Dim is the embedding width (required, >= 1).
+	Dim int
+	// Shards is the concurrency sharding degree (<= 0 picks 16;
+	// rounded to a power of two and shrunk so each shard holds >= 1).
+	Shards int
+	// Policy picks the hot-tier eviction policy (default CacheTinyLFU).
+	Policy CachePolicy
+	// Spill, when set, is the cold tier: entries evicted from (or
+	// refused admission to) the hot tier are appended there, hot-tier
+	// misses fall through to it, and spill hits are asynchronously
+	// promoted back. The cache takes ownership — Cache.Close seals it.
+	Spill *SpillStore
+}
+
+// CacheStats is a point-in-time snapshot of the cache's counters. The
+// hot-tier counts are exact: they are taken under the same per-shard
+// locks that guard the lookups and stores they count, so
+// Lookups == Hits + Misses always holds, and SpillHits (spill-tier
+// hits among hot-tier misses) never exceeds Misses.
+type CacheStats struct {
+	Lookups       int64      `json:"lookups"`
+	Hits          int64      `json:"hits"`
+	Misses        int64      `json:"misses"`
+	SpillHits     int64      `json:"spill_hits"`
+	Promotes      int64      `json:"promotes"`
+	PromoteDrops  int64      `json:"promote_drops"`
+	AdmitRejected int64      `json:"admit_rejected"`
+	Spill         SpillStats `json:"spill"`
+}
+
+// Cache is the embedding memoization cache of §4.2, grown into a
+// two-tier store: a sharded concurrent hash table from 64-bit
+// ⟨node, t⟩ keys to embedding vectors (the hot tier, with a global
+// item limit enforced per shard under either FIFO or TinyLFU
+// admission), optionally backed by an on-disk SpillStore (the cold
+// tier) that receives evicted entries and serves hot-tier misses, with
+// async promote-on-hit. Sharding keeps Store and Lookup
+// parallelizable, mirroring the concurrent hash table of the C++
+// implementation.
 type Cache struct {
 	dim    int
 	shards []cacheShard
 	mask   uint64
 	limit  int
+	policy CachePolicy
+	spill  *SpillStore
+
+	// gen invalidation fence: bumped by Remove/Clear before entries
+	// leave the tiers, checked by the promote worker under the shard
+	// lock, so a promotion raced by an invalidation can never
+	// resurrect a removed entry.
+	gen atomic.Uint64
+
+	spillHits    atomic.Int64
+	promotes     atomic.Int64
+	promoteDrops atomic.Int64
+
+	promoteCh chan promoteReq
+	stop      chan struct{}
+	wg        sync.WaitGroup
+	closeOnce sync.Once
+}
+
+type promoteReq struct {
+	key uint64
+	vec []float32
+	gen uint64
 }
 
 type cacheShard struct {
@@ -41,22 +129,40 @@ type cacheShard struct {
 	// entry (it looks "oldest" through its stale occurrence).
 	dead  map[uint64]int
 	ndead int
+	// sketch is the TinyLFU admission filter (nil under CacheFIFO).
+	sketch *freqSketch
+	// Hot-tier lookup counters, mutated only under mu so they stay
+	// exact with respect to the lookups they count.
+	hits          int64
+	misses        int64
+	admitRejected int64
 }
 
-// NewCache creates a cache for dim-wide embeddings holding at most limit
-// items across the given number of shards (rounded up to a power of
-// two; <=0 picks a default of 16). The global limit is enforced exactly:
-// it is distributed across the shards — remainder items to the lowest
-// shard indices — so the per-shard FIFO limits sum to limit and Len()
-// can never settle above Limit(). When limit < shards, the shard count
+// NewCache creates a FIFO cache for dim-wide embeddings holding at most
+// limit items across the given number of shards (rounded up to a power
+// of two; <=0 picks a default of 16). It preserves the original paper
+// policy exactly — callers wanting TinyLFU admission or the disk tier
+// use NewCacheWith. The global limit is enforced exactly: it is
+// distributed across the shards — remainder items to the lowest shard
+// indices — so the per-shard FIFO limits sum to limit and Len() can
+// never settle above Limit(). When limit < shards, the shard count
 // shrinks so every shard can hold at least one entry.
 func NewCache(limit, dim, shards int) *Cache {
-	if limit < 1 {
+	return NewCacheWith(CacheConfig{Limit: limit, Dim: dim, Shards: shards, Policy: CacheFIFO})
+}
+
+// NewCacheWith creates a cache from a full tier configuration.
+func NewCacheWith(cfg CacheConfig) *Cache {
+	if cfg.Limit < 1 {
 		panic("core: cache limit must be >= 1")
 	}
-	if dim < 1 {
+	if cfg.Dim < 1 {
 		panic("core: cache dim must be >= 1")
 	}
+	if cfg.Spill != nil && cfg.Spill.dim != cfg.Dim {
+		panic("core: cache spill dim mismatch")
+	}
+	shards := cfg.Shards
 	if shards <= 0 {
 		shards = 16
 	}
@@ -64,22 +170,34 @@ func NewCache(limit, dim, shards int) *Cache {
 	for ns < shards {
 		ns *= 2
 	}
-	for ns > 1 && limit < ns {
+	for ns > 1 && cfg.Limit < ns {
 		ns /= 2
 	}
 	c := &Cache{
-		dim:    dim,
+		dim:    cfg.Dim,
 		shards: make([]cacheShard, ns),
 		mask:   uint64(ns - 1),
-		limit:  limit,
+		limit:  cfg.Limit,
+		policy: cfg.Policy,
+		spill:  cfg.Spill,
 	}
-	base, rem := limit/ns, limit%ns
+	base, rem := cfg.Limit/ns, cfg.Limit%ns
 	for i := range c.shards {
-		c.shards[i].m = make(map[uint64][]float32)
-		c.shards[i].limit = base
+		s := &c.shards[i]
+		s.m = make(map[uint64][]float32)
+		s.limit = base
 		if i < rem {
-			c.shards[i].limit++
+			s.limit++
 		}
+		if cfg.Policy == CacheTinyLFU {
+			s.sketch = newFreqSketch(s.limit)
+		}
+	}
+	if c.spill != nil {
+		c.promoteCh = make(chan promoteReq, 256)
+		c.stop = make(chan struct{})
+		c.wg.Add(1)
+		go c.promoteLoop()
 	}
 	return c
 }
@@ -97,10 +215,16 @@ func (c *Cache) shardFor(key uint64) *cacheShard {
 // Dim returns the embedding width.
 func (c *Cache) Dim() int { return c.dim }
 
-// Limit returns the configured maximum item count.
+// Limit returns the configured maximum hot-tier item count.
 func (c *Cache) Limit() int { return c.limit }
 
-// Len returns the current item count across all shards.
+// Policy returns the hot-tier eviction policy.
+func (c *Cache) Policy() CachePolicy { return c.policy }
+
+// SpillStore returns the cold tier, or nil.
+func (c *Cache) SpillStore() *SpillStore { return c.spill }
+
+// Len returns the current hot-tier item count across all shards.
 func (c *Cache) Len() int {
 	total := 0
 	for i := range c.shards {
@@ -112,10 +236,33 @@ func (c *Cache) Len() int {
 	return total
 }
 
-// UsedBytes estimates the resident footprint of the cached embeddings,
-// payload plus bookkeeping overhead.
+// UsedBytes estimates the resident (hot-tier) footprint of the cached
+// embeddings, payload plus bookkeeping overhead. The cold tier's
+// on-disk bytes are reported separately via Stats().Spill.Bytes.
 func (c *Cache) UsedBytes() int64 {
 	return int64(c.Len()) * int64(4*c.dim+cacheEntryOverhead)
+}
+
+// Stats snapshots the cache counters (see CacheStats for the exactness
+// guarantees).
+func (c *Cache) Stats() CacheStats {
+	var st CacheStats
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		st.Hits += s.hits
+		st.Misses += s.misses
+		st.AdmitRejected += s.admitRejected
+		s.mu.Unlock()
+	}
+	st.Lookups = st.Hits + st.Misses
+	st.SpillHits = c.spillHits.Load()
+	st.Promotes = c.promotes.Load()
+	st.PromoteDrops = c.promoteDrops.Load()
+	if c.spill != nil {
+		st.Spill = c.spill.Stats()
+	}
+	return st
 }
 
 // cacheParallelThreshold is the batch size above which Lookup and Store
@@ -135,7 +282,10 @@ func (c *Cache) Lookup(keys []uint64, dst *tensor.Tensor) ([]bool, int) {
 
 // LookupInto is Lookup writing the hit mask into a caller-supplied
 // slice of length len(keys). Every mask element is written (callers may
-// pass dirty arena scratch). Returns the hit count.
+// pass dirty arena scratch). Returns the hit count. Hot-tier misses
+// fall through to the spill tier when one is configured; a spill hit
+// counts toward the returned total (it is a memo hit — the recompute
+// is avoided) and queues an async promotion back into the hot tier.
 func (c *Cache) LookupInto(keys []uint64, dst *tensor.Tensor, hits []bool) int {
 	if dst.Dim(0) != len(keys) || dst.Dim(1) != c.dim {
 		panic("core: cache Lookup dst shape mismatch")
@@ -155,17 +305,34 @@ func (c *Cache) LookupInto(keys []uint64, dst *tensor.Tensor, hits []bool) int {
 }
 
 // lookupRange performs lookups for keys [lo,hi), returning the local
-// hit count.
+// hit count. Hot-tier hit/miss counters are bumped under the shard
+// lock; the spill probe runs outside it (disk I/O never blocks a
+// shard).
 func (c *Cache) lookupRange(keys []uint64, data []float32, hits []bool, lo, hi int) int {
 	local := 0
 	for i := lo; i < hi; i++ {
-		s := c.shardFor(keys[i])
+		key := keys[i]
+		s := c.shardFor(key)
 		s.mu.Lock()
-		v, ok := s.m[keys[i]]
+		if s.sketch != nil {
+			s.sketch.inc(key)
+		}
+		v, ok := s.m[key]
 		if ok {
 			copy(data[i*c.dim:(i+1)*c.dim], v)
+			s.hits++
+		} else {
+			s.misses++
 		}
 		s.mu.Unlock()
+		if !ok && c.spill != nil {
+			row := data[i*c.dim : (i+1)*c.dim]
+			if c.spill.Get(key, row) {
+				ok = true
+				c.spillHits.Add(1)
+				c.maybePromote(key, row)
+			}
+		}
 		hits[i] = ok
 		if ok {
 			local++
@@ -174,10 +341,67 @@ func (c *Cache) lookupRange(keys []uint64, data []float32, hits []bool, lo, hi i
 	return local
 }
 
+// maybePromote queues an async promotion of a spill hit back into the
+// hot tier. The channel send never blocks the serving path: a full
+// queue just drops the promotion (the entry stays served from the
+// cold tier).
+func (c *Cache) maybePromote(key uint64, vec []float32) {
+	if c.promoteCh == nil {
+		return
+	}
+	v := make([]float32, len(vec))
+	copy(v, vec)
+	select {
+	case c.promoteCh <- promoteReq{key: key, vec: v, gen: c.gen.Load()}:
+	default:
+		c.promoteDrops.Add(1)
+	}
+}
+
+// promoteLoop is the cold→hot promotion worker.
+func (c *Cache) promoteLoop() {
+	defer c.wg.Done()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case req := <-c.promoteCh:
+			c.promoteOne(req)
+		}
+	}
+}
+
+// promoteOne re-inserts a spill hit into the hot tier. The generation
+// fence is re-checked under the shard lock: if any invalidation ran
+// since the spill read, the promotion is dropped — a removed entry is
+// never resurrected. An admission-rejected promotion is simply left in
+// the cold tier (it is already there; no re-spill churn).
+func (c *Cache) promoteOne(req promoteReq) {
+	s := c.shardFor(req.key)
+	s.mu.Lock()
+	if c.gen.Load() != req.gen {
+		s.mu.Unlock()
+		c.promoteDrops.Add(1)
+		return
+	}
+	victimKey, victimVec, admitted := c.insertLocked(s, req.key, req.vec)
+	s.mu.Unlock()
+	if !admitted {
+		c.promoteDrops.Add(1)
+		return
+	}
+	c.promotes.Add(1)
+	if victimVec != nil && c.spill != nil {
+		c.spill.Put(victimKey, victimVec)
+	}
+}
+
 // Store inserts each (key, row of h) pair, evicting the oldest entries
-// of overfull shards (FIFO, §4.2.2). Rows are copied; h may be reused by
-// the caller. Storing an existing key refreshes its value without
-// re-queueing it.
+// of overfull shards — subject to TinyLFU admission when that policy is
+// active. Rows are copied; h may be reused by the caller. Storing an
+// existing key refreshes its value without re-queueing it. Evicted and
+// admission-rejected entries cascade into the spill tier when one is
+// configured.
 func (c *Cache) Store(keys []uint64, h *tensor.Tensor) {
 	if h.Dim(0) != len(keys) || h.Dim(1) != c.dim {
 		panic("core: cache Store shape mismatch")
@@ -197,39 +421,92 @@ func (c *Cache) storeRange(keys []uint64, data []float32, lo, hi int) {
 }
 
 // storeOne inserts a single entry under the shard's slice of the global
-// limit, evicting the shard's oldest entry first when full, so the
-// global item count never settles above Limit(). vec is copied.
+// limit, so the global hot-tier item count never settles above
+// Limit(). vec is copied. The displaced entry — the evicted victim, or
+// the candidate itself when admission refuses it — is spilled to the
+// cold tier after the shard lock is released (spill segment I/O never
+// runs under a shard lock).
 func (c *Cache) storeOne(key uint64, vec []float32) {
 	s := c.shardFor(key)
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if old, ok := s.m[key]; ok {
-		copy(old, vec)
+	victimKey, victimVec, admitted := c.insertLocked(s, key, vec)
+	s.mu.Unlock()
+	if c.spill == nil {
 		return
 	}
+	if !admitted {
+		c.spill.Put(key, vec)
+	} else if victimVec != nil {
+		c.spill.Put(victimKey, victimVec)
+	}
+}
+
+// insertLocked is the single hot-tier insertion point (caller holds
+// s.mu). It refreshes existing keys in place, applies TinyLFU
+// admission against the would-be victim when the shard is full, and
+// returns the displaced victim (nil if none) plus whether key was
+// admitted. Frequency is recorded by lookups only (lookupRange incs
+// the sketch); counting here too would double-count every miss+store
+// access, and a bulk load of never-looked-up keys would age resident
+// heavy hitters out of the sketch without a single real access.
+func (c *Cache) insertLocked(s *cacheShard, key uint64, vec []float32) (victimKey uint64, victimVec []float32, admitted bool) {
+	if old, ok := s.m[key]; ok {
+		copy(old, vec)
+		return 0, nil, true
+	}
 	if len(s.m) >= s.limit {
-		s.evictOldestLocked()
+		if s.sketch != nil {
+			if victim, ok := s.oldestLocked(); ok && s.sketch.estimate(key) <= s.sketch.estimate(victim) {
+				s.admitRejected++
+				return 0, nil, false
+			}
+		}
+		victimKey, victimVec = s.evictOldestLocked()
 	}
 	v := make([]float32, len(vec))
 	copy(v, vec)
 	s.m[key] = v
 	s.fifo = append(s.fifo, key)
+	return victimKey, victimVec, true
+}
+
+// oldestLocked peeks at the shard's oldest live entry — the eviction
+// victim TinyLFU admission compares against — advancing the head past
+// dead and ghost occurrences without consuming the live one.
+func (s *cacheShard) oldestLocked() (uint64, bool) {
+	for s.head < len(s.fifo) {
+		key := s.fifo[s.head]
+		if n := s.dead[key]; n > 0 {
+			s.markPoppedLocked(key, n)
+			s.head++
+			continue
+		}
+		if _, ok := s.m[key]; !ok {
+			s.head++
+			continue
+		}
+		return key, true
+	}
+	return 0, false
 }
 
 // evictOldestLocked removes the oldest live entry of the shard,
 // skipping dead occurrences left behind by Remove (consuming their
 // dead marks) and any key already gone from the map; the head region
-// compacts once it grows past half the queue.
-func (s *cacheShard) evictOldestLocked() {
+// compacts once it grows past half the queue. It returns the evicted
+// entry (the cache-owned vector, safe to hand to the spill tier) or ok
+// = false when the shard held nothing live.
+func (s *cacheShard) evictOldestLocked() (key uint64, vec []float32) {
 	for s.head < len(s.fifo) {
-		key := s.fifo[s.head]
+		k := s.fifo[s.head]
 		s.head++
-		if n := s.dead[key]; n > 0 {
-			s.markPoppedLocked(key, n)
+		if n := s.dead[k]; n > 0 {
+			s.markPoppedLocked(k, n)
 			continue
 		}
-		if _, ok := s.m[key]; ok {
-			delete(s.m, key)
+		if v, ok := s.m[k]; ok {
+			delete(s.m, k)
+			key, vec = k, v
 			break
 		}
 	}
@@ -237,6 +514,7 @@ func (s *cacheShard) evictOldestLocked() {
 		s.fifo = append(s.fifo[:0], s.fifo[s.head:]...)
 		s.head = 0
 	}
+	return key, vec
 }
 
 // markPoppedLocked consumes one dead mark for a key whose stale FIFO
@@ -288,25 +566,41 @@ func (s *cacheShard) compactLocked() {
 	s.head = 0
 }
 
-// Remove deletes the given keys if present and returns how many were
-// actually removed. Removed keys' FIFO occurrences are marked dead (and
-// compacted away under churn) so eviction order stays correct if the
-// same keys are stored again.
+// Remove deletes the given keys from both tiers if present and returns
+// how many were actually removed (present in at least one tier).
+// Removed keys' FIFO occurrences are marked dead (and compacted away
+// under churn) so eviction order stays correct if the same keys are
+// stored again. The generation fence is bumped first, so in-flight
+// promotions of the removed keys are dropped rather than applied.
 func (c *Cache) Remove(keys []uint64) int {
+	if len(keys) == 0 {
+		return 0
+	}
+	if c.spill != nil {
+		c.gen.Add(1)
+	}
 	removed := 0
 	for _, key := range keys {
 		s := c.shardFor(key)
 		s.mu.Lock()
-		if s.removeLocked(key) {
+		ok := s.removeLocked(key)
+		s.mu.Unlock()
+		if c.spill != nil && c.spill.Remove(key) {
+			ok = true
+		}
+		if ok {
 			removed++
 		}
-		s.mu.Unlock()
 	}
 	return removed
 }
 
-// Clear drops every entry.
+// Clear drops every entry from both tiers (and resets the TinyLFU
+// frequency sketches; counters are cumulative and keep counting).
 func (c *Cache) Clear() {
+	if c.spill != nil {
+		c.gen.Add(1)
+	}
 	for i := range c.shards {
 		s := &c.shards[i]
 		s.mu.Lock()
@@ -315,12 +609,19 @@ func (c *Cache) Clear() {
 		s.head = 0
 		s.dead = nil
 		s.ndead = 0
+		if s.sketch != nil {
+			s.sketch = newFreqSketch(s.limit)
+		}
 		s.mu.Unlock()
+	}
+	if c.spill != nil {
+		c.spill.Clear()
 	}
 }
 
-// Keys returns every resident key (no particular order). Used to
-// rebuild derived indexes after a snapshot load.
+// Keys returns every resident key across both tiers (no particular
+// order, each key once). Used to rebuild derived indexes after a
+// snapshot load.
 func (c *Cache) Keys() []uint64 {
 	out := make([]uint64, 0, c.Len())
 	for i := range c.shards {
@@ -331,14 +632,47 @@ func (c *Cache) Keys() []uint64 {
 		}
 		s.mu.Unlock()
 	}
+	if c.spill != nil {
+		seen := make(map[uint64]struct{}, len(out))
+		for _, k := range out {
+			seen[k] = struct{}{}
+		}
+		for _, k := range c.spill.Keys() {
+			if _, dup := seen[k]; !dup {
+				out = append(out, k)
+			}
+		}
+	}
 	return out
 }
 
-// Contains reports whether key is cached (test helper).
+// Contains reports whether key is resident in either tier. The target
+// index uses this as its alive probe, so invalidation reaches spilled
+// entries too.
 func (c *Cache) Contains(key uint64) bool {
 	s := c.shardFor(key)
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	_, ok := s.m[key]
+	s.mu.Unlock()
+	if !ok && c.spill != nil {
+		ok = c.spill.Contains(key)
+	}
 	return ok
+}
+
+// Close stops the promotion worker and seals the spill tier's open
+// segment so spilled entries survive a restart. Safe to call more than
+// once; a nil-spill cache's Close is a no-op.
+func (c *Cache) Close() error {
+	var err error
+	c.closeOnce.Do(func() {
+		if c.stop != nil {
+			close(c.stop)
+			c.wg.Wait()
+		}
+		if c.spill != nil {
+			err = c.spill.Close()
+		}
+	})
+	return err
 }

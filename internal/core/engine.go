@@ -1,9 +1,13 @@
 package core
 
 import (
+	"fmt"
+	"math"
+	"path/filepath"
 	"sync/atomic"
 	"time"
 
+	"tgopt/internal/checkpoint"
 	"tgopt/internal/device"
 	"tgopt/internal/graph"
 	"tgopt/internal/stats"
@@ -26,8 +30,32 @@ type Options struct {
 	// the paper's setting). With more than one cached layer the limit is
 	// split evenly across per-layer caches.
 	CacheLimit int
+	// CacheBudgetBytes, when > 0, overrides CacheLimit with an explicit
+	// hot-tier byte budget: the item limit becomes
+	// budget / (4·NodeDim + entry overhead). This is the operator-facing
+	// knob (-cache-budget): capacity planning talks in bytes, not items.
+	CacheBudgetBytes int64
 	// CacheShards controls cache concurrency (default 16).
 	CacheShards int
+	// CachePolicy picks the hot-tier eviction policy. The zero value is
+	// CacheTinyLFU — sketch-based admission that keeps heavy hitters
+	// resident under skewed reuse; CacheFIFO restores the paper's
+	// original policy.
+	CachePolicy CachePolicy
+	// CacheSpillDir, when non-empty, enables the cold tier: entries
+	// evicted from the hot tier spill to append-only segment files
+	// under this directory (one subdirectory per cached layer, since
+	// ⟨node, t⟩ keys collide across layers), hot-tier misses fall
+	// through to it, and spill hits are promoted back asynchronously.
+	CacheSpillDir string
+	// CacheSpillMaxBytes bounds the cold tier's on-disk footprint
+	// (split across cached layers); <= 0 means unbounded. When the
+	// budget is exceeded the oldest segments are dropped whole.
+	CacheSpillMaxBytes int64
+	// SpillFS overrides the file system the spill tier writes through
+	// (default checkpoint.OS). Tests inject faultfs.FS here to prove
+	// the no-corrupt-promotion invariant under crashes.
+	SpillFS checkpoint.FS
 	// TimeWindow is the precomputed Δt window (default 10,000).
 	TimeWindow int
 
@@ -130,6 +158,18 @@ type Engine struct {
 	// neighborhoods may predate a history rewrite, so caching the
 	// result could resurrect invalidated state.
 	staleSkips atomic.Int64
+	// maxEmbedBits holds the float bits of the largest query timestamp
+	// ever embedded — an upper bound on any memo's t' at any layer
+	// (neighbor recursion only descends in time). InvalidateAppend
+	// consults it so the steady-state append (no future-time memos
+	// outstanding) costs one atomic load.
+	maxEmbedBits atomic.Uint64
+	// hook, when set, is told the endpoints and time of every targeted
+	// invalidation before the cache scan runs — the batcher retires
+	// matching in-flight computations so a result computed against the
+	// pre-insert history can never serve a post-insert waiter. Set it
+	// before serving starts; it is read without synchronization.
+	hook func(u, v int32, t float64)
 	// stages holds always-on per-stage latency histograms (one atomic
 	// observation per op, so the cost is negligible next to the ops).
 	stages map[string]*stats.Histogram
@@ -149,9 +189,15 @@ func NewEngine(m *tgat.Model, s *graph.Sampler, opt Options) *Engine {
 	if s.K() != m.Cfg.NumNeighbors {
 		panic("core: sampler k differs from model NumNeighbors")
 	}
+	e.maxEmbedBits.Store(math.Float64bits(math.Inf(-1)))
 	if opt.EnableCache {
 		if s.Strategy() != graph.MostRecent {
 			panic("core: the memoization cache requires most-recent sampling (§3.2)")
+		}
+		if opt.CacheBudgetBytes > 0 {
+			limit := EntriesForBudget(opt.CacheBudgetBytes, m.Cfg.NodeDim)
+			opt.CacheLimit = limit
+			e.opt.CacheLimit = limit
 		}
 		cached := m.Cfg.Layers - 1
 		if cached < 1 {
@@ -161,13 +207,35 @@ func NewEngine(m *tgat.Model, s *graph.Sampler, opt Options) *Engine {
 		if per < 1 {
 			per = 1
 		}
+		var spillPer int64
+		if opt.CacheSpillMaxBytes > 0 {
+			spillPer = opt.CacheSpillMaxBytes / int64(cached)
+		}
+		fsys := opt.SpillFS
+		if fsys == nil {
+			fsys = checkpoint.OS{}
+		}
 		e.caches = make([]*Cache, m.Cfg.Layers+1)
 		top := m.Cfg.Layers - 1
 		if m.Cfg.Layers == 1 {
 			top = 1
 		}
 		for l := 1; l <= top; l++ {
-			e.caches[l] = NewCache(per, m.Cfg.NodeDim, opt.CacheShards)
+			var sp *SpillStore
+			if opt.CacheSpillDir != "" {
+				var err error
+				sp, err = NewSpillStore(fsys, filepath.Join(opt.CacheSpillDir, fmt.Sprintf("layer%d", l)), m.Cfg.NodeDim, spillPer)
+				if err != nil {
+					panic("core: opening cache spill dir: " + err.Error())
+				}
+			}
+			e.caches[l] = NewCacheWith(CacheConfig{
+				Limit:  per,
+				Dim:    m.Cfg.NodeDim,
+				Shards: opt.CacheShards,
+				Policy: opt.CachePolicy,
+				Spill:  sp,
+			})
 		}
 	}
 	if opt.TrackDependencies && opt.EnableCache {
@@ -292,9 +360,53 @@ func (e *Engine) InvalidateEdge(eidx int32) int {
 // only sound response is dropping every cache; enable tracking on any
 // engine serving a stream with a lateness window.
 func (e *Engine) InvalidateLateEdge(u, v int32, t float64) int {
+	if e.hook != nil {
+		e.hook(u, v, t)
+	}
 	if e.caches == nil {
 		return 0
 	}
+	return e.invalidateNewer(u, v, t)
+}
+
+// InvalidateAppend makes the memo cache exact again after a
+// chronological append of edge (u, v, t): any memoized embedding
+// ⟨w, t'⟩ with t' strictly in the future (t' > t) was computed before
+// the append and its most-recent-k window may now be wrong — the exact
+// same displacement condition as a late insert, so the same selective
+// scan applies. Unlike InsertLate, appends are the steady-state
+// serving event, so the scan is gated on a monotonic bound over every
+// embedded query timestamp: when no future-time memo can exist (the
+// common case — queries at t' ≤ now), the call costs one atomic load.
+// The batcher retire hook still fires first: an in-flight future-time
+// computation is invisible to the memo bound.
+//
+// Without Options.TrackTargets the selective scan is impossible and
+// every cache is cleared, as in InvalidateLateEdge; engines serving
+// appends should always enable tracking.
+func (e *Engine) InvalidateAppend(u, v int32, t float64) int {
+	if e.hook != nil {
+		e.hook(u, v, t)
+	}
+	if e.caches == nil {
+		return 0
+	}
+	if math.Float64frombits(e.maxEmbedBits.Load()) <= t {
+		return 0
+	}
+	return e.invalidateNewer(u, v, t)
+}
+
+// SetInvalidationHook installs the callback invoked at the start of
+// every targeted invalidation (late insert or append). Call it once
+// during setup, before any concurrent use of the engine.
+func (e *Engine) SetInvalidationHook(fn func(u, v int32, t float64)) {
+	e.hook = fn
+}
+
+// invalidateNewer is the shared selective-invalidation body behind
+// InvalidateLateEdge and InvalidateAppend.
+func (e *Engine) invalidateNewer(u, v int32, t float64) int {
 	if e.targets == nil {
 		removed := e.CacheLen()
 		for _, c := range e.caches {
@@ -346,6 +458,69 @@ func (e *Engine) clearDeepCaches() {
 	}
 }
 
+// staleByAppend reports whether this batch's memo stores are unsafe
+// because an append advanced the graph past the pre-sampling
+// watermark wm while the batch embedded timestamps beyond it (only
+// future-time rows can have sampled a window the append lands in).
+func (e *Engine) staleByAppend(missTs []float64, wm float64) bool {
+	if e.dyn == nil || e.dyn.MaxTime() == wm {
+		return false
+	}
+	for _, mt := range missTs {
+		if mt > wm {
+			return true
+		}
+	}
+	return false
+}
+
+// CacheStats aggregates the per-layer cache counters (hot-tier
+// hit/miss, spill, promote, admission; see CacheStats). Zero when the
+// cache is disabled.
+func (e *Engine) CacheStats() CacheStats {
+	var agg CacheStats
+	for _, c := range e.caches {
+		if c == nil {
+			continue
+		}
+		st := c.Stats()
+		agg.Lookups += st.Lookups
+		agg.Hits += st.Hits
+		agg.Misses += st.Misses
+		agg.SpillHits += st.SpillHits
+		agg.Promotes += st.Promotes
+		agg.PromoteDrops += st.PromoteDrops
+		agg.AdmitRejected += st.AdmitRejected
+		agg.Spill.Entries += st.Spill.Entries
+		agg.Spill.Segments += st.Spill.Segments
+		agg.Spill.Bytes += st.Spill.Bytes
+		agg.Spill.Hits += st.Spill.Hits
+		agg.Spill.Puts += st.Spill.Puts
+		agg.Spill.SealErrors += st.Spill.SealErrors
+		agg.Spill.CorruptRecords += st.Spill.CorruptRecords
+		agg.Spill.CorruptSegments += st.Spill.CorruptSegments
+		agg.Spill.DroppedSegments += st.Spill.DroppedSegments
+		agg.Spill.Compactions += st.Spill.Compactions
+	}
+	return agg
+}
+
+// Close stops the caches' promotion workers and seals their spill
+// tiers so spilled entries survive a restart. Engines without a spill
+// tier need not be closed; Close is then a no-op.
+func (e *Engine) Close() error {
+	var first error
+	for _, c := range e.caches {
+		if c == nil {
+			continue
+		}
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
 // EmbedFunc adapts the engine to the inference driver's signature.
 func (e *Engine) EmbedFunc() tgat.EmbedFunc { return e.Embed }
 
@@ -374,7 +549,31 @@ func (e *Engine) EmbedWith(ar *tensor.Arena, nodes []int32, ts []float64) *tenso
 	if len(nodes) != len(ts) {
 		panic("core: Embed nodes/ts length mismatch")
 	}
+	if e.caches != nil {
+		e.noteEmbedTimes(ts)
+	}
 	return e.embed(ar, e.model.Cfg.Layers, nodes, ts)
+}
+
+// noteEmbedTimes advances the monotonic bound on embedded query
+// timestamps (see InvalidateAppend). One scan and at most a few CAS
+// attempts per batch.
+func (e *Engine) noteEmbedTimes(ts []float64) {
+	mx := math.Inf(-1)
+	for _, t := range ts {
+		if t > mx {
+			mx = t
+		}
+	}
+	for {
+		old := e.maxEmbedBits.Load()
+		if math.Float64frombits(old) >= mx {
+			return
+		}
+		if e.maxEmbedBits.CompareAndSwap(old, math.Float64bits(mx)) {
+			return
+		}
+	}
 }
 
 // observe records an operation that started at `start`: wall time into
@@ -491,9 +690,17 @@ func (e *Engine) embed(ar *tensor.Arena, l int, nodes []int32, ts []float64) *te
 		// insert or deletion lands while this batch computes, the
 		// sampled neighborhoods may predate it and must not be memoized
 		// (the store below would resurrect just-invalidated state).
+		// The time watermark closes the same race for chronological
+		// appends, which advance MaxTime without bumping the epoch: a
+		// batch embedding *future* timestamps (t' beyond the watermark)
+		// that raced an append may have sampled pre-append windows, and
+		// InvalidateAppend's scan can run before the entries are
+		// indexed — so those stores are skipped or rolled back too.
 		var epoch int64
+		var wm float64
 		if cache != nil && e.dyn != nil {
 			epoch = e.dyn.Mutations()
+			wm = e.dyn.MaxTime()
 		}
 
 		start := time.Now()
@@ -530,11 +737,13 @@ func (e *Engine) embed(ar *tensor.Arena, l int, nodes []int32, ts []float64) *te
 		hm := e.model.LayerForwardWith(ar, l, hTgt, hNgh, eFeat, tEnc0, tEncD, b.Valid)
 		e.observe(stats.OpAttention, StageAttention, device.TensorOp, 8, start)
 
-		if cache != nil && e.dyn != nil && e.dyn.Mutations() != epoch {
-			// A history rewrite landed while this batch computed: the
-			// results may be built on pre-rewrite neighborhoods.
-			// Recompute-next-time is cheap, a stale memo would be
-			// permanent, so skip memoizing the whole batch.
+		if cache != nil && e.dyn != nil &&
+			(e.dyn.Mutations() != epoch || e.staleByAppend(missTs, wm)) {
+			// A history rewrite (or an append racing a future-time
+			// batch) landed while this batch computed: the results may
+			// be built on pre-rewrite neighborhoods. Recompute-next-time
+			// is cheap, a stale memo would be permanent, so skip
+			// memoizing the whole batch.
 			e.staleSkips.Add(1)
 		} else if cache != nil {
 			if e.deps != nil {
@@ -557,11 +766,12 @@ func (e *Engine) embed(ar *tensor.Arena, l int, nodes []int32, ts []float64) *te
 					e.targets.Record(missNodes[i], missKeys[i], missTs[i])
 				}
 			}
-			if e.dyn != nil && e.dyn.Mutations() != epoch {
-				// A rewrite raced the store itself. Its invalidation
-				// scan may have run before our entries were indexed, so
-				// roll the whole batch back: once the entries are both
-				// stored and indexed (checked-epoch unchanged), any
+			if e.dyn != nil && (e.dyn.Mutations() != epoch || e.staleByAppend(missTs, wm)) {
+				// A rewrite (or a watermark-crossing append) raced the
+				// store itself. Its invalidation scan may have run
+				// before our entries were indexed, so roll the whole
+				// batch back: once the entries are both stored and
+				// indexed (checked-epoch and watermark unchanged), any
 				// later rewrite is guaranteed to see them.
 				cache.Remove(missKeys)
 				e.staleSkips.Add(1)

@@ -262,6 +262,80 @@ func TestInvalidateLateEdgeMostRecentWindowRefinement(t *testing.T) {
 	}
 }
 
+func TestInvalidateAppendRestoresExactness(t *testing.T) {
+	// Regression (PR 5 debt): a *chronological* Append never invalidated
+	// anything, so a memo cached at a query time beyond the stream head
+	// went silently stale the moment a newer edge arrived beneath it. A
+	// request replayed after the append kept reading the pre-append
+	// embedding forever.
+	m, dyn, eng, stream := oooSetup(t, 0)
+	total := len(stream)
+	u, v := stream[total-1].Src, stream[total-1].Dst
+
+	// Cache embeddings at a query time beyond the head — the window the
+	// appended edge will land inside.
+	tFuture := dyn.MaxTime() + 10
+	ns := []int32{u, v}
+	ts := []float64{tFuture, tFuture}
+	if d := eng.Embed(ns, ts).MaxAbsDiff(freshBaseline(t, m, dyn, ns, ts)); d > 1e-5 {
+		t.Fatalf("pre-append disagreement %g", d)
+	}
+
+	// In-order append between the two cached endpoints, below tFuture.
+	tNew := dyn.MaxTime() + 5
+	if _, err := dyn.Append(graph.Edge{Src: u, Dst: v, Time: tNew, Idx: int32(total + 1)}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Premise check: the cached memos really are stale now. Without it a
+	// no-op invalidation could pass the exactness check vacuously.
+	if d := eng.Embed(ns, ts).MaxAbsDiff(freshBaseline(t, m, dyn, ns, ts)); d <= 1e-5 {
+		t.Fatal("appended edge did not change the future-time embeddings; test premise broken")
+	}
+
+	before := eng.CacheLen()
+	removed := eng.InvalidateAppend(u, v, tNew)
+	if removed == 0 {
+		t.Fatal("append under cached future-time memos invalidated nothing (the seed behavior)")
+	}
+	if removed == before {
+		t.Fatal("append invalidation was not selective (entire cache dropped)")
+	}
+
+	// The stale window recomputes exactly, and every surviving memo from
+	// the warming pass is still exact.
+	if d := eng.Embed(ns, ts).MaxAbsDiff(freshBaseline(t, m, dyn, ns, ts)); d > 1e-5 {
+		t.Fatalf("post-invalidation disagreement %g", d)
+	}
+	for start := 0; start < total; start += 150 {
+		batch := stream[start : start+150]
+		bns := make([]int32, 2*len(batch))
+		bts := make([]float64, 2*len(batch))
+		for i, e := range batch {
+			bns[i], bns[len(batch)+i] = e.Src, e.Dst
+			bts[i], bts[len(batch)+i] = e.Time, e.Time
+		}
+		if d := eng.Embed(bns, bts).MaxAbsDiff(freshBaseline(t, m, dyn, bns, bts)); d > 1e-5 {
+			t.Fatalf("replay at offset %d disagrees by %g after append", start, d)
+		}
+	}
+}
+
+func TestInvalidateAppendAheadOfAllEmbedsIsFree(t *testing.T) {
+	// The common case — appends strictly ahead of every embedded query
+	// time — must take the O(1) fast path: nothing removed, no index
+	// scan. oooSetup only embeds at edge times, so an append at the head
+	// is ahead of them all.
+	_, dyn, eng, _ := oooSetup(t, 0)
+	before := eng.CacheLen()
+	if removed := eng.InvalidateAppend(3, 4, dyn.MaxTime()+1); removed != 0 {
+		t.Fatalf("ahead-of-embeds append invalidated %d entries", removed)
+	}
+	if eng.CacheLen() != before {
+		t.Fatal("cache shrank on an ahead-of-embeds append")
+	}
+}
+
 func TestInvalidateLateEdgeWithoutIndexClearsAll(t *testing.T) {
 	// Without the target index the only sound response is a full clear —
 	// and the count must reflect it.

@@ -54,11 +54,29 @@ func FuzzCacheReadFrom(f *testing.F) {
 	f.Fuzz(func(t *testing.T, data []byte) {
 		c := NewCache(16, 3, 4)
 		c.Store([]uint64{42}, tensor.Ones(1, 3))
+		probe := func() {
+			// Counter invariant: whatever bytes the reader consumed, a
+			// lookup pass afterwards must account exactly — every lookup
+			// is a hit or a miss, and without a spill tier there are no
+			// spill hits or promotions.
+			dst := tensor.New(1, 3)
+			hits := make([]bool, 1)
+			c.LookupInto([]uint64{42}, dst, hits)
+			c.LookupInto([]uint64{977}, dst, hits)
+			st := c.Stats()
+			if st.Lookups != st.Hits+st.Misses {
+				t.Fatalf("lookups %d != hits %d + misses %d", st.Lookups, st.Hits, st.Misses)
+			}
+			if st.SpillHits != 0 || st.Promotes != 0 {
+				t.Fatalf("spill counters moved without a spill tier: %+v", st)
+			}
+		}
 		_, err := c.ReadFrom(bytes.NewReader(data))
 		if err != nil {
 			if c.Len() != 1 || !c.Contains(42) {
 				t.Fatalf("failed load half-applied: len=%d", c.Len())
 			}
+			probe()
 			return
 		}
 		// On success the pre-existing entry may legitimately have been
@@ -66,5 +84,6 @@ func FuzzCacheReadFrom(f *testing.F) {
 		if c.Len() > c.Limit() {
 			t.Fatalf("load exceeded limit: %d > %d", c.Len(), c.Limit())
 		}
+		probe()
 	})
 }

@@ -1,0 +1,603 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"tgopt/internal/checkpoint"
+)
+
+// spillSegVersion is the payload format version of a spill segment
+// inside the checkpoint envelope.
+const spillSegVersion = 1
+
+// spillSegPrefix/Suffix name segment files: seg-<id>.tgs.
+const (
+	spillSegPrefix = "seg-"
+	spillSegSuffix = ".tgs"
+)
+
+// defaultSegTarget is the open-buffer payload size that triggers a
+// seal (~1 MiB keeps segment count moderate while bounding the memory
+// held by the unsealed tail).
+const defaultSegTarget = 1 << 20
+
+// spillRef locates one record: the segment holding it and the record's
+// payload-relative byte offset (the on-disk offset adds the envelope
+// header).
+type spillRef struct {
+	seg uint32
+	off int64
+}
+
+// spillSeg is one sealed on-disk segment.
+type spillSeg struct {
+	id    uint32
+	path  string
+	bytes int64    // full file size including envelope
+	keys  []uint64 // record keys in offset order (including superseded ones)
+	live  int      // records still reachable through the index
+}
+
+// SpillStats is a point-in-time snapshot of the cold tier's counters.
+type SpillStats struct {
+	Entries         int   `json:"entries"`
+	Segments        int   `json:"segments"`
+	Bytes           int64 `json:"bytes"`
+	Hits            int64 `json:"hits"`
+	Puts            int64 `json:"puts"`
+	SealErrors      int64 `json:"seal_errors"`
+	CorruptRecords  int64 `json:"corrupt_records"`
+	CorruptSegments int64 `json:"corrupt_segments"`
+	DroppedSegments int64 `json:"dropped_segments"`
+	Compactions     int64 `json:"compactions"`
+}
+
+// SpillStore is the cold tier of the two-tier memo cache: an
+// append-only log of evicted ⟨key, embedding⟩ records in segment
+// files under dir. Records accumulate in an in-memory open segment
+// and are sealed to disk through checkpoint.WriteFS, so every sealed
+// file carries the versioned envelope and whole-file CRC and lands
+// atomically (tmp + fsync + rename + dir fsync). Each record also
+// carries its own CRC32 so random-access reads of a sealed segment
+// validate without re-reading the file — a bit-flipped record surfaces
+// as a miss, never as a corrupt promotion.
+//
+// Layout of a segment payload:
+//
+//	dim     uint32
+//	records × (key uint64, vec [dim]float32, crc32 uint32)
+//
+// where each record's crc32 is IEEE over its key+vec bytes.
+//
+// Overwritten and removed records stay in their segment as dead bytes
+// until compaction folds the survivors back into the open buffer and
+// deletes the file. When the byte budget is exceeded the oldest sealed
+// segments are dropped whole — the cold tier is a cache, not a store
+// of record, so losing its coldest entries is always safe.
+type SpillStore struct {
+	fsys      checkpoint.FS
+	dir       string
+	dim       int
+	maxBytes  int64
+	segTarget int
+
+	mu          sync.Mutex
+	index       map[uint64]spillRef
+	segs        map[uint32]*spillSeg
+	order       []uint32 // sealed segment ids, oldest first
+	open        []byte   // open segment payload (starts with the dim header)
+	openKeys    []uint64
+	openID      uint32
+	nextID      uint32
+	sealedBytes int64
+
+	hits        atomic.Int64
+	puts        atomic.Int64
+	sealErrs    atomic.Int64
+	corruptRecs atomic.Int64
+	corruptSegs atomic.Int64
+	droppedSegs atomic.Int64
+	compactions atomic.Int64
+}
+
+// spillRecSize returns the on-disk record size for dim-wide vectors.
+func spillRecSize(dim int) int64 { return 8 + 4*int64(dim) + 4 }
+
+// NewSpillStore opens (or creates) the cold tier under dir, recovering
+// every valid sealed segment already present. Segments that fail
+// envelope validation — torn by a crash mid-seal that somehow bypassed
+// the atomic rename, or bit-flipped at rest — are deleted and counted,
+// never indexed. maxBytes <= 0 means unbounded.
+func NewSpillStore(fsys checkpoint.FS, dir string, dim int, maxBytes int64) (*SpillStore, error) {
+	if fsys == nil {
+		fsys = checkpoint.OS{}
+	}
+	if dim < 1 {
+		return nil, fmt.Errorf("core: spill dim must be >= 1, got %d", dim)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("core: creating spill dir: %w", err)
+	}
+	sp := &SpillStore{
+		fsys:      fsys,
+		dir:       dir,
+		dim:       dim,
+		maxBytes:  maxBytes,
+		segTarget: defaultSegTarget,
+		index:     make(map[uint64]spillRef),
+		segs:      make(map[uint32]*spillSeg),
+	}
+	if err := sp.recover(); err != nil {
+		return nil, err
+	}
+	sp.openID = sp.nextID
+	sp.nextID++
+	sp.resetOpenLocked()
+	return sp, nil
+}
+
+// resetOpenLocked starts a fresh open buffer holding only the dim
+// header.
+func (sp *SpillStore) resetOpenLocked() {
+	sp.open = sp.open[:0]
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(sp.dim))
+	sp.open = append(sp.open, hdr[:]...)
+	sp.openKeys = sp.openKeys[:0]
+}
+
+// recover scans dir for sealed segments and rebuilds the index. Later
+// segments win duplicate keys (they were written later).
+func (sp *SpillStore) recover() error {
+	entries, err := os.ReadDir(sp.dir)
+	if err != nil {
+		return fmt.Errorf("core: scanning spill dir: %w", err)
+	}
+	var ids []uint32
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, spillSegPrefix) || !strings.HasSuffix(name, spillSegSuffix) {
+			continue
+		}
+		idStr := strings.TrimSuffix(strings.TrimPrefix(name, spillSegPrefix), spillSegSuffix)
+		id, perr := strconv.ParseUint(idStr, 10, 32)
+		if perr != nil {
+			continue
+		}
+		ids = append(ids, uint32(id))
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		path := sp.segPath(id)
+		seg := &spillSeg{id: id, path: path}
+		err := checkpoint.ReadFS(sp.fsys, path, func(version uint32, r io.Reader) error {
+			return sp.decodeSegment(seg, version, r)
+		})
+		if err != nil {
+			// Torn, bit-flipped, or wrong-format: delete and count. No
+			// record of it reaches the index, so it can never be
+			// promoted.
+			sp.corruptSegs.Add(1)
+			sp.fsys.Remove(path)
+			continue
+		}
+		if fi, serr := os.Stat(path); serr == nil {
+			seg.bytes = fi.Size()
+		}
+		sp.segs[id] = seg
+		sp.order = append(sp.order, id)
+		sp.sealedBytes += seg.bytes
+		if id >= sp.nextID {
+			sp.nextID = id + 1
+		}
+	}
+	// Live counts: a record is live iff the index still points at it.
+	for _, id := range sp.order {
+		seg := sp.segs[id]
+		rec := spillRecSize(sp.dim)
+		for i, key := range seg.keys {
+			if sp.index[key] == (spillRef{seg: id, off: 4 + int64(i)*rec}) {
+				seg.live++
+			}
+		}
+	}
+	return nil
+}
+
+// decodeSegment parses a validated segment payload, indexing its
+// records. Individual records with bad CRCs are skipped and counted
+// (possible only if the envelope was rewritten around them, since the
+// whole-file CRC already passed).
+func (sp *SpillStore) decodeSegment(seg *spillSeg, version uint32, r io.Reader) error {
+	if version != spillSegVersion {
+		return fmt.Errorf("unsupported spill segment version %d", version)
+	}
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return err
+	}
+	if d := binary.LittleEndian.Uint32(hdr[:]); int(d) != sp.dim {
+		return fmt.Errorf("spill segment dim %d, cache dim %d", d, sp.dim)
+	}
+	rec := spillRecSize(sp.dim)
+	buf := make([]byte, rec)
+	off := int64(4)
+	for {
+		if _, err := io.ReadFull(r, buf); err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return err
+		}
+		key := binary.LittleEndian.Uint64(buf)
+		want := binary.LittleEndian.Uint32(buf[rec-4:])
+		if crc32.ChecksumIEEE(buf[:rec-4]) != want {
+			sp.corruptRecs.Add(1)
+		} else {
+			sp.index[key] = spillRef{seg: seg.id, off: off}
+		}
+		seg.keys = append(seg.keys, key)
+		off += rec
+	}
+}
+
+func (sp *SpillStore) segPath(id uint32) string {
+	return filepath.Join(sp.dir, spillSegPrefix+strconv.FormatUint(uint64(id), 10)+spillSegSuffix)
+}
+
+// Put spills one entry. vec is copied into the open buffer; sealing
+// happens inline once the buffer reaches the segment target.
+func (sp *SpillStore) Put(key uint64, vec []float32) {
+	if len(vec) != sp.dim {
+		panic("core: spill Put dim mismatch")
+	}
+	sp.puts.Add(1)
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	sp.putLocked(key, vec)
+	if len(sp.open) >= sp.segTarget {
+		sp.sealLocked()
+		sp.enforceBudgetLocked()
+	}
+}
+
+// putLocked appends one record to the open buffer and points the index
+// at it, superseding any older copy of the key.
+func (sp *SpillStore) putLocked(key uint64, vec []float32) {
+	if old, ok := sp.index[key]; ok {
+		sp.dropRefLocked(key, old)
+	}
+	off := int64(len(sp.open))
+	var scratch [8]byte
+	binary.LittleEndian.PutUint64(scratch[:], key)
+	sp.open = append(sp.open, scratch[:]...)
+	for _, x := range vec {
+		binary.LittleEndian.PutUint32(scratch[:4], math.Float32bits(x))
+		sp.open = append(sp.open, scratch[:4]...)
+	}
+	crc := crc32.ChecksumIEEE(sp.open[off:])
+	binary.LittleEndian.PutUint32(scratch[:4], crc)
+	sp.open = append(sp.open, scratch[:4]...)
+	sp.index[key] = spillRef{seg: sp.openID, off: off}
+	sp.openKeys = append(sp.openKeys, key)
+}
+
+// dropRefLocked forgets one superseded or removed record, updating the
+// owning segment's live count and compacting it when dead records
+// dominate.
+func (sp *SpillStore) dropRefLocked(key uint64, ref spillRef) {
+	delete(sp.index, key)
+	if ref.seg == sp.openID {
+		return // dead bytes in the open buffer fold away at the next seal
+	}
+	if seg, ok := sp.segs[ref.seg]; ok {
+		seg.live--
+		if seg.live*2 < len(seg.keys) {
+			sp.compactLocked(seg)
+		}
+	}
+}
+
+// sealLocked writes the open buffer to disk as a new segment. On write
+// failure the buffered records are dropped from the index — the cold
+// tier loses entries rather than ever indexing a file that is not
+// fully durable.
+func (sp *SpillStore) sealLocked() {
+	if len(sp.openKeys) == 0 {
+		sp.resetOpenLocked()
+		return
+	}
+	id := sp.openID
+	path := sp.segPath(id)
+	payload := sp.open
+	err := checkpoint.WriteFS(sp.fsys, path, spillSegVersion, func(w io.Writer) error {
+		_, werr := w.Write(payload)
+		return werr
+	})
+	rec := spillRecSize(sp.dim)
+	if err != nil {
+		sp.sealErrs.Add(1)
+		for i, key := range sp.openKeys {
+			if sp.index[key] == (spillRef{seg: id, off: 4 + int64(i)*rec}) {
+				delete(sp.index, key)
+			}
+		}
+	} else {
+		seg := &spillSeg{
+			id:    id,
+			path:  path,
+			bytes: int64(len(payload)) + 20, // envelope header + trailer
+			keys:  append([]uint64(nil), sp.openKeys...),
+		}
+		for i, key := range sp.openKeys {
+			if sp.index[key] == (spillRef{seg: id, off: 4 + int64(i)*rec}) {
+				seg.live++
+			}
+		}
+		sp.segs[id] = seg
+		sp.order = append(sp.order, id)
+		sp.sealedBytes += seg.bytes
+	}
+	sp.openID = sp.nextID
+	sp.nextID++
+	sp.resetOpenLocked()
+}
+
+// enforceBudgetLocked drops whole sealed segments oldest-first until
+// the on-disk footprint fits the byte budget.
+func (sp *SpillStore) enforceBudgetLocked() {
+	if sp.maxBytes <= 0 {
+		return
+	}
+	for sp.sealedBytes > sp.maxBytes && len(sp.order) > 0 {
+		sp.removeSegLocked(sp.segs[sp.order[0]])
+		sp.droppedSegs.Add(1)
+	}
+}
+
+// removeSegLocked unindexes and deletes one sealed segment.
+func (sp *SpillStore) removeSegLocked(seg *spillSeg) {
+	rec := spillRecSize(sp.dim)
+	for i, key := range seg.keys {
+		if sp.index[key] == (spillRef{seg: seg.id, off: 4 + int64(i)*rec}) {
+			delete(sp.index, key)
+		}
+	}
+	delete(sp.segs, seg.id)
+	for i, id := range sp.order {
+		if id == seg.id {
+			sp.order = append(sp.order[:i], sp.order[i+1:]...)
+			break
+		}
+	}
+	sp.sealedBytes -= seg.bytes
+	sp.fsys.Remove(seg.path)
+}
+
+// compactLocked folds a mostly-dead segment's surviving records back
+// into the open buffer and deletes the file.
+func (sp *SpillStore) compactLocked(seg *spillSeg) {
+	sp.compactions.Add(1)
+	rec := spillRecSize(sp.dim)
+	// Collect survivors before removeSegLocked unindexes them.
+	type rescued struct {
+		key uint64
+		off int64
+	}
+	var keep []rescued
+	for i, key := range seg.keys {
+		ref := spillRef{seg: seg.id, off: 4 + int64(i)*rec}
+		if sp.index[key] == ref {
+			keep = append(keep, rescued{key: key, off: ref.off})
+		}
+	}
+	var payload []byte
+	if len(keep) > 0 {
+		err := checkpoint.ReadFS(sp.fsys, seg.path, func(version uint32, r io.Reader) error {
+			var rerr error
+			payload, rerr = io.ReadAll(r)
+			return rerr
+		})
+		if err != nil {
+			sp.corruptSegs.Add(1)
+			payload = nil
+		}
+	}
+	sp.removeSegLocked(seg)
+	for _, k := range keep {
+		if payload == nil || k.off+rec > int64(len(payload)) {
+			continue
+		}
+		buf := payload[k.off : k.off+rec]
+		if crc32.ChecksumIEEE(buf[:rec-4]) != binary.LittleEndian.Uint32(buf[rec-4:]) {
+			sp.corruptRecs.Add(1)
+			continue
+		}
+		vec := decodeSpillVec(buf[8:rec-4], sp.dim)
+		sp.putLocked(k.key, vec)
+	}
+}
+
+// Get copies the spilled embedding for key into dst and reports
+// whether it was found intact. Disk reads happen outside the store
+// lock; the index is re-checked afterwards so a record superseded,
+// compacted, or removed mid-read is returned as a miss, never as stale
+// data. A record whose CRC fails is unindexed and counted — corrupt
+// bytes never reach dst.
+func (sp *SpillStore) Get(key uint64, dst []float32) bool {
+	if len(dst) != sp.dim {
+		panic("core: spill Get dim mismatch")
+	}
+	sp.mu.Lock()
+	ref, ok := sp.index[key]
+	if !ok {
+		sp.mu.Unlock()
+		return false
+	}
+	rec := spillRecSize(sp.dim)
+	if ref.seg == sp.openID {
+		buf := sp.open[ref.off : ref.off+rec]
+		copy(dst, decodeSpillVec(buf[8:rec-4], sp.dim))
+		sp.mu.Unlock()
+		sp.hits.Add(1)
+		return true
+	}
+	seg := sp.segs[ref.seg]
+	path := seg.path
+	sp.mu.Unlock()
+
+	buf := make([]byte, rec)
+	if !sp.readRecord(path, ref.off, buf) {
+		sp.dropCorruptRef(key, ref)
+		return false
+	}
+	if binary.LittleEndian.Uint64(buf) != key ||
+		crc32.ChecksumIEEE(buf[:rec-4]) != binary.LittleEndian.Uint32(buf[rec-4:]) {
+		sp.dropCorruptRef(key, ref)
+		return false
+	}
+
+	sp.mu.Lock()
+	still := sp.index[key] == ref
+	sp.mu.Unlock()
+	if !still {
+		return false
+	}
+	copy(dst, decodeSpillVec(buf[8:rec-4], sp.dim))
+	sp.hits.Add(1)
+	return true
+}
+
+// dropCorruptRef unindexes a record that failed validation, if the
+// index still points at it.
+func (sp *SpillStore) dropCorruptRef(key uint64, ref spillRef) {
+	sp.corruptRecs.Add(1)
+	sp.mu.Lock()
+	if sp.index[key] == ref {
+		sp.dropRefLocked(key, ref)
+	}
+	sp.mu.Unlock()
+}
+
+// readRecord reads one record at the given payload offset of a sealed
+// segment (envelope header precedes the payload on disk).
+func (sp *SpillStore) readRecord(path string, off int64, buf []byte) bool {
+	f, err := sp.fsys.Open(path)
+	if err != nil {
+		return false
+	}
+	defer f.Close()
+	const envelopeHeader = 16
+	if ra, ok := f.(io.ReaderAt); ok {
+		_, err = ra.ReadAt(buf, envelopeHeader+off)
+		return err == nil
+	}
+	if _, err := io.CopyN(io.Discard, f, envelopeHeader+off); err != nil {
+		return false
+	}
+	_, err = io.ReadFull(f, buf)
+	return err == nil
+}
+
+// Remove forgets key if spilled; it reports whether an entry was
+// dropped.
+func (sp *SpillStore) Remove(key uint64) bool {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	ref, ok := sp.index[key]
+	if !ok {
+		return false
+	}
+	sp.dropRefLocked(key, ref)
+	return true
+}
+
+// Contains reports whether key is indexed in the cold tier.
+func (sp *SpillStore) Contains(key uint64) bool {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	_, ok := sp.index[key]
+	return ok
+}
+
+// Keys returns every indexed key (no particular order).
+func (sp *SpillStore) Keys() []uint64 {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	out := make([]uint64, 0, len(sp.index))
+	for key := range sp.index {
+		out = append(out, key)
+	}
+	return out
+}
+
+// Len returns the number of indexed entries.
+func (sp *SpillStore) Len() int {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	return len(sp.index)
+}
+
+// Clear drops every entry and deletes every segment file.
+func (sp *SpillStore) Clear() {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	for _, id := range append([]uint32(nil), sp.order...) {
+		sp.removeSegLocked(sp.segs[id])
+	}
+	sp.index = make(map[uint64]spillRef)
+	sp.openID = sp.nextID
+	sp.nextID++
+	sp.resetOpenLocked()
+}
+
+// Stats snapshots the cold tier's counters.
+func (sp *SpillStore) Stats() SpillStats {
+	sp.mu.Lock()
+	entries := len(sp.index)
+	segments := len(sp.order)
+	bytes := sp.sealedBytes + int64(len(sp.open))
+	sp.mu.Unlock()
+	return SpillStats{
+		Entries:         entries,
+		Segments:        segments,
+		Bytes:           bytes,
+		Hits:            sp.hits.Load(),
+		Puts:            sp.puts.Load(),
+		SealErrors:      sp.sealErrs.Load(),
+		CorruptRecords:  sp.corruptRecs.Load(),
+		CorruptSegments: sp.corruptSegs.Load(),
+		DroppedSegments: sp.droppedSegs.Load(),
+		Compactions:     sp.compactions.Load(),
+	}
+}
+
+// Close seals the open buffer so its records survive a restart.
+func (sp *SpillStore) Close() error {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	sp.sealLocked()
+	sp.enforceBudgetLocked()
+	return nil
+}
+
+// decodeSpillVec reinterprets a record's vector bytes as float32s into
+// a fresh slice.
+func decodeSpillVec(b []byte, dim int) []float32 {
+	vec := make([]float32, dim)
+	for i := range vec {
+		vec[i] = math.Float32frombits(binary.LittleEndian.Uint32(b[4*i:]))
+	}
+	return vec
+}

@@ -1,0 +1,104 @@
+package core
+
+import "testing"
+
+func TestFreqSketchCountsAndSaturates(t *testing.T) {
+	f := newFreqSketch(64)
+	if got := f.estimate(42); got != 0 {
+		t.Fatalf("fresh sketch estimate = %d, want 0", got)
+	}
+	for i := 0; i < 3; i++ {
+		f.inc(42)
+	}
+	if got := f.estimate(42); got != 3 {
+		t.Fatalf("estimate after 3 incs = %d, want 3 (empty sketch has no collisions)", got)
+	}
+	for i := 0; i < 100; i++ {
+		f.inc(42)
+	}
+	if got := f.estimate(42); got != 15 {
+		t.Fatalf("estimate after 103 incs = %d, want saturation at 15", got)
+	}
+}
+
+func TestFreqSketchEstimateIsUpperBound(t *testing.T) {
+	// Count-min property: collisions can only inflate, never deflate.
+	// Capacity 64 → sampleCap 640, so 500 increments stay inside one
+	// sample period and the pre-aging bound applies.
+	f := newFreqSketch(64)
+	truth := make(map[uint64]byte)
+	for i := 0; i < 500; i++ {
+		k := uint64(i % 50)
+		f.inc(k)
+		if truth[k] < 15 {
+			truth[k]++
+		}
+	}
+	// Halvings may have aged counts down; run within one sample period.
+	if f.halvings > 0 {
+		t.Skip("sample period elapsed; bound only holds pre-aging")
+	}
+	for k, want := range truth {
+		if got := f.estimate(k); got < want {
+			t.Fatalf("estimate(%d) = %d below true count %d", k, got, want)
+		}
+	}
+}
+
+func TestFreqSketchHalvingAges(t *testing.T) {
+	f := newFreqSketch(8) // sampleCap = 80
+	for i := 0; i < 10; i++ {
+		f.inc(7)
+	}
+	before := f.estimate(7)
+	if before == 0 {
+		t.Fatal("no count recorded")
+	}
+	// Drive unrelated keys until the sample period elapses.
+	start := f.halvings
+	for i := 0; f.halvings == start && i < 1000; i++ {
+		f.inc(uint64(1000 + i))
+	}
+	if f.halvings == start {
+		t.Fatal("sample period never elapsed")
+	}
+	after := f.estimate(7)
+	if after >= before {
+		t.Fatalf("halving did not age key 7: %d -> %d", before, after)
+	}
+}
+
+func TestFreqSketchHalvePreservesNibblePacking(t *testing.T) {
+	// Directly verify the packed shift: counters 15/15 in one byte halve
+	// to 7/7 with no bit leaking between nibbles.
+	f := newFreqSketch(1)
+	for i := range f.table {
+		f.table[i] = 0xFF
+	}
+	f.halve()
+	for i, b := range f.table {
+		if b != 0x77 {
+			t.Fatalf("table[%d] = %02x after halving 0xFF, want 0x77", i, b)
+		}
+	}
+}
+
+func TestFreqSketchSizing(t *testing.T) {
+	f := newFreqSketch(100)
+	counters := int(f.mask) + 1
+	if counters < 400 {
+		t.Fatalf("%d counters for capacity 100, want >= 4x", counters)
+	}
+	if counters&(counters-1) != 0 {
+		t.Fatalf("counter count %d not a power of two", counters)
+	}
+	if len(f.table) != counters/2 {
+		t.Fatalf("table %d bytes for %d counters", len(f.table), counters)
+	}
+	// Degenerate capacities still produce a usable sketch.
+	f = newFreqSketch(0)
+	f.inc(1)
+	if f.estimate(1) == 0 {
+		t.Fatal("minimal sketch does not count")
+	}
+}

@@ -42,8 +42,8 @@ type Dynamic struct {
 	mu       sync.RWMutex
 	numNodes int
 	lastTime float64
-	lateness float64 // bounded-lateness window; 0 = strict chronological
-	edges    []Edge  // time-sorted; equal timestamps in arrival order
+	lateness float64  // bounded-lateness window; 0 = strict chronological
+	edges    []Edge   // time-sorted; equal timestamps in arrival order
 	adj      []dynAdj // index 0 is the padding node and stays empty
 	// byIdx maps a live edge id to its timestamp, making DeleteEdge a
 	// map probe plus a binary search instead of an O(E) scan, and

@@ -1,0 +1,146 @@
+package perfbench
+
+import (
+	"math"
+	"runtime"
+	"sort"
+
+	"tgopt/internal/core"
+	"tgopt/internal/tensor"
+)
+
+// CacheSweepConfig shapes the hit-rate-vs-byte-budget sweep behind
+// `tgopt-bench cachesweep` (BENCH_3.json): one deterministic
+// Zipf-skewed key trace — the skew production embedding traffic shows
+// (a few hot endpoints, a long cold tail) — replayed through a FIFO
+// cache and a TinyLFU cache at each byte budget. Both caches see the
+// identical access sequence and identical entry accounting, so the
+// only degree of freedom is the admission/eviction policy.
+type CacheSweepConfig struct {
+	Keyspace int     // distinct keys the trace draws from
+	Accesses int     // trace length
+	ZipfS    float64 // skew exponent (s > 1: heavier head)
+	Dim      int     // entry width in float32s (drives bytes/entry)
+	Shards   int     // cache shard count (as the serving engine uses)
+	Budgets  []int64 // hot-tier byte budgets, one sweep point each
+	Seed     uint64
+}
+
+// DefaultCacheSweepConfig is the committed BENCH_3.json configuration:
+// a 100k-key Zipf(1.05) trace at the serving feature width, swept from
+// a cache far too small for the working set up to one holding most of
+// it.
+func DefaultCacheSweepConfig() CacheSweepConfig {
+	return CacheSweepConfig{
+		Keyspace: 100_000,
+		Accesses: 400_000,
+		ZipfS:    1.05,
+		Dim:      32,
+		Shards:   8,
+		Budgets:  []int64{256 << 10, 1 << 20, 4 << 20, 16 << 20},
+		Seed:     1,
+	}
+}
+
+// CacheSweepPoint is one budget's measured pair of hit rates.
+type CacheSweepPoint struct {
+	BudgetBytes    int64   `json:"budget_bytes"`
+	Entries        int     `json:"entries"`
+	FIFOHitRate    float64 `json:"fifo_hit_rate"`
+	TinyLFUHitRate float64 `json:"tinylfu_hit_rate"`
+	// Improvement is TinyLFU minus FIFO in absolute hit-rate points;
+	// the acceptance bar is >= 0 at every budget and > 0 at the
+	// smallest.
+	Improvement   float64 `json:"improvement"`
+	AdmitRejected int64   `json:"admit_rejected"`
+}
+
+// CacheSweepReport is the BENCH_3.json artifact.
+type CacheSweepReport struct {
+	Schema    int               `json:"schema"`
+	GoVersion string            `json:"go_version"`
+	GOOS      string            `json:"goos"`
+	GOARCH    string            `json:"goarch"`
+	Keyspace  int               `json:"keyspace"`
+	Accesses  int               `json:"accesses"`
+	ZipfS     float64           `json:"zipf_s"`
+	Dim       int               `json:"dim"`
+	Seed      uint64            `json:"seed"`
+	Points    []CacheSweepPoint `json:"points"`
+}
+
+// zipfKeys samples cfg.Accesses keys from [1, cfg.Keyspace] under a
+// Zipf(cfg.ZipfS) popularity law via inverse-CDF over the precomputed
+// cumulative weights. Deterministic in the seed.
+func zipfKeys(cfg CacheSweepConfig) []uint64 {
+	r := tensor.NewRNG(cfg.Seed)
+	cum := make([]float64, cfg.Keyspace)
+	total := 0.0
+	for i := 0; i < cfg.Keyspace; i++ {
+		total += 1 / math.Pow(float64(i+1), cfg.ZipfS)
+		cum[i] = total
+	}
+	trace := make([]uint64, cfg.Accesses)
+	for i := range trace {
+		x := r.Float64() * total
+		trace[i] = uint64(1 + sort.SearchFloat64s(cum, x))
+	}
+	return trace
+}
+
+// sweepOne replays the trace through one cache — lookup, store on miss,
+// exactly the engine's memo pattern — and returns its final stats.
+func sweepOne(cfg CacheSweepConfig, policy core.CachePolicy, entries int, trace []uint64) core.CacheStats {
+	c := core.NewCacheWith(core.CacheConfig{
+		Limit:  entries,
+		Dim:    cfg.Dim,
+		Shards: cfg.Shards,
+		Policy: policy,
+	})
+	keys := make([]uint64, 1)
+	hits := make([]bool, 1)
+	row := tensor.New(1, cfg.Dim)
+	for _, k := range trace {
+		keys[0] = k
+		if c.LookupInto(keys, row, hits) == 1 {
+			continue
+		}
+		for j := 0; j < cfg.Dim; j++ {
+			row.Set(float32(k), 0, j)
+		}
+		c.Store(keys, row)
+	}
+	return c.Stats()
+}
+
+// RunCacheSweep executes the sweep and returns the report.
+func RunCacheSweep(cfg CacheSweepConfig) (*CacheSweepReport, error) {
+	trace := zipfKeys(cfg)
+	rep := &CacheSweepReport{
+		Schema:    1,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Keyspace:  cfg.Keyspace,
+		Accesses:  cfg.Accesses,
+		ZipfS:     cfg.ZipfS,
+		Dim:       cfg.Dim,
+		Seed:      cfg.Seed,
+	}
+	for _, budget := range cfg.Budgets {
+		entries := core.EntriesForBudget(budget, cfg.Dim)
+		fifo := sweepOne(cfg, core.CacheFIFO, entries, trace)
+		tlfu := sweepOne(cfg, core.CacheTinyLFU, entries, trace)
+		fr := float64(fifo.Hits) / float64(fifo.Lookups)
+		tr := float64(tlfu.Hits) / float64(tlfu.Lookups)
+		rep.Points = append(rep.Points, CacheSweepPoint{
+			BudgetBytes:    budget,
+			Entries:        entries,
+			FIFOHitRate:    fr,
+			TinyLFUHitRate: tr,
+			Improvement:    tr - fr,
+			AdmitRejected:  tlfu.AdmitRejected,
+		})
+	}
+	return rep, nil
+}

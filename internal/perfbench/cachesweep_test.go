@@ -1,0 +1,47 @@
+package perfbench
+
+import "testing"
+
+// TestCacheSweepAcceptance pins the BENCH_3.json acceptance bar at a
+// reduced scale: TinyLFU's hit rate is never below FIFO's at equal
+// byte budget, and is strictly above it at the smallest budget, where
+// admission matters most.
+func TestCacheSweepAcceptance(t *testing.T) {
+	cfg := DefaultCacheSweepConfig()
+	cfg.Keyspace = 20_000
+	cfg.Accesses = 80_000
+	cfg.Budgets = []int64{64 << 10, 256 << 10, 1 << 20}
+	rep, err := RunCacheSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range rep.Points {
+		t.Logf("budget %8d: fifo %.4f tinylfu %.4f", p.BudgetBytes, p.FIFOHitRate, p.TinyLFUHitRate)
+		if p.TinyLFUHitRate < p.FIFOHitRate {
+			t.Errorf("budget %d: TinyLFU %.4f below FIFO %.4f", p.BudgetBytes, p.TinyLFUHitRate, p.FIFOHitRate)
+		}
+		if i == 0 && p.Improvement <= 0 {
+			t.Errorf("smallest budget: improvement %.4f, want > 0", p.Improvement)
+		}
+	}
+}
+
+// TestCacheSweepDeterministic: the committed artifact must reproduce
+// bit-identically from the same seed.
+func TestCacheSweepDeterministic(t *testing.T) {
+	cfg := DefaultCacheSweepConfig()
+	cfg.Keyspace = 5_000
+	cfg.Accesses = 20_000
+	cfg.Budgets = []int64{64 << 10}
+	a, err := RunCacheSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunCacheSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Points[0] != b.Points[0] {
+		t.Fatalf("sweep not deterministic: %+v vs %+v", a.Points[0], b.Points[0])
+	}
+}

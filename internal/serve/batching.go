@@ -13,7 +13,18 @@ import (
 // package batcher). Call before Handler, like SetLimits; it is not safe
 // to toggle while requests are in flight.
 func (s *Server) SetBatching(cfg batcher.Config) {
-	s.batcher = batcher.New(s.engine, s.model.Cfg.NodeDim, cfg)
+	b := batcher.New(s.engine, s.model.Cfg.NodeDim, cfg)
+	s.batcher = b
+	// Close the single-flight read-your-writes gap: when a history edit
+	// (late insert or watermark-crossing append) invalidates cached
+	// state, in-flight computations for the touched endpoints at newer
+	// query times must retire too — they were computed against the
+	// pre-edit history, and a request arriving after the ingest
+	// acknowledgement must not attach to them. The engine calls the
+	// hook before its own cache scan.
+	s.engine.SetInvalidationHook(func(u, v int32, t float64) {
+		b.RetireTargets([]int32{u, v}, t)
+	})
 }
 
 // Batcher returns the serving batcher, or nil when batching is off.
@@ -32,6 +43,8 @@ type batchStats struct {
 	FlushIdle     int64   `json:"flush_idle"`
 	FlushDrain    int64   `json:"flush_drain"`
 	Panics        int64   `json:"panics"`
+	RetireCalls   int64   `json:"retire_calls"`
+	Retired       int64   `json:"retired"`
 	OccupancyMean float64 `json:"occupancy_mean"`
 	OccupancyP50  int64   `json:"occupancy_p50"`
 	OccupancyP99  int64   `json:"occupancy_p99"`
@@ -60,6 +73,8 @@ func (s *Server) batchStatsJSON() *batchStats {
 		FlushIdle:     snap.FlushIdle,
 		FlushDrain:    snap.FlushDrain,
 		Panics:        snap.Panics,
+		RetireCalls:   snap.RetireCalls,
+		Retired:       snap.Retired,
 		OccupancyMean: occ.Mean(),
 		OccupancyP50:  occ.Quantile(0.5),
 		OccupancyP99:  occ.Quantile(0.99),

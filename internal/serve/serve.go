@@ -91,12 +91,12 @@ func New(model *tgat.Model, dyn *graph.Dynamic, opt core.Options) *Server {
 		hitRate: stats.NewHitRate(10),
 	}
 	opt.HitRate = s.hitRate
-	if dyn.Lateness() > 0 {
-		// Out-of-order ingestion is enabled: the engine must keep the
-		// per-node key index that makes late-edge invalidation targeted
-		// rather than a full cache clear.
-		opt.TrackTargets = true
-	}
+	// The server always keeps the per-node key index: late-edge
+	// invalidation needs it to be targeted rather than a full cache
+	// clear, and even a purely chronological stream needs it — an
+	// append must be able to selectively drop memos served at *future*
+	// timestamps whose sampled windows it lands in (InvalidateAppend).
+	opt.TrackTargets = true
 	sampler := graph.NewDynamicSampler(dyn, model.Cfg.NumNeighbors, graph.MostRecent, 0)
 	s.engine = core.NewEngine(model, sampler, opt)
 	return s
@@ -105,6 +105,12 @@ func New(model *tgat.Model, dyn *graph.Dynamic, opt core.Options) *Server {
 // Engine exposes the underlying TGOpt engine (cache persistence,
 // introspection).
 func (s *Server) Engine() *core.Engine { return s.engine }
+
+// Close releases the engine's background resources: it stops the
+// cache promotion workers and seals the spill tier's open segments so
+// spilled entries survive a restart. Call it after the HTTP server
+// has drained.
+func (s *Server) Close() error { return s.engine.Close() }
 
 // Handler returns the HTTP handler for the API, wrapped in the serving
 // middleware (admission control, deadlines, panic recovery — see wrap).
@@ -177,6 +183,22 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	write("tgopt_cache_items", "Memoized embeddings resident.", float64(s.engine.CacheLen()))
 	write("tgopt_cache_bytes", "Estimated cache footprint in bytes.", float64(s.engine.CacheBytes()))
 	write("tgopt_cache_hit_rate", "Average embedding cache hit rate.", s.hitRate.Average())
+	cs := s.engine.CacheStats()
+	write("tgopt_cache_lookups_total", "Memo cache lookups (hot tier).", float64(cs.Lookups))
+	write("tgopt_cache_hits_total", "Memo cache hot-tier hits.", float64(cs.Hits))
+	write("tgopt_cache_misses_total", "Memo cache hot-tier misses.", float64(cs.Misses))
+	write("tgopt_cache_spill_hits_total", "Hot-tier misses served from the disk spill tier.", float64(cs.SpillHits))
+	write("tgopt_cache_promotes_total", "Spilled entries promoted back into the hot tier.", float64(cs.Promotes))
+	write("tgopt_cache_promote_drops_total", "Promotions dropped (queue full or raced an invalidation).", float64(cs.PromoteDrops))
+	write("tgopt_cache_admit_rejected_total", "Stores refused admission by the TinyLFU filter.", float64(cs.AdmitRejected))
+	write("tgopt_cache_spill_entries", "Entries resident in the spill tier.", float64(cs.Spill.Entries))
+	write("tgopt_cache_spill_segments", "Sealed spill segment files on disk.", float64(cs.Spill.Segments))
+	write("tgopt_cache_spill_bytes", "Spill tier footprint in bytes (sealed + open).", float64(cs.Spill.Bytes))
+	write("tgopt_cache_spill_seal_errors_total", "Spill segment seal failures (entries dropped, never half-indexed).", float64(cs.Spill.SealErrors))
+	write("tgopt_cache_spill_corrupt_records_total", "Spill records that failed CRC validation (served as misses).", float64(cs.Spill.CorruptRecords))
+	write("tgopt_cache_spill_corrupt_segments_total", "Spill segments discarded at recovery for failed validation.", float64(cs.Spill.CorruptSegments))
+	write("tgopt_cache_spill_dropped_segments_total", "Spill segments dropped whole to honor the byte budget.", float64(cs.Spill.DroppedSegments))
+	write("tgopt_cache_spill_compactions_total", "Spill segment compactions.", float64(cs.Spill.Compactions))
 	write("tgopt_requests_total", "API requests handled.", float64(s.requests.Load()))
 	write("tgopt_ingested_total", "Edges accepted via /v1/ingest.", float64(s.ingested.Load()))
 	write("tgopt_ingest_late_accepted_total", "Out-of-order edges absorbed inside the lateness window.", float64(s.dyn.LateAccepted()))
@@ -252,8 +274,9 @@ type ingestResponse struct {
 	Accepted int `json:"accepted"`
 	Late     int `json:"late"`
 	Dropped  int `json:"dropped"`
-	// Invalidated is how many memoized embeddings the late edges forced
-	// out of the cache to keep served results exact.
+	// Invalidated is how many memoized embeddings this request's edges
+	// (late inserts, and appends landing under future-time memos)
+	// forced out of the cache to keep served results exact.
 	Invalidated int     `json:"invalidated"`
 	NumEdges    int     `json:"num_edges"`
 	MaxTime     float64 `json:"max_time"`
@@ -287,6 +310,14 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		switch res {
 		case graph.IngestAppended:
 			resp.Accepted++
+			// A chronological append can still invalidate: memos served
+			// at timestamps beyond the new edge were computed before it
+			// and their sampled windows may now be wrong. The engine's
+			// watermark fast path makes this a single atomic load when
+			// no future-time memo exists (the steady state).
+			n := s.engine.InvalidateAppend(e.Src, e.Dst, e.Time)
+			resp.Invalidated += n
+			s.invalidated.Add(int64(n))
 		case graph.IngestLate:
 			resp.Late++
 			n := s.engine.InvalidateLateEdge(e.Src, e.Dst, e.Time)
@@ -440,6 +471,7 @@ type statsResponse struct {
 	CacheItems int                   `json:"cache_items"`
 	CacheBytes int64                 `json:"cache_bytes"`
 	HitRate    float64               `json:"hit_rate"`
+	Cache      core.CacheStats       `json:"cache"`
 	Requests   int64                 `json:"requests"`
 	Ingested   int64                 `json:"ingested"`
 	InFlight   int64                 `json:"in_flight"`
@@ -498,6 +530,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		CacheItems: s.engine.CacheLen(),
 		CacheBytes: s.engine.CacheBytes(),
 		HitRate:    s.hitRate.Average(),
+		Cache:      s.engine.CacheStats(),
 		Requests:   s.requests.Load(),
 		Ingested:   s.ingested.Load(),
 		InFlight:   s.inflight.Load(),
@@ -514,8 +547,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Invalidated:     s.invalidated.Load(),
 			StaleStoreSkips: s.engine.StaleStoreSkips(),
 		},
-		Stages: stages,
-		Batching:   s.batchStatsJSON(),
+		Stages:   stages,
+		Batching: s.batchStatsJSON(),
 	})
 }
 

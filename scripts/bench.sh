@@ -4,8 +4,17 @@
 # <n> is the first free index — or the explicit index given as $1.
 # BENCH_0.json is the pre-optimization reference; later indices track
 # the hot path over time. RUNS overrides the e2e repetitions.
+#
+#   scripts/bench.sh cache    # regenerate the cache-policy sweep
+#                             # (hit rate vs byte budget, BENCH_3.json)
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+if [ "${1:-}" = "cache" ]; then
+  go run ./cmd/tgopt-bench cachesweep -o BENCH_3.json
+  echo "wrote BENCH_3.json" >&2
+  exit 0
+fi
 
 n="${1:-}"
 if [ -z "$n" ]; then

@@ -22,6 +22,12 @@ go test -race ./internal/parallel/... ./internal/serve/... ./internal/core/... \
     ./internal/stats/... ./internal/checkpoint/... ./internal/faultfs/... \
     ./internal/trainer/... ./internal/tensor/... ./internal/nn/... ./internal/tgat/...
 
+echo "== spill-tier fault injection (crash mid-seal, bit flips, torn segments; race-enabled)"
+go test -race -count=1 -run 'TestSpill|TestTieredCache|TestBatcherRetire' ./internal/core/ ./internal/batcher/
+
+echo "== cache-policy sweep smoke (Zipf trace, TinyLFU >= FIFO at equal budget)"
+go test -count=1 -run 'TestCacheSweep' ./internal/perfbench/
+
 echo "== bench smoke (compile + one iteration of every benchmark)"
 go test -run='^$' -bench=. -benchtime=1x ./internal/tensor/ ./internal/core/ ./internal/graph/ > /dev/null
 
