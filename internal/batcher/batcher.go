@@ -41,6 +41,7 @@ package batcher
 import (
 	"context"
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -106,6 +107,14 @@ type Batcher struct {
 	batchGen   uint64             // invalidates stale window timers
 	timerArmed bool               // a window timer covers the open batch
 
+	// maxFlightT holds the float bits of an upper bound on the query
+	// times of in-flight computations. It is raised (under mu) whenever
+	// a flight is added and reset to -Inf when the table empties, so
+	// RetireTargets can skip the locked scan on the common chronological
+	// append with no future-time work in flight. It may run stale-high
+	// while flights drain (a wasted scan, never a missed retirement).
+	maxFlightT atomic.Uint64
+
 	// Counters (atomic so Stats never contends with the hot path).
 	enqueued    atomic.Int64 // targets enqueued, pre-coalesce
 	coalesced   atomic.Int64 // targets that attached to an existing flight
@@ -128,7 +137,7 @@ func New(eng Embedder, dim int, cfg Config) *Batcher {
 	if cfg.MaxBatch <= 0 {
 		cfg.MaxBatch = DefaultMaxBatch
 	}
-	return &Batcher{
+	b := &Batcher{
 		eng:       eng,
 		dim:       dim,
 		cfg:       cfg,
@@ -136,6 +145,8 @@ func New(eng Embedder, dim int, cfg Config) *Batcher {
 		queueWait: stats.NewHistogram(),
 		occupancy: stats.NewCountHistogram(),
 	}
+	b.maxFlightT.Store(math.Float64bits(math.Inf(-1)))
+	return b
 }
 
 // Dim returns the embedding width of the batcher's rows.
@@ -180,6 +191,9 @@ func (b *Batcher) Embed(ctx context.Context, nodes []int32, ts []float64) ([]flo
 		b.flights[key] = f
 		b.pending = append(b.pending, f)
 		waits[i] = f
+		if ts[i] > math.Float64frombits(b.maxFlightT.Load()) {
+			b.maxFlightT.Store(math.Float64bits(ts[i]))
+		}
 	}
 	b.enqueued.Add(int64(n))
 
@@ -350,6 +364,7 @@ func (b *Batcher) runPass(fs []*flight) {
 				delete(b.flights, key)
 			}
 		}
+		b.resetFlightBoundLocked()
 		b.mu.Unlock()
 	}()
 
@@ -394,8 +409,18 @@ func (b *Batcher) runPass(fs []*flight) {
 // history. The engine's invalidation hook calls this before its cache
 // scan (see core.Engine.SetInvalidationHook); retired flights still
 // complete and publish to their existing waiters.
+//
+// The common case — a chronological append with no future-time work in
+// flight — exits on one atomic load without taking the batcher lock,
+// so the per-append hook does not contend with the serving hot path.
 func (b *Batcher) RetireTargets(nodes []int32, t float64) int {
 	b.retireCalls.Add(1)
+	if math.Float64frombits(b.maxFlightT.Load()) <= t {
+		// No in-flight computation targets a time after t. The bound is
+		// only ever raised while such a flight is in the table, so a
+		// flight that must be retired can never hide behind this exit.
+		return 0
+	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	retired := 0
@@ -411,10 +436,21 @@ func (b *Batcher) RetireTargets(nodes []int32, t float64) int {
 			}
 		}
 	}
+	b.resetFlightBoundLocked()
 	if retired > 0 {
 		b.retired.Add(int64(retired))
 	}
 	return retired
+}
+
+// resetFlightBoundLocked drops the in-flight time bound back to -Inf
+// once the single-flight table is empty (callers hold b.mu, so no
+// flight can be added concurrently). While the table is non-empty the
+// bound is left alone — possibly stale-high, which only costs a scan.
+func (b *Batcher) resetFlightBoundLocked() {
+	if len(b.flights) == 0 {
+		b.maxFlightT.Store(math.Float64bits(math.Inf(-1)))
+	}
 }
 
 // InFlight reports the live queue state: targets pending in the open

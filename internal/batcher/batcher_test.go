@@ -2,6 +2,7 @@ package batcher
 
 import (
 	"context"
+	"math"
 	"sync"
 	"testing"
 	"time"
@@ -544,4 +545,54 @@ func TestBatcherRetireTargetsConcurrentChurn(t *testing.T) {
 	if p, r := b.InFlight(); p != 0 || r != 0 {
 		t.Fatalf("leaked flights after churn: pending=%d running=%d", p, r)
 	}
+}
+
+func TestRetireTargetsFastPathBound(t *testing.T) {
+	// The engine's invalidation hook calls RetireTargets on every
+	// chronological append. With no future-time work in flight the call
+	// must exit on the atomic time bound without taking the batcher
+	// lock — and the bound must reset once the flight table drains, or
+	// one long-gone future flight would leave every later append paying
+	// the locked scan forever.
+	f := &fakeEmbedder{gate: make(chan struct{})}
+	b := New(f, fakeDim, Config{Window: time.Hour, MaxBatch: 1024})
+
+	if got := math.Float64frombits(b.maxFlightT.Load()); !math.IsInf(got, -1) {
+		t.Fatalf("fresh batcher bound %v, want -Inf", got)
+	}
+	if got := b.RetireTargets([]int32{1}, 0); got != 0 {
+		t.Fatalf("idle retire = %d, want 0", got)
+	}
+
+	// A future-time flight raises the bound, so an edit beneath it still
+	// takes the slow path and retires it.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		slab, err := b.Embed(context.Background(), []int32{7}, []float64{100})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		checkSlab(t, slab, []int32{7}, []float64{100})
+	}()
+	waitUntil(t, "pass executing", func() bool { _, r := b.InFlight(); return r == 1 })
+	if got := math.Float64frombits(b.maxFlightT.Load()); got != 100 {
+		t.Fatalf("bound %v, want 100", got)
+	}
+	if got := b.RetireTargets([]int32{7}, 50); got != 1 {
+		t.Fatalf("retired %d, want 1", got)
+	}
+	// The retire emptied the table, so the bound is -Inf again and the
+	// next append's hook is back to the O(1) exit.
+	if got := math.Float64frombits(b.maxFlightT.Load()); !math.IsInf(got, -1) {
+		t.Fatalf("bound after drain %v, want -Inf", got)
+	}
+	if got := b.RetireTargets([]int32{7}, 50); got != 0 {
+		t.Fatalf("post-drain retire = %d, want 0", got)
+	}
+
+	f.gate <- struct{}{} // release the retired pass; it publishes normally
+	wg.Wait()
 }

@@ -64,8 +64,11 @@ type CacheConfig struct {
 // CacheStats is a point-in-time snapshot of the cache's counters. The
 // hot-tier counts are exact: they are taken under the same per-shard
 // locks that guard the lookups and stores they count, so
-// Lookups == Hits + Misses always holds, and SpillHits (spill-tier
-// hits among hot-tier misses) never exceeds Misses.
+// Lookups == Hits + Misses always holds. SpillHits (spill-tier hits
+// among hot-tier misses) never exceeds Misses: every spill hit's miss
+// is counted before the spillHits increment, and Stats reads the
+// spillHits atomic before sweeping the shards, so the skew between the
+// two reads is one-sided.
 type CacheStats struct {
 	Lookups       int64      `json:"lookups"`
 	Hits          int64      `json:"hits"`
@@ -247,6 +250,13 @@ func (c *Cache) UsedBytes() int64 {
 // guarantees).
 func (c *Cache) Stats() CacheStats {
 	var st CacheStats
+	// The spillHits atomic is read before the shard sweep: a spill hit's
+	// miss is counted (under its shard lock) before spillHits is bumped,
+	// so loading spillHits first guarantees every counted spill hit's
+	// miss makes the snapshot — SpillHits <= Misses holds.
+	st.SpillHits = c.spillHits.Load()
+	st.Promotes = c.promotes.Load()
+	st.PromoteDrops = c.promoteDrops.Load()
 	for i := range c.shards {
 		s := &c.shards[i]
 		s.mu.Lock()
@@ -256,9 +266,6 @@ func (c *Cache) Stats() CacheStats {
 		s.mu.Unlock()
 	}
 	st.Lookups = st.Hits + st.Misses
-	st.SpillHits = c.spillHits.Load()
-	st.Promotes = c.promotes.Load()
-	st.PromoteDrops = c.promoteDrops.Load()
 	if c.spill != nil {
 		st.Spill = c.spill.Stats()
 	}
@@ -326,11 +333,16 @@ func (c *Cache) lookupRange(keys []uint64, data []float32, hits []bool, lo, hi i
 		}
 		s.mu.Unlock()
 		if !ok && c.spill != nil {
+			// The fence generation is captured BEFORE the spill read: an
+			// invalidation (Remove/Clear) that completes anywhere between
+			// this load and the promote worker's re-check bumps gen, so
+			// the promotion is dropped instead of resurrecting the entry.
+			gen := c.gen.Load()
 			row := data[i*c.dim : (i+1)*c.dim]
 			if c.spill.Get(key, row) {
 				ok = true
 				c.spillHits.Add(1)
-				c.maybePromote(key, row)
+				c.maybePromote(key, row, gen)
 			}
 		}
 		hits[i] = ok
@@ -342,17 +354,20 @@ func (c *Cache) lookupRange(keys []uint64, data []float32, hits []bool, lo, hi i
 }
 
 // maybePromote queues an async promotion of a spill hit back into the
-// hot tier. The channel send never blocks the serving path: a full
-// queue just drops the promotion (the entry stays served from the
-// cold tier).
-func (c *Cache) maybePromote(key uint64, vec []float32) {
+// hot tier. gen is the fence generation the caller loaded before its
+// spill read (not loaded here — by now an invalidation may already have
+// completed, and a post-invalidation generation would pass the fence
+// and resurrect the removed entry). The channel send never blocks the
+// serving path: a full queue just drops the promotion (the entry stays
+// served from the cold tier).
+func (c *Cache) maybePromote(key uint64, vec []float32, gen uint64) {
 	if c.promoteCh == nil {
 		return
 	}
 	v := make([]float32, len(vec))
 	copy(v, vec)
 	select {
-	case c.promoteCh <- promoteReq{key: key, vec: v, gen: c.gen.Load()}:
+	case c.promoteCh <- promoteReq{key: key, vec: v, gen: gen}:
 	default:
 		c.promoteDrops.Add(1)
 	}

@@ -459,11 +459,18 @@ func (e *Engine) clearDeepCaches() {
 }
 
 // staleByAppend reports whether this batch's memo stores are unsafe
-// because an append advanced the graph past the pre-sampling
-// watermark wm while the batch embedded timestamps beyond it (only
-// future-time rows can have sampled a window the append lands in).
-func (e *Engine) staleByAppend(missTs []float64, wm float64) bool {
-	if e.dyn == nil || e.dyn.MaxTime() == wm {
+// because an append landed after the pre-sampling snapshot — aseq is
+// the append sequence and wm the stream clock captured then — while
+// the batch embedded timestamps beyond the watermark (only future-time
+// rows can have sampled a window the append lands in). The guard
+// compares the append sequence, not MaxTime: an append at exactly the
+// current stream clock changes adjacency without advancing MaxTime (or
+// the mutation epoch), and equal timestamps are common in
+// coarse-grained event streams. Any append accepted after the snapshot
+// carries a time >= wm, so rows at t' > wm conservatively cover every
+// window it could displace.
+func (e *Engine) staleByAppend(missTs []float64, wm float64, aseq int64) bool {
+	if e.dyn == nil || e.dyn.Appends() == aseq {
 		return false
 	}
 	for _, mt := range missTs {
@@ -690,16 +697,19 @@ func (e *Engine) embed(ar *tensor.Arena, l int, nodes []int32, ts []float64) *te
 		// insert or deletion lands while this batch computes, the
 		// sampled neighborhoods may predate it and must not be memoized
 		// (the store below would resurrect just-invalidated state).
-		// The time watermark closes the same race for chronological
-		// appends, which advance MaxTime without bumping the epoch: a
+		// The append sequence plus time watermark close the same race
+		// for chronological appends, which do not bump the epoch: a
 		// batch embedding *future* timestamps (t' beyond the watermark)
 		// that raced an append may have sampled pre-append windows, and
 		// InvalidateAppend's scan can run before the entries are
-		// indexed — so those stores are skipped or rolled back too.
-		var epoch int64
+		// indexed — so those stores are skipped or rolled back too. The
+		// sequence (not MaxTime) detects the append, since an append at
+		// exactly the stream clock leaves MaxTime unchanged.
+		var epoch, aseq int64
 		var wm float64
 		if cache != nil && e.dyn != nil {
 			epoch = e.dyn.Mutations()
+			aseq = e.dyn.Appends()
 			wm = e.dyn.MaxTime()
 		}
 
@@ -738,7 +748,7 @@ func (e *Engine) embed(ar *tensor.Arena, l int, nodes []int32, ts []float64) *te
 		e.observe(stats.OpAttention, StageAttention, device.TensorOp, 8, start)
 
 		if cache != nil && e.dyn != nil &&
-			(e.dyn.Mutations() != epoch || e.staleByAppend(missTs, wm)) {
+			(e.dyn.Mutations() != epoch || e.staleByAppend(missTs, wm, aseq)) {
 			// A history rewrite (or an append racing a future-time
 			// batch) landed while this batch computed: the results may
 			// be built on pre-rewrite neighborhoods. Recompute-next-time
@@ -766,7 +776,7 @@ func (e *Engine) embed(ar *tensor.Arena, l int, nodes []int32, ts []float64) *te
 					e.targets.Record(missNodes[i], missKeys[i], missTs[i])
 				}
 			}
-			if e.dyn != nil && (e.dyn.Mutations() != epoch || e.staleByAppend(missTs, wm)) {
+			if e.dyn != nil && (e.dyn.Mutations() != epoch || e.staleByAppend(missTs, wm, aseq)) {
 				// A rewrite (or a watermark-crossing append) raced the
 				// store itself. Its invalidation scan may have run
 				// before our entries were indexed, so roll the whole

@@ -351,3 +351,38 @@ func TestInvalidateLateEdgeWithoutIndexClearsAll(t *testing.T) {
 		t.Fatal("fallback did not clear the cache")
 	}
 }
+
+func TestStaleByAppendDetectsEqualTimeAppend(t *testing.T) {
+	// Regression: the append-staleness guard compared MaxTime against the
+	// pre-sampling watermark, so an append at *exactly* the stream clock
+	// — legal for Append (e.Time >= lastTime) and common in coarse-
+	// grained event streams — changed adjacency without tripping the
+	// guard, and a future-time batch racing it could memoize pre-append
+	// windows. The guard now compares the append sequence.
+	_, dyn, eng, stream := oooSetup(t, 0)
+	wm := dyn.MaxTime()
+	aseq := dyn.Appends()
+	last := stream[len(stream)-1]
+
+	if _, err := dyn.Append(graph.Edge{Src: last.Src, Dst: last.Dst, Time: wm}); err != nil {
+		t.Fatal(err)
+	}
+	if dyn.MaxTime() != wm {
+		t.Fatal("test premise broken: equal-time append advanced MaxTime")
+	}
+	if dyn.Appends() == aseq {
+		t.Fatal("equal-time append did not advance the append sequence")
+	}
+	if !eng.staleByAppend([]float64{wm + 1}, wm, aseq) {
+		t.Fatal("equal-time append invisible to the staleness guard (seed behavior)")
+	}
+	// Rows at or below the watermark cannot have sampled the new edge's
+	// window and stay memoizable.
+	if eng.staleByAppend([]float64{wm}, wm, aseq) {
+		t.Fatal("non-future rows flagged stale by an equal-time append")
+	}
+	// A snapshot taken after the append sees nothing stale.
+	if eng.staleByAppend([]float64{wm + 1}, wm, dyn.Appends()) {
+		t.Fatal("guard fired with no append since the snapshot")
+	}
+}

@@ -6,7 +6,6 @@ import (
 	"hash/crc32"
 	"io"
 	"math"
-	"os"
 	"path/filepath"
 	"sort"
 	"strconv"
@@ -126,7 +125,7 @@ func NewSpillStore(fsys checkpoint.FS, dir string, dim int, maxBytes int64) (*Sp
 	if dim < 1 {
 		return nil, fmt.Errorf("core: spill dim must be >= 1, got %d", dim)
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("core: creating spill dir: %w", err)
 	}
 	sp := &SpillStore{
@@ -160,7 +159,7 @@ func (sp *SpillStore) resetOpenLocked() {
 // recover scans dir for sealed segments and rebuilds the index. Later
 // segments win duplicate keys (they were written later).
 func (sp *SpillStore) recover() error {
-	entries, err := os.ReadDir(sp.dir)
+	entries, err := sp.fsys.ReadDir(sp.dir)
 	if err != nil {
 		return fmt.Errorf("core: scanning spill dir: %w", err)
 	}
@@ -192,7 +191,7 @@ func (sp *SpillStore) recover() error {
 			sp.fsys.Remove(path)
 			continue
 		}
-		if fi, serr := os.Stat(path); serr == nil {
+		if fi, serr := sp.fsys.Stat(path); serr == nil {
 			seg.bytes = fi.Size()
 		}
 		sp.segs[id] = seg

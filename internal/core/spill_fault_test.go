@@ -225,3 +225,43 @@ func TestTieredCacheUnderWriteFaults(t *testing.T) {
 			st.Lookups, st.Hits, st.Misses)
 	}
 }
+
+func TestSpillRecoveryScanGoesThroughInjectedFS(t *testing.T) {
+	// Recovery's directory scan (MkdirAll, ReadDir, Stat) must run
+	// through the injected checkpoint.FS like every seal and read — a
+	// store that silently read the real filesystem would make the
+	// crash-injection tests above vacuous for the scan itself.
+	dir := t.TempDir()
+	sp, err := NewSpillStore(faultfs.NewFS(), dir, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillSpill(sp, 4)
+	if err := sp.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	fs := faultfs.NewFS()
+	fs.FailReadDir = true
+	if _, err := NewSpillStore(fs, dir, 1, 0); err == nil {
+		t.Fatal("recovery scan bypassed the injected FS (ReadDir fault invisible)")
+	}
+
+	fs = faultfs.NewFS()
+	fs.FailMkdirAll = true
+	if _, err := NewSpillStore(fs, filepath.Join(dir, "sub"), 1, 0); err == nil {
+		t.Fatal("spill dir creation bypassed the injected FS (MkdirAll fault invisible)")
+	}
+
+	// A Stat fault only degrades byte accounting (segment size unknown),
+	// never the data: recovery still indexes every record.
+	fs = faultfs.NewFS()
+	fs.FailStat = true
+	sp3, err := NewSpillStore(fs, dir, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits := checkSpillExact(t, sp3, 4); hits != 4 {
+		t.Fatalf("recovered %d of 4 records under a Stat fault", hits)
+	}
+}

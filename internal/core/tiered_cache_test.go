@@ -459,3 +459,51 @@ func ExampleCachePolicy() {
 	fmt.Println(c.Policy() == CacheTinyLFU)
 	// Output: true
 }
+
+func TestTieredCachePromoteGenCapturedBeforeSpillRead(t *testing.T) {
+	// Regression: the lookup path used to load the fence generation
+	// *after* the spill read. An invalidation completing fully in the
+	// window between SpillStore.Get returning and that load handed the
+	// promotion a post-invalidation generation, so it passed the fence
+	// in promoteOne and resurrected the just-removed entry. The
+	// generation is now captured before the spill read and threaded
+	// through maybePromote; this pins the threading: a promotion
+	// enqueued *after* an invalidation, but carrying a pre-invalidation
+	// generation, must be dropped by the worker.
+	sp := newTestSpill(t, 1)
+	c := NewCacheWith(CacheConfig{Limit: 2, Dim: 1, Shards: 1, Policy: CacheFIFO, Spill: sp})
+	defer c.Close()
+	c.Store([]uint64{1, 2, 3, 4}, tensor.Ones(4, 1)) // 1,2 spill
+
+	// The serving goroutine's view of the race: gen loaded, spill read
+	// returns a hit…
+	gen := c.gen.Load()
+	row := make([]float32, 1)
+	if !sp.Get(1, row) {
+		t.Fatal("precondition: key 1 not in spill tier")
+	}
+	// …then a Remove completes fully before the promotion is enqueued.
+	c.Remove([]uint64{1})
+	drops := c.Stats().PromoteDrops
+	c.maybePromote(1, row, gen)
+
+	waitFor(t, "stale promotion drained", func() bool {
+		return c.Stats().PromoteDrops > drops
+	})
+	if c.Contains(1) {
+		t.Fatal("promotion with a pre-invalidation generation resurrected the entry")
+	}
+}
+
+// waitFor polls cond for up to two seconds.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}

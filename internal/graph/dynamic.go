@@ -59,7 +59,13 @@ type Dynamic struct {
 	// mutations counts history rewrites (late inserts + deletions).
 	// Cache layers snapshot it before sampling and skip memoizing any
 	// result whose sampled neighborhoods may predate a rewrite.
-	mutations    atomic.Int64
+	mutations atomic.Int64
+	// appends counts every accepted chronological append, including
+	// appends at a timestamp equal to the current stream clock — which
+	// change adjacency without advancing MaxTime. Cache layers compare
+	// this sequence (not the clock) to detect appends that raced a
+	// future-time batch.
+	appends      atomic.Int64
 	lateAccepted atomic.Int64
 	lateDropped  atomic.Int64
 }
@@ -137,6 +143,12 @@ func (d *Dynamic) Watermark() float64 {
 // Mutations returns the history-rewrite epoch: it advances on every
 // late insert and deletion, and never on plain appends.
 func (d *Dynamic) Mutations() int64 { return d.mutations.Load() }
+
+// Appends returns the append sequence: it advances on every accepted
+// chronological append (including one at exactly the current stream
+// clock, which MaxTime cannot distinguish) and never on history
+// rewrites, which advance Mutations instead.
+func (d *Dynamic) Appends() int64 { return d.appends.Load() }
 
 // LateAccepted returns the number of out-of-order edges accepted by
 // sorted insert.
@@ -220,6 +232,7 @@ func (d *Dynamic) appendLocked(e Edge) (int32, error) {
 	d.edges = append(d.edges, e)
 	d.byIdx[e.Idx] = e.Time
 	d.lastTime = e.Time
+	d.appends.Add(1)
 	return e.Idx, nil
 }
 

@@ -400,3 +400,46 @@ func TestDynamicConcurrentMutationsAndSampling(t *testing.T) {
 		seen[e.Idx] = true
 	}
 }
+
+func TestDynamicAppendsSequence(t *testing.T) {
+	// The append sequence is the cache layer's only reliable signal that
+	// adjacency changed via the chronological path: an append at exactly
+	// the stream clock leaves MaxTime unchanged (and never bumps the
+	// mutation epoch), so both must be distinguishable through Appends.
+	d := NewDynamic(4)
+	d.SetLateness(100)
+	if d.Appends() != 0 {
+		t.Fatalf("fresh graph Appends = %d", d.Appends())
+	}
+	if _, err := d.Append(Edge{Src: 1, Dst: 2, Time: 10}); err != nil {
+		t.Fatal(err)
+	}
+	// Equal-time append: MaxTime stays put, the sequence must not.
+	if _, err := d.Append(Edge{Src: 2, Dst: 3, Time: 10}); err != nil {
+		t.Fatal(err)
+	}
+	if d.MaxTime() != 10 {
+		t.Fatalf("MaxTime = %v, want 10", d.MaxTime())
+	}
+	if d.Appends() != 2 {
+		t.Fatalf("Appends = %d, want 2", d.Appends())
+	}
+	muts := d.Mutations()
+	// A genuinely late insert is a history rewrite, not an append.
+	if _, err := d.InsertLate(Edge{Src: 1, Dst: 3, Time: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if d.Appends() != 2 {
+		t.Fatalf("late insert bumped Appends to %d", d.Appends())
+	}
+	if d.Mutations() == muts {
+		t.Fatal("late insert did not bump Mutations")
+	}
+	// InsertLate at/past the clock degrades to an append and counts.
+	if _, err := d.InsertLate(Edge{Src: 1, Dst: 4, Time: 10}); err != nil {
+		t.Fatal(err)
+	}
+	if d.Appends() != 3 {
+		t.Fatalf("degraded-to-append insert left Appends at %d, want 3", d.Appends())
+	}
+}
