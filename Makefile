@@ -14,7 +14,7 @@ check:
 	./scripts/check.sh
 
 race:
-	$(GO) vet ./... && $(GO) test -race ./internal/parallel/... ./internal/serve/...
+	$(GO) vet ./... && $(GO) test -race ./internal/parallel/... ./internal/serve/... ./internal/shard/...
 
 # Committed perf artifact: kernel + end-to-end report as BENCH_<n>.json
 # at the repo root (see scripts/bench.sh and DESIGN.md §9).

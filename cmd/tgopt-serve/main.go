@@ -31,6 +31,7 @@ import (
 	"tgopt/internal/experiments"
 	"tgopt/internal/graph"
 	"tgopt/internal/serve"
+	"tgopt/internal/shard"
 )
 
 func main() {
@@ -57,6 +58,13 @@ func main() {
 	batchMax := flag.Int("batch-max", batcher.DefaultMaxBatch, "flush a cross-request batch at this many unique targets")
 	batchOff := flag.Bool("batch-off", false, "disable cross-request micro-batching (each request runs its own engine pass)")
 	lateness := flag.Float64("lateness", 0, "out-of-order tolerance: accept late edges within this many time units of the stream maximum (0 = strict chronological ingest; older edges are dropped against the watermark)")
+	shards := flag.Int("shards", 1, "partition serving into this many fault-isolated engine shards (1 = single engine; >= 2 enables the scatter-gather router)")
+	shardQuorum := flag.Int("shard-quorum", 1, "healthy shards required to accept a request (below it: 503 + Retry-After)")
+	hedgeDelay := flag.Duration("hedge-delay", 0, "hedge a shard leg to a replica after max(this, the shard's observed p99) (0 disables hedged reads)")
+	breakerWindow := flag.Int("breaker-window", 64, "per-shard breaker: rolling outcome window")
+	breakerThreshold := flag.Float64("breaker-threshold", 0.5, "per-shard breaker: failure rate that opens the breaker")
+	breakerCooldown := flag.Duration("breaker-cooldown", 500*time.Millisecond, "per-shard breaker: open duration before half-open probes")
+	breakerProbes := flag.Int("breaker-probes", 3, "per-shard breaker: consecutive half-open successes required to re-close")
 	flag.Parse()
 
 	setup := experiments.Setup{
@@ -98,17 +106,46 @@ func main() {
 	}
 	opt.CacheSpillDir = *spillDir
 	opt.CacheSpillMaxBytes = *spillMax
-	srv := serve.New(wl.Model, dyn, opt)
-	srv.SetLimits(serve.Limits{Timeout: *timeout, MaxInFlight: *maxInflight})
-	if !*batchOff {
-		srv.SetBatching(batcher.Config{Window: *batchWindow, MaxBatch: *batchMax})
+	var srv *serve.Server
+	if *shards > 1 {
+		// Sharded serving plane: batching (when on) runs per shard, and
+		// -cache-file names the per-shard snapshot DIRECTORY instead of
+		// a single snapshot file.
+		cfg := shard.Config{
+			Shards:     *shards,
+			Quorum:     *shardQuorum,
+			HedgeDelay: *hedgeDelay,
+			Breaker: shard.BreakerConfig{
+				Window:    *breakerWindow,
+				Threshold: *breakerThreshold,
+				Cooldown:  *breakerCooldown,
+				Probes:    *breakerProbes,
+			},
+			SnapshotDir: *cacheFile,
+			Logf:        log.Printf,
+		}
+		if !*batchOff {
+			cfg.Batch = &batcher.Config{Window: *batchWindow, MaxBatch: *batchMax}
+		}
+		var err error
+		srv, err = serve.NewSharded(wl.Model, dyn, opt, cfg)
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		srv = serve.New(wl.Model, dyn, opt)
+		if !*batchOff {
+			srv.SetBatching(batcher.Config{Window: *batchWindow, MaxBatch: *batchMax})
+		}
 	}
+	srv.SetLimits(serve.Limits{Timeout: *timeout, MaxInFlight: *maxInflight})
 
 	// A missing or corrupt warm cache must never stop the service from
 	// booting: WarmStart logs the cold start and continues.
 	if *cacheFile != "" {
 		srv.WarmStart(*cacheFile, log.Printf)
 	}
+	srv.SetReady() // /readyz starts answering 200
 	stopSnapshots := func() {}
 	if *cacheFile != "" && *snapInterval > 0 {
 		stopSnapshots = srv.StartSnapshots(*cacheFile, *snapInterval, log.Printf)
@@ -130,6 +167,7 @@ func main() {
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		<-sig
+		srv.BeginDrain() // /readyz flips to 503 so load balancers stop routing here
 		log.Printf("shutting down: draining in-flight requests (grace %s)", *grace)
 		ctx, cancel := context.WithTimeout(context.Background(), *grace)
 		defer cancel()
@@ -152,13 +190,17 @@ func main() {
 	} else {
 		log.Printf("cross-request batching: window=%s max=%d", *batchWindow, *batchMax)
 	}
-	if *spillDir != "" {
+	if srv.Sharded() {
+		log.Printf("sharding: %d shards, quorum %d, hedge-delay %s, breaker window=%d threshold=%g cooldown=%s probes=%d",
+			*shards, *shardQuorum, *hedgeDelay, *breakerWindow, *breakerThreshold, *breakerCooldown, *breakerProbes)
+		log.Printf("cache: policy=%s per-shard (divided from hot-limit %d)", *cachePolicy, opt.CacheLimit)
+	} else if *spillDir != "" {
 		log.Printf("cache: policy=%s hot-limit=%d cold tier at %s (budget %d bytes)",
 			*cachePolicy, srv.Engine().Options().CacheLimit, *spillDir, *spillMax)
 	} else {
 		log.Printf("cache: policy=%s hot-limit=%d (no cold tier)", *cachePolicy, srv.Engine().Options().CacheLimit)
 	}
-	log.Printf("endpoints: POST /v1/ingest /v1/embed /v1/score /v1/explain, GET /v1/stats /metrics")
+	log.Printf("endpoints: POST /v1/ingest /v1/embed /v1/score /v1/explain, GET /v1/stats /metrics /healthz /readyz")
 	if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 		fatal(err)
 	}
@@ -166,7 +208,14 @@ func main() {
 
 	stopSnapshots() // quiesce the snapshotter before the final save
 	if *cacheFile != "" {
-		if err := srv.Engine().SaveCaches(*cacheFile); err != nil {
+		if srv.Sharded() {
+			if err := srv.Router().SaveSnapshots(); err != nil {
+				log.Printf("shard snapshot save failed: %v", err)
+			} else {
+				log.Printf("saved per-shard snapshots (%d memoized embeddings) under %s",
+					srv.Router().CacheLen(), *cacheFile)
+			}
+		} else if err := srv.Engine().SaveCaches(*cacheFile); err != nil {
 			log.Printf("cache save failed: %v", err)
 		} else {
 			log.Printf("saved %d memoized embeddings to %s", srv.Engine().CacheLen(), *cacheFile)

@@ -40,6 +40,7 @@ package batcher
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"runtime"
@@ -53,12 +54,17 @@ import (
 )
 
 // Embedder is the fused-pass computation the batcher drives —
-// *core.Engine in production, a controllable fake in tests. EmbedWith
-// must be safe for concurrent calls with distinct arenas and must
-// return a (len(nodes), dim) row-major tensor.
-type Embedder interface {
-	EmbedWith(ar *tensor.Arena, nodes []int32, ts []float64) *tensor.Tensor
-}
+// *core.Engine in production, the shard router's per-shard engines in
+// sharded serving, a controllable fake in tests. It is the promoted
+// core.Embedder seam (PR 7); the alias remains so existing callers
+// read naturally.
+type Embedder = core.Embedder
+
+// ErrPassPanicked wraps the error published to every waiter of a
+// fused pass that panicked. Callers that supervise an embedder —
+// the shard router's panic domain — unwrap it with errors.Is to tell
+// a crashed engine from an ordinary failure.
+var ErrPassPanicked = errors.New("batcher: fused pass panicked")
 
 // Config bounds a batcher's coalescing behavior. The zero value is
 // usable: Window 0 disables the timer (flushes still happen on the size
@@ -341,7 +347,7 @@ func (b *Batcher) runPass(fs []*flight) {
 		if rec := recover(); rec != nil {
 			b.panics.Add(1)
 			if !published {
-				err := fmt.Errorf("batcher: fused pass panicked: %v", rec)
+				err := fmt.Errorf("%w: %v", ErrPassPanicked, rec)
 				for _, f := range fs {
 					f.err = err
 					close(f.done)

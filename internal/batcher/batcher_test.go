@@ -50,6 +50,8 @@ func (f *fakeEmbedder) EmbedWith(ar *tensor.Arena, nodes []int32, ts []float64) 
 	return out
 }
 
+func (f *fakeEmbedder) Dim() int { return fakeDim }
+
 func (f *fakeEmbedder) numCalls() int {
 	f.mu.Lock()
 	defer f.mu.Unlock()

@@ -8,7 +8,6 @@ import (
 	"fmt"
 	"io"
 	"math"
-	"os"
 
 	"tgopt/internal/checkpoint"
 )
@@ -258,25 +257,32 @@ func (e *Engine) SaveCachesFS(fsys checkpoint.FS, path string) error {
 // so a corrupt file leaves the engine's caches untouched. Both current
 // (enveloped, checksummed) and legacy (raw v1) snapshot files load.
 func (e *Engine) LoadCaches(path string) error {
+	return e.LoadCachesFS(checkpoint.OS{}, path)
+}
+
+// LoadCachesFS is LoadCaches over an injectable file system — the
+// shard supervisor restores a crashed shard's snapshot through it so
+// fault tests can drive the restart leg with internal/faultfs.
+func (e *Engine) LoadCachesFS(fsys checkpoint.FS, path string) error {
 	if e.caches == nil {
 		return fmt.Errorf("core: engine has no caches to load into")
 	}
-	err := checkpoint.Read(path, func(version uint32, r io.Reader) error {
+	err := checkpoint.ReadFS(fsys, path, func(version uint32, r io.Reader) error {
 		if version != cacheSnapshotVersion {
 			return fmt.Errorf("core: cache snapshot version %d, engine reads %d", version, cacheSnapshotVersion)
 		}
 		return e.loadCacheStream(r)
 	})
 	if errors.Is(err, checkpoint.ErrNotCheckpoint) {
-		return e.loadCachesLegacy(path)
+		return e.loadCachesLegacy(fsys, path)
 	}
 	return err
 }
 
 // loadCachesLegacy reads a pre-envelope snapshot file: the same layer
 // stream, with v1 cache blobs and no checksum.
-func (e *Engine) loadCachesLegacy(path string) error {
-	f, err := os.Open(path)
+func (e *Engine) loadCachesLegacy(fsys checkpoint.FS, path string) error {
+	f, err := fsys.Open(path)
 	if err != nil {
 		return err
 	}

@@ -43,7 +43,8 @@ func (s *Server) Limits() Limits { return s.limits }
 // matters most.
 func exemptFromLimits(r *http.Request) bool {
 	return r.Method == http.MethodGet &&
-		(r.URL.Path == "/metrics" || r.URL.Path == "/v1/stats")
+		(r.URL.Path == "/metrics" || r.URL.Path == "/v1/stats" ||
+			r.URL.Path == "/healthz" || r.URL.Path == "/readyz")
 }
 
 // wrap is the serving middleware: max-in-flight admission control

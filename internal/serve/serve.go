@@ -32,18 +32,20 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math"
 	"net/http"
 	"strings"
 	"sync/atomic"
-	"time"
 
 	"tgopt/internal/batcher"
 	"tgopt/internal/core"
 	"tgopt/internal/graph"
+	"tgopt/internal/shard"
 	"tgopt/internal/stats"
 	"tgopt/internal/tensor"
 	"tgopt/internal/tgat"
@@ -55,6 +57,11 @@ type Server struct {
 	model   *tgat.Model
 	engine  *core.Engine
 	hitRate *stats.HitRate
+
+	// router, when non-nil (NewSharded), partitions serving across N
+	// fault-isolated engine shards; engine and batcher are then nil and
+	// embed/score scatter-gather through it (sharding.go).
+	router *shard.Router
 
 	// batcher, when non-nil (SetBatching), fuses concurrent embed and
 	// score targets into shared engine passes with single-flight dedup.
@@ -75,6 +82,22 @@ type Server struct {
 	// invalidated counts cache entries dropped by late-edge selective
 	// invalidation.
 	invalidated atomic.Int64
+
+	// Embed/score failure accounting, split by cause so dashboards can
+	// tell "the client hung up" (499) from "we could not serve" (503):
+	// clientCancels counts abandoned requests, unavailable counts
+	// server-side failures, quorumRejects the below-quorum 503s, and
+	// partials the 206 degraded responses.
+	clientCancels atomic.Int64
+	unavailable   atomic.Int64
+	quorumRejects atomic.Int64
+	partials      atomic.Int64
+
+	// Readiness state for /readyz (health.go): ready flips on once
+	// warm-start (or explicit SetReady) completes; draining flips on at
+	// shutdown so load balancers stop sending new work.
+	ready    atomic.Bool
+	draining atomic.Bool
 
 	// Background snapshotter counters (snapshot.go).
 	snapshotSaves  atomic.Int64
@@ -103,14 +126,19 @@ func New(model *tgat.Model, dyn *graph.Dynamic, opt core.Options) *Server {
 }
 
 // Engine exposes the underlying TGOpt engine (cache persistence,
-// introspection).
+// introspection). Nil in sharded mode — use Router then.
 func (s *Server) Engine() *core.Engine { return s.engine }
 
 // Close releases the engine's background resources: it stops the
 // cache promotion workers and seals the spill tier's open segments so
-// spilled entries survive a restart. Call it after the HTTP server
-// has drained.
-func (s *Server) Close() error { return s.engine.Close() }
+// spilled entries survive a restart. In sharded mode it closes every
+// shard. Call it after the HTTP server has drained.
+func (s *Server) Close() error {
+	if s.router != nil {
+		return s.router.Close()
+	}
+	return s.engine.Close()
+}
 
 // Handler returns the HTTP handler for the API, wrapped in the serving
 // middleware (admission control, deadlines, panic recovery — see wrap).
@@ -122,6 +150,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/stats", s.handleStats)
 	mux.HandleFunc("/v1/explain", s.handleExplain)
 	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
 	return s.wrap(mux)
 }
 
@@ -180,10 +210,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	write("tgopt_graph_nodes", "Nodes in the serving graph.", float64(s.dyn.NumNodes()))
 	write("tgopt_graph_edges", "Interactions ingested.", float64(s.dyn.NumEdges()))
-	write("tgopt_cache_items", "Memoized embeddings resident.", float64(s.engine.CacheLen()))
-	write("tgopt_cache_bytes", "Estimated cache footprint in bytes.", float64(s.engine.CacheBytes()))
+	write("tgopt_cache_items", "Memoized embeddings resident.", float64(s.cacheLen()))
+	write("tgopt_cache_bytes", "Estimated cache footprint in bytes.", float64(s.cacheBytes()))
 	write("tgopt_cache_hit_rate", "Average embedding cache hit rate.", s.hitRate.Average())
-	cs := s.engine.CacheStats()
+	cs := s.cacheStats()
 	write("tgopt_cache_lookups_total", "Memo cache lookups (hot tier).", float64(cs.Lookups))
 	write("tgopt_cache_hits_total", "Memo cache hot-tier hits.", float64(cs.Hits))
 	write("tgopt_cache_misses_total", "Memo cache hot-tier misses.", float64(cs.Misses))
@@ -205,11 +235,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	write("tgopt_ingest_late_dropped_total", "Edges dropped below the low-watermark.", float64(s.dyn.LateDropped()))
 	write("tgopt_ingest_watermark", "Low-watermark: edges older than this are dropped.", s.dyn.Watermark())
 	write("tgopt_cache_invalidated_total", "Memoized embeddings dropped by late-edge invalidation.", float64(s.invalidated.Load()))
-	write("tgopt_cache_stale_store_skips_total", "Memo stores skipped or rolled back because a mutation raced the compute.", float64(s.engine.StaleStoreSkips()))
+	write("tgopt_cache_stale_store_skips_total", "Memo stores skipped or rolled back because a mutation raced the compute.", float64(s.staleStoreSkips()))
 	write("tgopt_inflight_requests", "Requests currently executing.", float64(s.inflight.Load()))
 	write("tgopt_rejected_total", "Requests rejected with 429 at the in-flight limit.", float64(s.rejected.Load()))
 	write("tgopt_timeouts_total", "Requests that exceeded the deadline (504).", float64(s.timeouts.Load()))
 	write("tgopt_panics_total", "Handler panics recovered to 500.", float64(s.panics.Load()))
+	write("tgopt_client_cancels_total", "Computations abandoned because the client went away (499-style).", float64(s.clientCancels.Load()))
+	write("tgopt_unavailable_total", "Computations failed server-side (503), client cancels excluded.", float64(s.unavailable.Load()))
 	write("tgopt_snapshots_total", "Background cache snapshots written.", float64(s.snapshotSaves.Load()))
 	write("tgopt_snapshot_errors_total", "Cache snapshot or warm-start failures.", float64(s.snapshotErrors.Load()))
 	if bs := s.batchStatsJSON(); bs != nil {
@@ -237,9 +269,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		}
 		fmt.Fprintf(&b, "tgopt_batch_queue_wait_seconds_sum %g\ntgopt_batch_queue_wait_seconds_count %d\n", qw.Sum().Seconds(), qw.Count())
 	}
+	if s.router != nil {
+		s.writeShardMetrics(&b, write)
+	}
 	fmt.Fprintf(&b, "# HELP tgopt_stage_latency_seconds Engine per-stage latency quantiles.\n")
 	fmt.Fprintf(&b, "# TYPE tgopt_stage_latency_seconds summary\n")
-	hists := s.engine.StageStats()
+	hists := s.stageSnapshots()
 	for _, st := range core.Stages {
 		h := hists[st]
 		for _, q := range []struct {
@@ -247,10 +282,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			q     float64
 		}{{"0.5", 0.5}, {"0.9", 0.9}, {"0.99", 0.99}} {
 			fmt.Fprintf(&b, "tgopt_stage_latency_seconds{stage=%q,quantile=%q} %g\n",
-				st, q.label, h.Quantile(q.q).Seconds())
+				st, q.label, snapshotQuantile(h, q.q).Seconds())
 		}
-		fmt.Fprintf(&b, "tgopt_stage_latency_seconds_sum{stage=%q} %g\n", st, h.Sum().Seconds())
-		fmt.Fprintf(&b, "tgopt_stage_latency_seconds_count{stage=%q} %d\n", st, h.Count())
+		fmt.Fprintf(&b, "tgopt_stage_latency_seconds_sum{stage=%q} %g\n", st, h.Sum.Seconds())
+		fmt.Fprintf(&b, "tgopt_stage_latency_seconds_count{stage=%q} %d\n", st, h.Count)
 	}
 	io.WriteString(w, b.String())
 }
@@ -310,17 +345,12 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		switch res {
 		case graph.IngestAppended:
 			resp.Accepted++
-			// A chronological append can still invalidate: memos served
-			// at timestamps beyond the new edge were computed before it
-			// and their sampled windows may now be wrong. The engine's
-			// watermark fast path makes this a single atomic load when
-			// no future-time memo exists (the steady state).
-			n := s.engine.InvalidateAppend(e.Src, e.Dst, e.Time)
+			n := s.invalidateFor(e, res)
 			resp.Invalidated += n
 			s.invalidated.Add(int64(n))
 		case graph.IngestLate:
 			resp.Late++
-			n := s.engine.InvalidateLateEdge(e.Src, e.Dst, e.Time)
+			n := s.invalidateFor(e, res)
 			resp.Invalidated += n
 			s.invalidated.Add(int64(n))
 		case graph.IngestDropped:
@@ -334,6 +364,26 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, resp)
 }
 
+// invalidateFor runs the cache invalidation an accepted edge requires.
+// Single-engine mode invalidates the one engine directly; sharded mode
+// broadcasts the edge to every live replica through the router's edge
+// log (which also covers per-shard invalidation and restart replay).
+// A chronological append can still invalidate: memos served at
+// timestamps beyond the new edge were computed before it and their
+// sampled windows may now be wrong. The engine's watermark fast path
+// makes this a single atomic load when no future-time memo exists (the
+// steady state).
+func (s *Server) invalidateFor(e edgeJSON, res graph.IngestResult) int {
+	edge := graph.Edge{Src: e.Src, Dst: e.Dst, Time: e.Time, Idx: e.Idx}
+	if s.router != nil {
+		return s.router.Apply(edge, res)
+	}
+	if res == graph.IngestLate {
+		return s.engine.InvalidateLateEdge(e.Src, e.Dst, e.Time)
+	}
+	return s.engine.InvalidateAppend(e.Src, e.Dst, e.Time)
+}
+
 type embedRequest struct {
 	Nodes []int32   `json:"nodes"`
 	Times []float64 `json:"times"`
@@ -341,6 +391,11 @@ type embedRequest struct {
 
 type embedResponse struct {
 	Embeddings [][]float32 `json:"embeddings"`
+	// Partial marks a degraded response (HTTP 206): the rows listed in
+	// Degraded could not be computed (their shard was down and no
+	// fallback answered) and are null; every other row is exact.
+	Partial  bool  `json:"partial,omitempty"`
+	Degraded []int `json:"degraded,omitempty"`
 }
 
 func (s *Server) handleEmbed(w http.ResponseWriter, r *http.Request) {
@@ -356,7 +411,7 @@ func (s *Server) handleEmbed(w http.ResponseWriter, r *http.Request) {
 	if !s.validNodes(w, req.Nodes) || !s.validTimes(w, req.Times) {
 		return
 	}
-	slab, ok := s.embedSlab(w, r, req.Nodes, req.Times)
+	slab, degraded, ok := s.embedSlab(w, r, req.Nodes, req.Times)
 	if !ok {
 		return
 	}
@@ -367,32 +422,83 @@ func (s *Server) handleEmbed(w http.ResponseWriter, r *http.Request) {
 	for i := range out {
 		out[i] = slab[i*d : (i+1)*d]
 	}
-	writeJSON(w, embedResponse{Embeddings: out})
+	resp := embedResponse{Embeddings: out}
+	if len(degraded) > 0 {
+		resp.Partial = true
+		resp.Degraded = degraded
+		for _, i := range degraded {
+			out[i] = nil
+		}
+		writeJSONStatus(w, http.StatusPartialContent, resp)
+		return
+	}
+	writeJSON(w, resp)
 }
 
 // embedSlab computes the embeddings of the given targets as one backing
-// slab (row i at [i*d, (i+1)*d)) — through the batcher when batching is
-// on, else by a direct engine pass on a pooled arena. On failure it
-// writes the error response and returns ok=false.
-func (s *Server) embedSlab(w http.ResponseWriter, r *http.Request, nodes []int32, ts []float64) ([]float32, bool) {
+// slab (row i at [i*d, (i+1)*d)) — scatter-gathered across the shard
+// pool in sharded mode (degraded lists the rows no shard could serve),
+// through the batcher when batching is on, else by a direct engine pass
+// on a pooled arena. On failure it writes the error response and
+// returns ok=false.
+func (s *Server) embedSlab(w http.ResponseWriter, r *http.Request, nodes []int32, ts []float64) (slab []float32, degraded []int, ok bool) {
+	if s.router != nil {
+		res, err := s.router.Embed(r.Context(), nodes, ts)
+		if err != nil {
+			s.writeEmbedError(w, err)
+			return nil, nil, false
+		}
+		if res.Partial {
+			s.partials.Add(1)
+		}
+		return res.Slab, res.Degraded, true
+	}
 	if s.batcher != nil {
 		slab, err := s.batcher.Embed(r.Context(), nodes, ts)
 		if err != nil {
-			// Cancellation races the middleware's own 504: whatever we
-			// write here is discarded once the deadline response wins,
-			// so a plain 503 is only seen on client-side cancels.
-			httpError(w, http.StatusServiceUnavailable, "request abandoned: %v", err)
-			return nil, false
+			s.writeEmbedError(w, err)
+			return nil, nil, false
 		}
-		return slab, true
+		return slab, nil, true
 	}
 	d := s.model.Cfg.NodeDim
 	ar := tensor.GetArena()
 	h := s.engine.EmbedWith(ar, nodes, ts)
-	slab := make([]float32, len(nodes)*d)
+	slab = make([]float32, len(nodes)*d)
 	copy(slab, h.Data()[:len(nodes)*d])
 	tensor.PutArena(ar)
-	return slab, true
+	return slab, nil, true
+}
+
+// statusClientClosedRequest is the de-facto status (nginx's 499) for
+// "the client went away before we could answer". It never reaches that
+// client; it exists so the access log and counters don't book client
+// hang-ups as server-side failures.
+const statusClientClosedRequest = 499
+
+// writeEmbedError classifies a failed embed/score computation:
+//
+//   - the client canceled → 499 accounting, not a server-side 503
+//     (previously both were conflated into one 503 path);
+//   - the deadline expired → 504 (the middleware's own 504 response
+//     wins the race; the write here is a discarded buffer);
+//   - the shard pool is below quorum → 503 with a Retry-After hint;
+//   - anything else → 503, counted as unavailable.
+func (s *Server) writeEmbedError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, context.Canceled):
+		s.clientCancels.Add(1)
+		httpError(w, statusClientClosedRequest, "client closed request: %v", err)
+	case errors.Is(err, context.DeadlineExceeded):
+		httpError(w, http.StatusGatewayTimeout, "request exceeded its deadline: %v", err)
+	case errors.Is(err, shard.ErrNoQuorum):
+		s.quorumRejects.Add(1)
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusServiceUnavailable, "degraded below quorum: %v", err)
+	default:
+		s.unavailable.Add(1)
+		httpError(w, http.StatusServiceUnavailable, "request abandoned: %v", err)
+	}
 }
 
 type scoreRequest struct {
@@ -402,6 +508,11 @@ type scoreRequest struct {
 type scoreResponse struct {
 	Logits []float64 `json:"logits"`
 	Probs  []float64 `json:"probs"`
+	// Partial marks a degraded response (HTTP 206): pairs listed in
+	// Degraded had at least one endpoint on an unreachable shard and
+	// carry zeroed logit/prob placeholders.
+	Partial  bool  `json:"partial,omitempty"`
+	Degraded []int `json:"degraded,omitempty"`
 }
 
 func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
@@ -426,12 +537,13 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 	}
 	d := s.model.Cfg.NodeDim
 	var resp scoreResponse
-	if s.batcher != nil {
-		// Batched path: the src‖dst embeddings come out of the shared
-		// fused pass; only the tiny affinity head runs per-request.
-		slab, err := s.batcher.Embed(r.Context(), nodes, ts)
-		if err != nil {
-			httpError(w, http.StatusServiceUnavailable, "request abandoned: %v", err)
+	switch {
+	case s.router != nil || s.batcher != nil:
+		// Sharded or batched path: the src‖dst embeddings come out of
+		// the scatter-gather (or the shared fused pass); only the tiny
+		// affinity head runs per-request.
+		slab, degraded, ok := s.embedSlab(w, r, nodes, ts)
+		if !ok {
 			return
 		}
 		ar := tensor.GetArena()
@@ -439,7 +551,25 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 		hDst := ar.Wrap(slab[nb*d:], nb, d)
 		resp = scoreLogits(s.model.ScoreWith(ar, hSrc, hDst), nb)
 		tensor.PutArena(ar)
-	} else {
+		if len(degraded) > 0 {
+			// A pair is degraded if either endpoint row was (targets are
+			// laid out src[0..nb) ‖ dst[0..nb)). Its score was computed
+			// over a zero row and is meaningless: zero the placeholders.
+			bad := map[int]bool{}
+			for _, i := range degraded {
+				bad[i%nb] = true
+			}
+			for i := range resp.Logits {
+				if bad[i] {
+					resp.Logits[i], resp.Probs[i] = 0, 0
+					resp.Degraded = append(resp.Degraded, i)
+				}
+			}
+			resp.Partial = true
+			writeJSONStatus(w, http.StatusPartialContent, resp)
+			return
+		}
+	default:
 		// Full arena hot path: embed src‖dst, split, score — zero heap
 		// allocations in the engine once the pooled arenas are warm.
 		ar := tensor.GetArena()
@@ -465,24 +595,34 @@ func scoreLogits(logits *tensor.Tensor, nb int) scoreResponse {
 }
 
 type statsResponse struct {
-	NumNodes   int                   `json:"num_nodes"`
-	NumEdges   int                   `json:"num_edges"`
-	MaxTime    float64               `json:"max_time"`
-	CacheItems int                   `json:"cache_items"`
-	CacheBytes int64                 `json:"cache_bytes"`
-	HitRate    float64               `json:"hit_rate"`
-	Cache      core.CacheStats       `json:"cache"`
-	Requests   int64                 `json:"requests"`
-	Ingested   int64                 `json:"ingested"`
-	InFlight   int64                 `json:"in_flight"`
-	Rejected   int64                 `json:"rejected"`
-	Timeouts   int64                 `json:"timeouts"`
-	Panics     int64                 `json:"panics"`
-	Snapshots  int64                 `json:"snapshots"`
-	SnapErrors int64                 `json:"snapshot_errors"`
-	Ingest     ingestStats           `json:"ingest"`
-	Stages     map[string]stageStats `json:"stages"`
-	Batching   *batchStats           `json:"batching,omitempty"`
+	NumNodes   int             `json:"num_nodes"`
+	NumEdges   int             `json:"num_edges"`
+	MaxTime    float64         `json:"max_time"`
+	CacheItems int             `json:"cache_items"`
+	CacheBytes int64           `json:"cache_bytes"`
+	HitRate    float64         `json:"hit_rate"`
+	Cache      core.CacheStats `json:"cache"`
+	Requests   int64           `json:"requests"`
+	Ingested   int64           `json:"ingested"`
+	InFlight   int64           `json:"in_flight"`
+	Rejected   int64           `json:"rejected"`
+	Timeouts   int64           `json:"timeouts"`
+	Panics     int64           `json:"panics"`
+	// ClientCancels (499-style) and Unavailable (real 503s) split the
+	// failed-computation accounting by cause; QuorumRejects and
+	// Partials are the sharded degradation counters.
+	ClientCancels int64                 `json:"client_cancels"`
+	Unavailable   int64                 `json:"unavailable"`
+	QuorumRejects int64                 `json:"quorum_rejects,omitempty"`
+	Partials      int64                 `json:"partial_responses,omitempty"`
+	Snapshots     int64                 `json:"snapshots"`
+	SnapErrors    int64                 `json:"snapshot_errors"`
+	Ingest        ingestStats           `json:"ingest"`
+	Stages        map[string]stageStats `json:"stages"`
+	Batching      *batchStats           `json:"batching,omitempty"`
+	// Shards reports per-shard breaker/restart state and the router's
+	// hedge/degradation counters in sharded mode.
+	Shards *shard.RouterStats `json:"shards,omitempty"`
 }
 
 // ingestStats reports the out-of-order ingestion state: the configured
@@ -513,43 +653,42 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, "GET only")
 		return
 	}
-	stages := make(map[string]stageStats, len(core.Stages))
-	for st, h := range s.engine.StageStats() {
-		stages[st] = stageStats{
-			Count:   h.Count(),
-			TotalMs: float64(h.Sum()) / float64(time.Millisecond),
-			P50us:   float64(h.Quantile(0.5)) / float64(time.Microsecond),
-			P90us:   float64(h.Quantile(0.9)) / float64(time.Microsecond),
-			P99us:   float64(h.Quantile(0.99)) / float64(time.Microsecond),
-		}
-	}
-	writeJSON(w, statsResponse{
-		NumNodes:   s.dyn.NumNodes(),
-		NumEdges:   s.dyn.NumEdges(),
-		MaxTime:    s.dyn.MaxTime(),
-		CacheItems: s.engine.CacheLen(),
-		CacheBytes: s.engine.CacheBytes(),
-		HitRate:    s.hitRate.Average(),
-		Cache:      s.engine.CacheStats(),
-		Requests:   s.requests.Load(),
-		Ingested:   s.ingested.Load(),
-		InFlight:   s.inflight.Load(),
-		Rejected:   s.rejected.Load(),
-		Timeouts:   s.timeouts.Load(),
-		Panics:     s.panics.Load(),
-		Snapshots:  s.snapshotSaves.Load(),
-		SnapErrors: s.snapshotErrors.Load(),
+	resp := statsResponse{
+		NumNodes:      s.dyn.NumNodes(),
+		NumEdges:      s.dyn.NumEdges(),
+		MaxTime:       s.dyn.MaxTime(),
+		CacheItems:    s.cacheLen(),
+		CacheBytes:    s.cacheBytes(),
+		HitRate:       s.hitRate.Average(),
+		Cache:         s.cacheStats(),
+		Requests:      s.requests.Load(),
+		Ingested:      s.ingested.Load(),
+		InFlight:      s.inflight.Load(),
+		Rejected:      s.rejected.Load(),
+		Timeouts:      s.timeouts.Load(),
+		Panics:        s.panics.Load(),
+		ClientCancels: s.clientCancels.Load(),
+		Unavailable:   s.unavailable.Load(),
+		QuorumRejects: s.quorumRejects.Load(),
+		Partials:      s.partials.Load(),
+		Snapshots:     s.snapshotSaves.Load(),
+		SnapErrors:    s.snapshotErrors.Load(),
 		Ingest: ingestStats{
 			Lateness:        s.dyn.Lateness(),
 			Watermark:       s.dyn.Watermark(),
 			LateAccepted:    s.dyn.LateAccepted(),
 			LateDropped:     s.dyn.LateDropped(),
 			Invalidated:     s.invalidated.Load(),
-			StaleStoreSkips: s.engine.StaleStoreSkips(),
+			StaleStoreSkips: s.staleStoreSkips(),
 		},
-		Stages:   stages,
+		Stages:   s.stageStatsJSON(),
 		Batching: s.batchStatsJSON(),
-	})
+	}
+	if s.router != nil {
+		rs := s.router.Stats()
+		resp.Shards = &rs
+	}
+	writeJSON(w, resp)
 }
 
 // validTimes rejects non-finite timestamps with 400: NaN/Inf truncate
@@ -596,12 +735,21 @@ func decode(w http.ResponseWriter, r *http.Request, dst any) bool {
 // still produce a clean 500 — encoding straight into the ResponseWriter
 // would have already committed a 200 header and a partial body.
 func writeJSON(w http.ResponseWriter, v any) {
+	writeJSONStatus(w, http.StatusOK, v)
+}
+
+// writeJSONStatus is writeJSON with an explicit status code (degraded
+// partial responses go out as 206).
+func writeJSONStatus(w http.ResponseWriter, code int, v any) {
 	var buf bytes.Buffer
 	if err := json.NewEncoder(&buf).Encode(v); err != nil {
 		httpError(w, http.StatusInternalServerError, "encode error: %v", err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
+	if code != http.StatusOK {
+		w.WriteHeader(code)
+	}
 	w.Write(buf.Bytes())
 }
 

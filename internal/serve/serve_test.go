@@ -17,7 +17,10 @@ import (
 	"tgopt/internal/tgat"
 )
 
-func testServer(t *testing.T) (*Server, *httptest.Server) {
+// testModelDyn builds the shared test model and an empty dynamic graph
+// — the same fixture whether the server under test is single-engine
+// (testServer) or sharded (shardedServer in sharding_test.go).
+func testModelDyn(t *testing.T) (*tgat.Model, *graph.Dynamic) {
 	t.Helper()
 	const nodes, maxEdges, d = 20, 4096, 16
 	r := tensor.NewRNG(1)
@@ -32,7 +35,12 @@ func testServer(t *testing.T) (*Server, *httptest.Server) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	dyn := graph.NewDynamic(nodes)
+	return m, graph.NewDynamic(nodes)
+}
+
+func testServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	m, dyn := testModelDyn(t)
 	s := New(m, dyn, core.OptAll())
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(ts.Close)

@@ -17,6 +17,15 @@ func (s *Server) WarmStart(path string, logf func(format string, args ...any)) {
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
+	if s.router != nil {
+		// Sharded mode: each shard warms from its own snapshot in the
+		// router's snapshot directory (path is implied by the router
+		// config; load problems are counted in its snapshot_errors).
+		warmed := s.router.WarmStart()
+		logf("warm-started %d of %d shards (%d memoized embeddings)",
+			warmed, s.router.Shards(), s.router.CacheLen())
+		return
+	}
 	switch err := s.engine.LoadCaches(path); {
 	case err == nil:
 		logf("warm-started %d memoized embeddings from %s", s.engine.CacheLen(), path)
@@ -26,6 +35,16 @@ func (s *Server) WarmStart(path string, logf func(format string, args ...any)) {
 		s.snapshotErrors.Add(1)
 		logf("warm cache %s unusable (%v); starting cold", path, err)
 	}
+}
+
+// saveSnapshot writes the cache snapshot for whichever serving plane
+// is active: the single engine's snapshot at path, or one snapshot per
+// shard in the router's snapshot directory.
+func (s *Server) saveSnapshot(path string) error {
+	if s.router != nil {
+		return s.router.SaveSnapshots()
+	}
+	return s.engine.SaveCaches(path)
 }
 
 // StartSnapshots begins periodic background cache snapshots to path
@@ -53,7 +72,7 @@ func (s *Server) StartSnapshots(path string, interval time.Duration, logf func(f
 			case <-done:
 				return
 			case <-t.C:
-				if err := s.engine.SaveCaches(path); err != nil {
+				if err := s.saveSnapshot(path); err != nil {
 					s.snapshotErrors.Add(1)
 					logf("cache snapshot to %s failed: %v", path, err)
 				} else {

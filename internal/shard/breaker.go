@@ -1,0 +1,261 @@
+package shard
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// BreakerState is a circuit breaker's position. Closed passes calls
+// through, Open fails them fast (the shard is routed around), and
+// HalfOpen admits a bounded number of probes to test recovery.
+type BreakerState int32
+
+const (
+	BreakerClosed BreakerState = iota
+	BreakerHalfOpen
+	BreakerOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerHalfOpen:
+		return "half-open"
+	case BreakerOpen:
+		return "open"
+	}
+	return "unknown"
+}
+
+// BreakerConfig bounds one shard's circuit breaker. The zero value
+// takes every default.
+type BreakerConfig struct {
+	// Window is the rolling outcome window the error rate is computed
+	// over (default 64 calls).
+	Window int
+	// Threshold opens the breaker when failures/window >= Threshold
+	// (default 0.5). Timeouts count as failures; client cancellations
+	// are neutral and count as neither.
+	Threshold float64
+	// MinSamples is the minimum recorded outcomes before the breaker
+	// may open (default 8) — one early failure must not eject a shard.
+	MinSamples int
+	// Cooldown is how long an open breaker rejects before admitting
+	// half-open probes (default 500ms).
+	Cooldown time.Duration
+	// Probes is how many consecutive half-open successes close the
+	// breaker (default 3). A single probe failure reopens it.
+	Probes int
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Window <= 0 {
+		c.Window = 64
+	}
+	if c.Threshold <= 0 {
+		c.Threshold = 0.5
+	}
+	if c.MinSamples <= 0 {
+		c.MinSamples = 8
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 500 * time.Millisecond
+	}
+	if c.Probes <= 0 {
+		c.Probes = 3
+	}
+	return c
+}
+
+// Outcome classifies one shard call for the breaker.
+type Outcome int
+
+const (
+	// OutcomeSuccess is a completed call.
+	OutcomeSuccess Outcome = iota
+	// OutcomeFailure is an error, a deadline expiry, or a panic.
+	OutcomeFailure
+	// OutcomeNeutral is a call abandoned for reasons that say nothing
+	// about the shard's health (the client went away). It returns a
+	// half-open probe token instead of consuming it.
+	OutcomeNeutral
+)
+
+// Breaker is a rolling-error-rate circuit breaker: Closed until the
+// windowed failure rate crosses the threshold, Open for a cooldown,
+// then HalfOpen admitting a few probes whose outcomes decide between
+// reclosing and reopening. Safe for concurrent use.
+type Breaker struct {
+	cfg BreakerConfig
+	now func() time.Time // injectable clock for deterministic tests
+
+	mu       sync.Mutex
+	state    BreakerState
+	outcomes []bool // rolling ring: true = failure
+	idx      int
+	filled   int
+	fails    int
+	openedAt time.Time
+	probes   int // half-open probes admitted and not yet returned
+	probeOK  int // consecutive half-open successes
+
+	opens     atomic.Int64
+	halfOpens atomic.Int64
+	closes    atomic.Int64
+}
+
+// NewBreaker builds a breaker with the (defaulted) config.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	cfg = cfg.withDefaults()
+	return &Breaker{cfg: cfg, now: time.Now, outcomes: make([]bool, cfg.Window)}
+}
+
+// Allow reports whether a call may proceed. In the Open state it also
+// performs the cooldown-elapsed transition to HalfOpen; in HalfOpen it
+// consumes a probe token. Every allowed call must be followed by one
+// Record.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if b.now().Sub(b.openedAt) < b.cfg.Cooldown {
+			return false
+		}
+		b.toHalfOpenLocked()
+		fallthrough
+	case BreakerHalfOpen:
+		if b.probes < b.cfg.Probes {
+			b.probes++
+			return true
+		}
+		return false
+	}
+	return false
+}
+
+// Record feeds one call outcome back.
+func (b *Breaker) Record(o Outcome) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		if o == OutcomeNeutral {
+			return
+		}
+		fail := o == OutcomeFailure
+		if b.filled == len(b.outcomes) && b.outcomes[b.idx] {
+			b.fails--
+		}
+		b.outcomes[b.idx] = fail
+		b.idx = (b.idx + 1) % len(b.outcomes)
+		if b.filled < len(b.outcomes) {
+			b.filled++
+		}
+		if fail {
+			b.fails++
+		}
+		if b.filled >= b.cfg.MinSamples &&
+			float64(b.fails)/float64(b.filled) >= b.cfg.Threshold {
+			b.toOpenLocked()
+		}
+	case BreakerHalfOpen:
+		switch o {
+		case OutcomeNeutral:
+			// The probe said nothing; hand its token back.
+			if b.probes > 0 {
+				b.probes--
+			}
+		case OutcomeFailure:
+			b.toOpenLocked()
+		case OutcomeSuccess:
+			b.probeOK++
+			if b.probeOK >= b.cfg.Probes {
+				b.toClosedLocked()
+			}
+		}
+	case BreakerOpen:
+		// A straggler from before the open; the window restarts on the
+		// next half-open cycle, so late outcomes are ignored.
+	}
+}
+
+// ForceOpen trips the breaker immediately — the supervisor calls it
+// the moment a shard crashes, before any error rate could accumulate.
+func (b *Breaker) ForceOpen() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state != BreakerOpen {
+		b.toOpenLocked()
+	} else {
+		b.openedAt = b.now() // restart the cooldown
+	}
+}
+
+// ToHalfOpen moves an open breaker to HalfOpen with a fresh probe
+// budget — the supervisor calls it after a restart so traffic is
+// re-admitted by probes instead of waiting out the cooldown.
+func (b *Breaker) ToHalfOpen() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerOpen {
+		b.toHalfOpenLocked()
+	}
+}
+
+func (b *Breaker) toOpenLocked() {
+	b.state = BreakerOpen
+	b.openedAt = b.now()
+	b.probes, b.probeOK = 0, 0
+	b.opens.Add(1)
+}
+
+func (b *Breaker) toHalfOpenLocked() {
+	b.state = BreakerHalfOpen
+	b.probes, b.probeOK = 0, 0
+	b.halfOpens.Add(1)
+}
+
+func (b *Breaker) toClosedLocked() {
+	b.state = BreakerClosed
+	for i := range b.outcomes {
+		b.outcomes[i] = false
+	}
+	b.idx, b.filled, b.fails = 0, 0, 0
+	b.closes.Add(1)
+}
+
+// Eligible reports whether the breaker could admit traffic: closed or
+// half-open, or open with the cooldown elapsed (the next Allow performs
+// the half-open transition). Quorum accounting MUST use this rather
+// than State: if every breaker opened on error rate, a State-based
+// quorum pre-check would reject all requests before any Allow could
+// run, so no probe would ever fire and the pool could never recover.
+func (b *Breaker) Eligible() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed, BreakerHalfOpen:
+		return true
+	case BreakerOpen:
+		return b.now().Sub(b.openedAt) >= b.cfg.Cooldown
+	}
+	return false
+}
+
+// State returns the current position without performing transitions.
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Transitions returns the cumulative open / half-open / close
+// transition counts.
+func (b *Breaker) Transitions() (opens, halfOpens, closes int64) {
+	return b.opens.Load(), b.halfOpens.Load(), b.closes.Load()
+}

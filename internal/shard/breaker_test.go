@@ -1,0 +1,189 @@
+package shard
+
+import (
+	"testing"
+	"time"
+)
+
+// testBreaker returns a breaker with a deterministic, manually advanced
+// clock.
+func testBreaker(cfg BreakerConfig) (*Breaker, *time.Time) {
+	b := NewBreaker(cfg)
+	now := time.Unix(0, 0)
+	b.now = func() time.Time { return now }
+	return b, &now
+}
+
+func TestBreakerOpensOnErrorRate(t *testing.T) {
+	b, _ := testBreaker(BreakerConfig{Window: 10, Threshold: 0.5, MinSamples: 4})
+	// Three failures: below MinSamples, must stay closed.
+	for i := 0; i < 3; i++ {
+		if !b.Allow() {
+			t.Fatalf("closed breaker refused call %d", i)
+		}
+		b.Record(OutcomeFailure)
+	}
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("state before MinSamples = %v, want closed", got)
+	}
+	b.Record(OutcomeFailure) // 4/4 failures >= 0.5
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("state after threshold = %v, want open", got)
+	}
+	if b.Allow() {
+		t.Fatal("open breaker admitted a call inside cooldown")
+	}
+	opens, _, _ := b.Transitions()
+	if opens != 1 {
+		t.Fatalf("opens = %d, want 1", opens)
+	}
+}
+
+func TestBreakerNeutralOutcomesDoNotOpen(t *testing.T) {
+	b, _ := testBreaker(BreakerConfig{Window: 8, Threshold: 0.5, MinSamples: 4})
+	// Many client cancellations say nothing about shard health.
+	for i := 0; i < 50; i++ {
+		b.Allow()
+		b.Record(OutcomeNeutral)
+	}
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("state after neutrals = %v, want closed", got)
+	}
+}
+
+func TestBreakerHalfOpenProbesAndClose(t *testing.T) {
+	cool := 100 * time.Millisecond
+	b, now := testBreaker(BreakerConfig{Window: 8, Threshold: 0.5, MinSamples: 2, Cooldown: cool, Probes: 2})
+	b.ForceOpen()
+	if b.Allow() {
+		t.Fatal("admitted inside cooldown")
+	}
+	*now = now.Add(cool + time.Millisecond)
+	// Cooldown elapsed: exactly Probes calls are admitted.
+	if !b.Allow() || !b.Allow() {
+		t.Fatal("half-open breaker refused its probe budget")
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state = %v, want half-open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("admitted beyond the probe budget")
+	}
+	b.Record(OutcomeSuccess)
+	b.Record(OutcomeSuccess)
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("state after successful probes = %v, want closed", got)
+	}
+	opens, halfOpens, closes := b.Transitions()
+	if opens != 1 || halfOpens != 1 || closes != 1 {
+		t.Fatalf("transitions = (%d,%d,%d), want (1,1,1)", opens, halfOpens, closes)
+	}
+}
+
+func TestBreakerHalfOpenFailureReopens(t *testing.T) {
+	cool := 50 * time.Millisecond
+	b, now := testBreaker(BreakerConfig{Cooldown: cool, Probes: 3})
+	b.ForceOpen()
+	*now = now.Add(cool * 2)
+	if !b.Allow() {
+		t.Fatal("probe refused")
+	}
+	b.Record(OutcomeFailure)
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("state after probe failure = %v, want open", got)
+	}
+	if b.Allow() {
+		t.Fatal("reopened breaker admitted before a fresh cooldown")
+	}
+}
+
+func TestBreakerNeutralReturnsProbeToken(t *testing.T) {
+	cool := 50 * time.Millisecond
+	b, now := testBreaker(BreakerConfig{Cooldown: cool, Probes: 1})
+	b.ForceOpen()
+	*now = now.Add(cool * 2)
+	if !b.Allow() {
+		t.Fatal("probe refused")
+	}
+	if b.Allow() {
+		t.Fatal("second probe admitted with budget 1")
+	}
+	// The probe's client went away: its token must come back.
+	b.Record(OutcomeNeutral)
+	if !b.Allow() {
+		t.Fatal("token not returned after neutral probe outcome")
+	}
+	b.Record(OutcomeSuccess)
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("state = %v, want closed", got)
+	}
+}
+
+// TestBreakerEligibleAfterCooldown pins the quorum-recovery contract:
+// an open breaker becomes Eligible (counts toward quorum) the moment
+// its cooldown elapses, even though no Allow has performed the
+// half-open transition yet. Without this, a pool whose every breaker
+// opened on error rate would be rejected by the quorum pre-check
+// forever and no probe could ever run.
+func TestBreakerEligibleAfterCooldown(t *testing.T) {
+	b, clk := testBreaker(BreakerConfig{Window: 8, MinSamples: 2, Cooldown: 100 * time.Millisecond})
+	if !b.Eligible() {
+		t.Fatal("closed breaker must be eligible")
+	}
+	b.Record(OutcomeFailure)
+	b.Record(OutcomeFailure)
+	if b.State() != BreakerOpen {
+		t.Fatalf("state = %v, want open", b.State())
+	}
+	if b.Eligible() {
+		t.Fatal("freshly opened breaker must not be eligible")
+	}
+	*clk = clk.Add(100 * time.Millisecond)
+	if !b.Eligible() {
+		t.Fatal("cooldown elapsed: breaker must be eligible before any Allow")
+	}
+	if b.State() != BreakerOpen {
+		t.Fatal("Eligible must not itself transition state")
+	}
+	if !b.Allow() {
+		t.Fatal("first post-cooldown Allow must grant a probe")
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state = %v, want half-open", b.State())
+	}
+	if !b.Eligible() {
+		t.Fatal("half-open breaker must stay eligible while probing")
+	}
+}
+
+func TestBreakerSupervisorToHalfOpen(t *testing.T) {
+	b, _ := testBreaker(BreakerConfig{Cooldown: time.Hour, Probes: 1})
+	b.ForceOpen()
+	if b.Allow() {
+		t.Fatal("hour-long cooldown admitted a call")
+	}
+	// The supervisor finished a restart: probes flow immediately.
+	b.ToHalfOpen()
+	if !b.Allow() {
+		t.Fatal("half-open after restart refused its probe")
+	}
+	b.Record(OutcomeSuccess)
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("state = %v, want closed", got)
+	}
+}
+
+func TestBreakerWindowSlides(t *testing.T) {
+	b, _ := testBreaker(BreakerConfig{Window: 4, Threshold: 0.6, MinSamples: 4})
+	// 2 failures then enough successes to push them out of the window.
+	b.Record(OutcomeFailure)
+	b.Record(OutcomeFailure)
+	for i := 0; i < 4; i++ {
+		b.Record(OutcomeSuccess)
+	}
+	// Window is now all successes; one more failure is 1/4 < 0.6.
+	b.Record(OutcomeFailure)
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("state = %v, want closed (stale failures slid out)", got)
+	}
+}

@@ -1,0 +1,55 @@
+package shard
+
+import (
+	"sort"
+)
+
+// ring is a consistent-hash ring over node ids: each shard owns the
+// arc below each of its virtual points, and a node id hashes to the
+// first point at or clockwise-after it. Consistent hashing (rather
+// than node % N) keeps the partition stable if the shard count ever
+// becomes dynamic, and the virtual points smooth the load imbalance of
+// hashing a handful of shards directly.
+type ring struct {
+	points []ringPoint // sorted by hash
+}
+
+type ringPoint struct {
+	hash  uint64
+	shard int
+}
+
+// ringVnodes is the number of virtual points per shard.
+const ringVnodes = 64
+
+// splitmix64 is the finalizer-quality mixer used to place both
+// virtual points and node ids on the ring (same family as core's key
+// hash; any well-mixed 64-bit permutation works).
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+func newRing(shards int) *ring {
+	r := &ring{points: make([]ringPoint, 0, shards*ringVnodes)}
+	for s := 0; s < shards; s++ {
+		for v := 0; v < ringVnodes; v++ {
+			h := splitmix64(uint64(s)<<32 | uint64(v)<<1 | 1)
+			r.points = append(r.points, ringPoint{hash: h, shard: s})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].hash < r.points[j].hash })
+	return r
+}
+
+// Owner returns the shard a node id hashes to.
+func (r *ring) Owner(node int32) int {
+	h := splitmix64(uint64(uint32(node)))
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].shard
+}

@@ -1,0 +1,651 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tgopt/internal/batcher"
+	"tgopt/internal/checkpoint"
+	"tgopt/internal/core"
+	"tgopt/internal/graph"
+	"tgopt/internal/stats"
+	"tgopt/internal/tgat"
+)
+
+// ErrNoQuorum rejects a request when too few shards are healthy to
+// meet the configured quorum. The serving layer maps it to 503 with a
+// Retry-After hint.
+var ErrNoQuorum = errors.New("shard: healthy shards below quorum")
+
+// Config sizes the shard pool and its robustness envelope.
+type Config struct {
+	// Shards is the number of failure domains (>= 2; a single-engine
+	// deployment should use core.Engine directly).
+	Shards int
+	// Quorum is the minimum number of healthy shards required to accept
+	// a request at all (default 1 — availability-first: serve whatever
+	// can be served, degrade the rest).
+	Quorum int
+	// HedgeDelay enables hedged reads when > 0: if a primary leg has
+	// not answered after max(HedgeDelay, observed p99 of that shard's
+	// leg latency), the same group is speculatively sent to a fallback
+	// shard and the first success wins.
+	HedgeDelay time.Duration
+	// Breaker configures every shard's circuit breaker.
+	Breaker BreakerConfig
+	// Batch, when non-nil, gives every shard its own single-flight
+	// batcher with this config (targets always hash to the same
+	// primary, so dedup keeps working across requests in sharded mode).
+	Batch *batcher.Config
+	// SnapshotDir, when non-empty, is where per-shard cache snapshots
+	// (shard-N.tgc) and their edge-log positions (shard-N.pos) live.
+	SnapshotDir string
+	// FS overrides the snapshot file system (default checkpoint.OS);
+	// fault tests inject faultfs.FS.
+	FS checkpoint.FS
+	// WrapEmbedder, when non-nil, wraps each shard's engine before the
+	// batcher is attached — the chaos tests use it to inject panics
+	// into exactly one failure domain.
+	WrapEmbedder func(shard int, e core.Embedder) core.Embedder
+	// Logf receives supervisor events (crashes, restarts, snapshot
+	// problems). Optional.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Quorum <= 0 {
+		c.Quorum = 1
+	}
+	if c.Quorum > c.Shards {
+		c.Quorum = c.Shards
+	}
+	if c.FS == nil {
+		c.FS = checkpoint.OS{}
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// Result is one gathered embed response. Slab is len(nodes)×dim in
+// exact input order; rows listed in Degraded could not be computed
+// (their slab region is zero) and Partial is set.
+type Result struct {
+	Slab     []float32
+	Degraded []int
+	Partial  bool
+}
+
+// Router owns the shard pool: it scatters embed calls by ring owner,
+// gathers rows back in request order, replicates ingest to every live
+// shard through an append-only edge log, and supervises crashed shards
+// back to life.
+type Router struct {
+	model *tgat.Model
+	opt   core.Options // per-shard options (cache limits already divided)
+	cfg   Config
+	dim   int
+
+	numNodes int
+	lateness float64
+
+	ring   *ring
+	shards []*Shard
+
+	// ingestMu orders the edge log: every broadcast Apply and every
+	// restart's catch-up replay runs under it, so a rebuilt shard can
+	// never miss an edge.
+	ingestMu sync.Mutex
+	log      []graph.Edge
+
+	closed    atomic.Bool
+	restartWG sync.WaitGroup
+
+	hedges        atomic.Int64
+	hedgeWins     atomic.Int64
+	routedAround  atomic.Int64
+	degradedTgts  atomic.Int64
+	partials      atomic.Int64
+	quorumRejects atomic.Int64
+	divergence    atomic.Int64
+
+	snapshotSaves  atomic.Int64
+	snapshotErrors atomic.Int64
+	snapshotLoads  atomic.Int64
+}
+
+// NewRouter builds the shard pool. Every shard gets a full replica of
+// dyn's current edge stream (the router's edge log is seeded from it);
+// dyn itself stays untouched and should not be mutated afterwards —
+// stream new edges through Apply instead. opt is the engine option set
+// a single-engine deployment would use: per-shard cache capacities are
+// derived by dividing the configured limits by the shard count, so the
+// pool's total memo footprint matches the unsharded engine's.
+func NewRouter(model *tgat.Model, dyn *graph.Dynamic, opt core.Options, cfg Config) (*Router, error) {
+	if cfg.Shards < 2 {
+		return nil, fmt.Errorf("shard: need at least 2 shards, got %d", cfg.Shards)
+	}
+	cfg = cfg.withDefaults()
+	opt.TrackTargets = true
+	if opt.CacheLimit <= 0 {
+		opt.CacheLimit = 2_000_000 // engine default, divided below
+	}
+	opt.CacheLimit = maxInt(1, opt.CacheLimit/cfg.Shards)
+	if opt.CacheBudgetBytes > 0 {
+		opt.CacheBudgetBytes /= int64(cfg.Shards)
+	}
+	if opt.CacheSpillMaxBytes > 0 {
+		opt.CacheSpillMaxBytes /= int64(cfg.Shards)
+	}
+	r := &Router{
+		model:    model,
+		opt:      opt,
+		cfg:      cfg,
+		dim:      model.Cfg.NodeDim,
+		numNodes: dyn.NumNodes(),
+		lateness: dyn.Lateness(),
+		ring:     newRing(cfg.Shards),
+		log:      append([]graph.Edge(nil), dyn.Edges()...),
+	}
+	if cfg.SnapshotDir != "" {
+		if err := cfg.FS.MkdirAll(cfg.SnapshotDir, 0o755); err != nil {
+			return nil, fmt.Errorf("shard: snapshot dir: %w", err)
+		}
+	}
+	for i := 0; i < cfg.Shards; i++ {
+		c, err := r.buildCore(i, r.log)
+		if err != nil {
+			r.Close()
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		s := &Shard{id: i, r: r, core: c, breaker: NewBreaker(cfg.Breaker), lat: stats.NewHistogram()}
+		r.shards = append(r.shards, s)
+	}
+	return r, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// buildCore constructs one shard's replica + engine + batcher from a
+// prefix of the edge log. Engine construction panics (bad spill dir,
+// …) are converted to errors so a failed rebuild cannot take the
+// supervisor down with it.
+func (r *Router) buildCore(id int, prefix []graph.Edge) (c *shardCore, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			c, err = nil, fmt.Errorf("shard: core build panicked: %v", rec)
+		}
+	}()
+	dyn := graph.NewDynamic(r.numNodes)
+	if r.lateness > 0 {
+		dyn.SetLateness(r.lateness)
+	}
+	for _, e := range prefix {
+		if _, _, ierr := dyn.Ingest(e); ierr != nil {
+			return nil, fmt.Errorf("shard: replica replay: %w", ierr)
+		}
+	}
+	opt := r.opt
+	if opt.CacheSpillDir != "" {
+		opt.CacheSpillDir = filepath.Join(opt.CacheSpillDir, fmt.Sprintf("shard-%d", id))
+	}
+	sampler := graph.NewDynamicSampler(dyn, r.model.Cfg.NumNeighbors, graph.MostRecent, 0)
+	eng := core.NewEngine(r.model, sampler, opt)
+	emb := core.Embedder(eng)
+	if r.cfg.WrapEmbedder != nil {
+		emb = r.cfg.WrapEmbedder(id, emb)
+	}
+	sc := &shardCore{dyn: dyn, eng: eng, emb: emb}
+	if r.cfg.Batch != nil {
+		sc.bat = batcher.New(emb, r.dim, *r.cfg.Batch)
+		eng.SetInvalidationHook(func(u, v int32, t float64) {
+			sc.bat.RetireTargets([]int32{u, v}, t)
+		})
+	}
+	return sc, nil
+}
+
+// Dim returns the embedding width of gathered rows.
+func (r *Router) Dim() int { return r.dim }
+
+// Shards returns the pool size.
+func (r *Router) Shards() int { return len(r.shards) }
+
+// Quorum returns the healthy-shard count required to accept requests.
+func (r *Router) Quorum() int { return r.cfg.Quorum }
+
+// Owner returns the primary shard for a node id (exposed for tests and
+// introspection).
+func (r *Router) Owner(node int32) int { return r.ring.Owner(node) }
+
+// HealthyShards counts shards currently eligible for quorum.
+func (r *Router) HealthyShards() int {
+	n := 0
+	for _, s := range r.shards {
+		if s.Healthy() {
+			n++
+		}
+	}
+	return n
+}
+
+// Embed scatters (nodes, ts) across the pool by ring owner and gathers
+// the rows back in exact input order. Shard failures degrade the
+// affected rows (Result.Degraded, zero-filled slab regions) instead of
+// failing the request; only a below-quorum pool (ErrNoQuorum) or the
+// caller's own context expiring fail the whole call.
+func (r *Router) Embed(ctx context.Context, nodes []int32, ts []float64) (*Result, error) {
+	if len(nodes) != len(ts) {
+		return nil, fmt.Errorf("shard: %d nodes vs %d times", len(nodes), len(ts))
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if h := r.HealthyShards(); h < r.cfg.Quorum {
+		r.quorumRejects.Add(1)
+		return nil, fmt.Errorf("%w: %d healthy of %d, quorum %d", ErrNoQuorum, h, len(r.shards), r.cfg.Quorum)
+	}
+	res := &Result{Slab: make([]float32, len(nodes)*r.dim)}
+	if len(nodes) == 0 {
+		return res, nil
+	}
+
+	// Group target indices by primary shard.
+	groups := make(map[int][]int)
+	for i, v := range nodes {
+		sid := r.ring.Owner(v)
+		groups[sid] = append(groups[sid], i)
+	}
+
+	var (
+		mu       sync.Mutex
+		degraded []int
+		wg       sync.WaitGroup
+	)
+	for sid, idxs := range groups {
+		wg.Add(1)
+		go func(sid int, idxs []int) {
+			defer wg.Done()
+			gn := make([]int32, len(idxs))
+			gt := make([]float64, len(idxs))
+			for j, i := range idxs {
+				gn[j], gt[j] = nodes[i], ts[i]
+			}
+			legCtx, cancel := r.legContext(ctx)
+			defer cancel()
+			rows, err := r.callWithFailover(legCtx, sid, gn, gt)
+			if err != nil {
+				r.degradedTgts.Add(int64(len(idxs)))
+				mu.Lock()
+				degraded = append(degraded, idxs...)
+				mu.Unlock()
+				return
+			}
+			d := r.dim
+			for j, i := range idxs {
+				copy(res.Slab[i*d:(i+1)*d], rows[j*d:(j+1)*d])
+			}
+		}(sid, idxs)
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		// The caller's own deadline/cancel expired; partials would be
+		// misleading (legs were cut short, not shards unhealthy).
+		return nil, err
+	}
+	if len(degraded) > 0 {
+		sort.Ints(degraded)
+		res.Degraded = degraded
+		res.Partial = true
+		r.partials.Add(1)
+	}
+	return res, nil
+}
+
+// legContext budgets one scatter leg at 90% of the caller's remaining
+// deadline, reserving headroom to gather and respond (and to classify
+// a slow shard as degraded rather than blowing the whole request).
+func (r *Router) legContext(ctx context.Context) (context.Context, context.CancelFunc) {
+	dl, ok := ctx.Deadline()
+	if !ok {
+		return context.WithCancel(ctx)
+	}
+	rem := time.Until(dl)
+	return context.WithDeadline(ctx, time.Now().Add(rem*9/10))
+}
+
+// callWithFailover runs one group on its primary shard, hedging and
+// failing over to the next admitting shard per config. Any shard can
+// serve any group because every replica holds the full stream.
+func (r *Router) callWithFailover(ctx context.Context, primary int, gn []int32, gt []float64) ([]float32, error) {
+	p := r.shards[primary]
+	if !p.Admit() {
+		// Breaker open or shard torn down: route around it.
+		r.routedAround.Add(1)
+		if fb := r.admitFallback(primary); fb != nil {
+			return fb.call(ctx, gn, gt)
+		}
+		return nil, ErrShardDown
+	}
+	if r.cfg.HedgeDelay > 0 {
+		return r.hedged(ctx, primary, gn, gt)
+	}
+	rows, err := p.call(ctx, gn, gt)
+	if err == nil {
+		return rows, nil
+	}
+	if ctx.Err() != nil {
+		// No budget left to retry elsewhere.
+		return nil, err
+	}
+	if fb := r.admitFallback(primary); fb != nil {
+		return fb.call(ctx, gn, gt)
+	}
+	return nil, err
+}
+
+// admitFallback finds the next shard after primary whose breaker admits
+// a call. A non-nil return has consumed its admission (half-open probe
+// token), so the caller must issue exactly one call on it.
+func (r *Router) admitFallback(primary int) *Shard {
+	n := len(r.shards)
+	for k := 1; k < n; k++ {
+		s := r.shards[(primary+k)%n]
+		if s.Admit() {
+			return s
+		}
+	}
+	return nil
+}
+
+// hedgeDelayFor derives the effective hedge delay for a shard: the
+// configured floor, raised to the shard's observed p99 leg latency so
+// hedges fire on genuine stragglers rather than on every call.
+func (r *Router) hedgeDelayFor(s *Shard) time.Duration {
+	d := r.cfg.HedgeDelay
+	if p99 := s.lat.Quantile(0.99); p99 > d {
+		d = p99
+	}
+	return d
+}
+
+// hedged runs the primary leg and, after the hedge delay (or an early
+// primary failure), a fallback leg; the first success wins and the
+// loser is canceled.
+func (r *Router) hedged(ctx context.Context, primary int, gn []int32, gt []float64) ([]float32, error) {
+	p := r.shards[primary]
+	type legResult struct {
+		rows  []float32
+		err   error
+		hedge bool
+	}
+	legCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	ch := make(chan legResult, 2)
+	go func() {
+		rows, err := p.call(legCtx, gn, gt)
+		ch <- legResult{rows, err, false}
+	}()
+	outstanding := 1
+	hedgeFired := false
+	launchHedge := func(speculative bool) {
+		hedgeFired = true
+		fb := r.admitFallback(primary)
+		if fb == nil {
+			return
+		}
+		if speculative {
+			r.hedges.Add(1)
+		}
+		outstanding++
+		go func() {
+			rows, err := fb.call(legCtx, gn, gt)
+			ch <- legResult{rows, err, true}
+		}()
+	}
+	timer := time.NewTimer(r.hedgeDelayFor(p))
+	defer timer.Stop()
+	var firstErr error
+	for {
+		select {
+		case res := <-ch:
+			if res.err == nil {
+				if res.hedge {
+					r.hedgeWins.Add(1)
+				}
+				return res.rows, nil
+			}
+			if firstErr == nil {
+				firstErr = res.err
+			}
+			outstanding--
+			if !hedgeFired && ctx.Err() == nil {
+				launchHedge(false) // primary failed outright: plain failover
+			}
+			if outstanding == 0 {
+				return nil, firstErr
+			}
+		case <-timer.C:
+			if !hedgeFired {
+				launchHedge(true)
+			}
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// Apply replicates one accepted edge to every live shard and returns
+// the summed count of memo entries selectively invalidated across the
+// pool. want is the ingest outcome the authoritative graph reported;
+// a replica disagreeing is counted as divergence (a tripwire, not a
+// failure — the replica's own decision stands for its caches).
+// Crashed shards are skipped; they catch up from the edge log when the
+// supervisor rebuilds them.
+func (r *Router) Apply(e graph.Edge, want graph.IngestResult) (invalidated int) {
+	r.ingestMu.Lock()
+	defer r.ingestMu.Unlock()
+	r.log = append(r.log, e)
+	for _, s := range r.shards {
+		if s.crashed.Load() {
+			continue
+		}
+		c := s.currentCore()
+		if c == nil {
+			continue
+		}
+		invalidated += applyToCore(c, e, want, &r.divergence)
+	}
+	return invalidated
+}
+
+// applyToCore ingests one edge into a replica and runs the matching
+// cache invalidation, counting divergence from the authoritative
+// outcome.
+func applyToCore(c *shardCore, e graph.Edge, want graph.IngestResult, divergence *atomic.Int64) int {
+	res, _, err := c.dyn.Ingest(e)
+	if err != nil {
+		if divergence != nil {
+			divergence.Add(1)
+		}
+		return 0
+	}
+	if divergence != nil && res != want {
+		divergence.Add(1)
+	}
+	switch res {
+	case graph.IngestAppended:
+		return c.eng.InvalidateAppend(e.Src, e.Dst, e.Time)
+	case graph.IngestLate:
+		return c.eng.InvalidateLateEdge(e.Src, e.Dst, e.Time)
+	}
+	return 0
+}
+
+// RouterStats is the router-level health snapshot for /v1/stats.
+type RouterStats struct {
+	Shards  []Status `json:"shards"`
+	Healthy int      `json:"healthy"`
+	Quorum  int      `json:"quorum"`
+
+	Hedges           int64 `json:"hedges"`
+	HedgeWins        int64 `json:"hedge_wins"`
+	RoutedAround     int64 `json:"routed_around"`
+	DegradedTargets  int64 `json:"degraded_targets"`
+	PartialResponses int64 `json:"partial_responses"`
+	QuorumRejects    int64 `json:"quorum_rejects"`
+	Divergence       int64 `json:"replica_divergence"`
+
+	SnapshotSaves  int64 `json:"snapshot_saves"`
+	SnapshotErrors int64 `json:"snapshot_errors"`
+	SnapshotLoads  int64 `json:"snapshot_loads"`
+
+	Batching *batcher.Snapshot `json:"batching,omitempty"`
+}
+
+// Stats snapshots per-shard and router-level health.
+func (r *Router) Stats() RouterStats {
+	st := RouterStats{
+		Healthy:          r.HealthyShards(),
+		Quorum:           r.cfg.Quorum,
+		Hedges:           r.hedges.Load(),
+		HedgeWins:        r.hedgeWins.Load(),
+		RoutedAround:     r.routedAround.Load(),
+		DegradedTargets:  r.degradedTgts.Load(),
+		PartialResponses: r.partials.Load(),
+		QuorumRejects:    r.quorumRejects.Load(),
+		Divergence:       r.divergence.Load(),
+		SnapshotSaves:    r.snapshotSaves.Load(),
+		SnapshotErrors:   r.snapshotErrors.Load(),
+		SnapshotLoads:    r.snapshotLoads.Load(),
+	}
+	for _, s := range r.shards {
+		st.Shards = append(st.Shards, s.status())
+	}
+	if r.cfg.Batch != nil {
+		agg := &batcher.Snapshot{}
+		for _, s := range r.shards {
+			c := s.currentCore()
+			if c == nil || c.bat == nil {
+				continue
+			}
+			b := c.bat.Stats()
+			agg.Enqueued += b.Enqueued
+			agg.Coalesced += b.Coalesced
+			agg.Batches += b.Batches
+			agg.FlushSize += b.FlushSize
+			agg.FlushWindow += b.FlushWindow
+			agg.FlushIdle += b.FlushIdle
+			agg.FlushDrain += b.FlushDrain
+			agg.Panics += b.Panics
+			agg.RetireCalls += b.RetireCalls
+			agg.Retired += b.Retired
+		}
+		st.Batching = agg
+	}
+	return st
+}
+
+// Engines returns the live shards' engines (crashed shards omitted) —
+// the serving layer aggregates stage-latency histograms across them.
+func (r *Router) Engines() []*core.Engine {
+	out := make([]*core.Engine, 0, len(r.shards))
+	for _, s := range r.shards {
+		if c := s.currentCore(); c != nil {
+			out = append(out, c.eng)
+		}
+	}
+	return out
+}
+
+// CacheLen sums live memo entries across the pool.
+func (r *Router) CacheLen() int {
+	n := 0
+	for _, s := range r.shards {
+		if c := s.currentCore(); c != nil {
+			n += c.eng.CacheLen()
+		}
+	}
+	return n
+}
+
+// CacheBytes sums resident memo bytes across the pool.
+func (r *Router) CacheBytes() int64 {
+	var n int64
+	for _, s := range r.shards {
+		if c := s.currentCore(); c != nil {
+			n += c.eng.CacheBytes()
+		}
+	}
+	return n
+}
+
+// CacheStats sums the tiered-cache counters across the pool.
+func (r *Router) CacheStats() core.CacheStats {
+	var agg core.CacheStats
+	for _, s := range r.shards {
+		c := s.currentCore()
+		if c == nil {
+			continue
+		}
+		cs := c.eng.CacheStats()
+		agg.Lookups += cs.Lookups
+		agg.Hits += cs.Hits
+		agg.Misses += cs.Misses
+		agg.SpillHits += cs.SpillHits
+		agg.Promotes += cs.Promotes
+		agg.PromoteDrops += cs.PromoteDrops
+		agg.AdmitRejected += cs.AdmitRejected
+		agg.Spill.Entries += cs.Spill.Entries
+		agg.Spill.Segments += cs.Spill.Segments
+		agg.Spill.Bytes += cs.Spill.Bytes
+		agg.Spill.Hits += cs.Spill.Hits
+		agg.Spill.Puts += cs.Spill.Puts
+		agg.Spill.SealErrors += cs.Spill.SealErrors
+		agg.Spill.CorruptRecords += cs.Spill.CorruptRecords
+		agg.Spill.CorruptSegments += cs.Spill.CorruptSegments
+		agg.Spill.DroppedSegments += cs.Spill.DroppedSegments
+		agg.Spill.Compactions += cs.Spill.Compactions
+	}
+	return agg
+}
+
+// StaleStoreSkips sums the append-staleness store rejections across the
+// pool.
+func (r *Router) StaleStoreSkips() int64 {
+	var n int64
+	for _, s := range r.shards {
+		if c := s.currentCore(); c != nil {
+			n += c.eng.StaleStoreSkips()
+		}
+	}
+	return n
+}
+
+// Close tears the pool down: waits out in-flight restarts, then closes
+// every engine. Safe to call more than once.
+func (r *Router) Close() error {
+	r.closed.Store(true)
+	r.restartWG.Wait()
+	var first error
+	for _, s := range r.shards {
+		if c := s.swapCore(nil); c != nil {
+			if err := c.close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
+}

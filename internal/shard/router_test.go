@@ -1,0 +1,453 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tgopt/internal/batcher"
+	"tgopt/internal/core"
+	"tgopt/internal/graph"
+	"tgopt/internal/tensor"
+	"tgopt/internal/tgat"
+)
+
+const (
+	testNodes = 24
+	testDim   = 16
+)
+
+// testModel builds the deterministic small model shared by every shard
+// test (same shape as the serve package's fixture).
+func testModel(t *testing.T) *tgat.Model {
+	t.Helper()
+	const maxEdges = 4096
+	r := tensor.NewRNG(1)
+	nodeFeat := tensor.Randn(r, testNodes+1, testDim)
+	edgeFeat := tensor.Randn(r, maxEdges+1, testDim)
+	for j := 0; j < testDim; j++ {
+		nodeFeat.Set(0, 0, j)
+		edgeFeat.Set(0, 0, j)
+	}
+	cfg := tgat.Config{Layers: 2, Heads: 2, NodeDim: testDim, EdgeDim: testDim, TimeDim: testDim, NumNeighbors: 4, Seed: 2}
+	m, err := tgat.NewModel(cfg, nodeFeat, edgeFeat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// testEdges is a deterministic chronological workload.
+func testEdges(n int) []graph.Edge {
+	rng := rand.New(rand.NewSource(7))
+	edges := make([]graph.Edge, 0, n)
+	for i := 0; i < n; i++ {
+		edges = append(edges, graph.Edge{
+			Src:  int32(1 + rng.Intn(testNodes-1)),
+			Dst:  int32(1 + rng.Intn(testNodes-1)),
+			Time: float64(10 * (i + 1)),
+		})
+	}
+	return edges
+}
+
+// seededDynamic returns a dynamic graph pre-loaded with edges.
+func seededDynamic(t *testing.T, edges []graph.Edge) *graph.Dynamic {
+	t.Helper()
+	dyn := graph.NewDynamic(testNodes)
+	for _, e := range edges {
+		if _, _, err := dyn.Ingest(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dyn
+}
+
+// referenceSlab computes the ground-truth embedding slab on a plain
+// unsharded engine over the same stream.
+func referenceSlab(t *testing.T, m *tgat.Model, edges []graph.Edge, nodes []int32, ts []float64) []float32 {
+	t.Helper()
+	dyn := seededDynamic(t, edges)
+	sampler := graph.NewDynamicSampler(dyn, m.Cfg.NumNeighbors, graph.MostRecent, 0)
+	eng := core.NewEngine(m, sampler, core.OptAll())
+	defer eng.Close()
+	h := eng.Embed(nodes, ts)
+	out := make([]float32, len(nodes)*m.Cfg.NodeDim)
+	copy(out, h.Data()[:len(out)])
+	return out
+}
+
+func newTestRouter(t *testing.T, m *tgat.Model, edges []graph.Edge, cfg Config) *Router {
+	t.Helper()
+	if cfg.Shards == 0 {
+		cfg.Shards = 4
+	}
+	r, err := NewRouter(m, seededDynamic(t, edges), core.OptAll(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { r.Close() })
+	return r
+}
+
+// embedQuery is a mixed query batch with duplicates and repeated nodes
+// at different times, exercising gather ordering.
+func embedQuery() ([]int32, []float64) {
+	nodes := []int32{1, 5, 3, 1, 9, 12, 5, 1, 17, 3, 20, 7}
+	ts := make([]float64, len(nodes))
+	for i := range ts {
+		ts[i] = 1000
+	}
+	// Two targets at a distinct time: same node, different memo key.
+	ts[3] = 900
+	ts[7] = 900
+	return nodes, ts
+}
+
+// TestRouterMatchesUnshardedBitwise pins the core contract: a scatter-
+// gathered embed equals a single-engine embed bit for bit, rows in
+// exact input order, duplicates included.
+func TestRouterMatchesUnshardedBitwise(t *testing.T) {
+	m := testModel(t)
+	edges := testEdges(60)
+	nodes, ts := embedQuery()
+	want := referenceSlab(t, m, edges, nodes, ts)
+
+	for _, shards := range []int{2, 4, 7} {
+		r := newTestRouter(t, m, edges, Config{Shards: shards})
+		res, err := r.Embed(context.Background(), nodes, ts)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		if res.Partial || len(res.Degraded) != 0 {
+			t.Fatalf("shards=%d: unexpected degradation %v", shards, res.Degraded)
+		}
+		for i := range want {
+			if res.Slab[i] != want[i] {
+				t.Fatalf("shards=%d: slab[%d] = %v, want %v (not bitwise identical)", shards, i, res.Slab[i], want[i])
+			}
+		}
+	}
+}
+
+// TestRouterBatchedMatchesUnsharded repeats the bitwise check with
+// per-shard batchers enabled and concurrent requests, and checks the
+// aggregated batcher stats show cross-request single-flight dedup.
+func TestRouterBatchedMatchesUnsharded(t *testing.T) {
+	m := testModel(t)
+	edges := testEdges(60)
+	nodes, ts := embedQuery()
+	want := referenceSlab(t, m, edges, nodes, ts)
+
+	r := newTestRouter(t, m, edges, Config{
+		Shards: 4,
+		Batch:  &batcher.Config{Window: 2 * time.Millisecond, MaxBatch: 64},
+	})
+
+	const reqs = 16
+	errs := make(chan error, reqs)
+	for i := 0; i < reqs; i++ {
+		go func() {
+			res, err := r.Embed(context.Background(), nodes, ts)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if res.Partial {
+				errs <- errors.New("unexpected partial")
+				return
+			}
+			for i := range want {
+				if res.Slab[i] != want[i] {
+					errs <- fmt.Errorf("slab[%d] = %v, want %v", i, res.Slab[i], want[i])
+					return
+				}
+			}
+			errs <- nil
+		}()
+	}
+	for i := 0; i < reqs; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := r.Stats()
+	if st.Batching == nil {
+		t.Fatal("batching stats missing")
+	}
+	if st.Batching.Coalesced == 0 {
+		t.Error("16 identical concurrent requests coalesced nothing; single-flight dedup not effective across shards")
+	}
+}
+
+// TestRouterIngestInvalidatesReplicas pins that Apply keeps every
+// replica's caches exact: embeddings after a broadcast append match a
+// reference engine that saw the same stream.
+func TestRouterIngestInvalidatesReplicas(t *testing.T) {
+	m := testModel(t)
+	edges := testEdges(40)
+	r := newTestRouter(t, m, edges, Config{Shards: 3})
+
+	nodes, ts := embedQuery()
+	if _, err := r.Embed(context.Background(), nodes, ts); err != nil {
+		t.Fatal(err) // warm the memo caches so invalidation has work
+	}
+
+	// Append edges that land inside the queried windows.
+	extra := []graph.Edge{
+		{Src: 1, Dst: 5, Time: 850},
+		{Src: 3, Dst: 9, Time: 950},
+	}
+	for _, e := range extra {
+		r.Apply(e, graph.IngestAppended)
+	}
+	all := append(append([]graph.Edge(nil), edges...), extra...)
+	want := referenceSlab(t, m, all, nodes, ts)
+	res, err := r.Embed(context.Background(), nodes, ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if res.Slab[i] != want[i] {
+			t.Fatalf("post-ingest slab[%d] = %v, want %v", i, res.Slab[i], want[i])
+		}
+	}
+	if d := r.Stats().Divergence; d != 0 {
+		t.Fatalf("replica divergence = %d, want 0", d)
+	}
+}
+
+// panicEmbedder wraps a shard's engine and panics while armed.
+type panicEmbedder struct {
+	core.Embedder
+	armed func() bool
+}
+
+func (p *panicEmbedder) EmbedWith(ar *tensor.Arena, nodes []int32, ts []float64) *tensor.Tensor {
+	if p.armed() {
+		panic("injected shard fault")
+	}
+	return p.Embedder.EmbedWith(ar, nodes, ts)
+}
+
+// TestRouterDegradedPartial pins the partial-response contract: with
+// fallbacks also broken, a dead primary degrades exactly its own rows
+// and leaves every other row bitwise intact.
+func TestRouterDegradedPartial(t *testing.T) {
+	m := testModel(t)
+	edges := testEdges(60)
+	nodes, ts := embedQuery()
+	want := referenceSlab(t, m, edges, nodes, ts)
+
+	// Every shard faulty: any leg (primary or fallback) panics while
+	// armed, so the affected group degrades rather than failing over.
+	var armed atomic.Bool
+	r := newTestRouter(t, m, edges, Config{
+		Shards: 4,
+		WrapEmbedder: func(id int, e core.Embedder) core.Embedder {
+			return &panicEmbedder{Embedder: e, armed: armed.Load}
+		},
+	})
+
+	badShard := r.Owner(nodes[0])
+	var badRows, goodRows []int
+	for i, v := range nodes {
+		if r.Owner(v) == badShard {
+			badRows = append(badRows, i)
+		} else {
+			goodRows = append(goodRows, i)
+		}
+	}
+	if len(goodRows) == 0 {
+		t.Fatal("fixture has no rows outside the faulty shard")
+	}
+
+	armed.Store(true)
+	res, err := r.Embed(context.Background(), nodes, ts)
+	armed.Store(false)
+	if err != nil {
+		t.Fatalf("degraded request must not fail whole: %v", err)
+	}
+	if !res.Partial {
+		t.Fatal("expected a partial response")
+	}
+	degraded := map[int]bool{}
+	for _, i := range res.Degraded {
+		degraded[i] = true
+	}
+	for _, i := range badRows {
+		if !degraded[i] {
+			t.Fatalf("row %d (shard %d) should be degraded; got %v", i, badShard, res.Degraded)
+		}
+	}
+	d := r.Dim()
+	for _, i := range goodRows {
+		if degraded[i] {
+			continue // its shard may have been tried as a fallback and failed too
+		}
+		for j := 0; j < d; j++ {
+			if res.Slab[i*d+j] != want[i*d+j] {
+				t.Fatalf("non-degraded row %d differs from reference at %d", i, j)
+			}
+		}
+	}
+	if st := r.Stats(); st.PartialResponses == 0 || st.DegradedTargets == 0 {
+		t.Fatalf("partial counters not recorded: %+v", st)
+	}
+}
+
+// TestRouterQuorum pins ErrNoQuorum: with quorum = shards and one
+// breaker forced open, requests are rejected outright.
+func TestRouterQuorum(t *testing.T) {
+	m := testModel(t)
+	edges := testEdges(30)
+	r := newTestRouter(t, m, edges, Config{Shards: 2, Quorum: 2})
+
+	nodes, ts := embedQuery()
+	if _, err := r.Embed(context.Background(), nodes, ts); err != nil {
+		t.Fatal(err)
+	}
+	r.shards[0].breaker.ForceOpen()
+	_, err := r.Embed(context.Background(), nodes, ts)
+	if !errors.Is(err, ErrNoQuorum) {
+		t.Fatalf("err = %v, want ErrNoQuorum", err)
+	}
+	if r.Stats().QuorumRejects == 0 {
+		t.Fatal("quorum rejection not counted")
+	}
+}
+
+// slowEmbedder stalls while armed — for hedging and deadline tests.
+type slowEmbedder struct {
+	core.Embedder
+	delay func() time.Duration
+}
+
+func (s *slowEmbedder) EmbedWith(ar *tensor.Arena, nodes []int32, ts []float64) *tensor.Tensor {
+	if d := s.delay(); d > 0 {
+		time.Sleep(d)
+	}
+	return s.Embedder.EmbedWith(ar, nodes, ts)
+}
+
+// TestRouterHedgedRead pins hedging: a stalled primary is beaten by a
+// hedge to a healthy replica, the result is still bitwise correct, and
+// the hedge counters move.
+func TestRouterHedgedRead(t *testing.T) {
+	m := testModel(t)
+	edges := testEdges(60)
+	nodes, ts := embedQuery()
+	want := referenceSlab(t, m, edges, nodes, ts)
+
+	slowShard := -1
+	r := newTestRouter(t, m, edges, Config{
+		Shards:     3,
+		HedgeDelay: 5 * time.Millisecond,
+		WrapEmbedder: func(id int, e core.Embedder) core.Embedder {
+			return &slowEmbedder{Embedder: e, delay: func() time.Duration {
+				if id == slowShard {
+					return 300 * time.Millisecond
+				}
+				return 0
+			}}
+		},
+	})
+	slowShard = r.Owner(nodes[0])
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	start := time.Now()
+	res, err := r.Embed(ctx, nodes, ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Partial {
+		t.Fatalf("hedge should have rescued the slow group, got degraded %v", res.Degraded)
+	}
+	if elapsed := time.Since(start); elapsed > 250*time.Millisecond {
+		t.Fatalf("hedge did not beat the stalled primary (%v)", elapsed)
+	}
+	for i := range want {
+		if res.Slab[i] != want[i] {
+			t.Fatalf("hedged slab[%d] differs from reference", i)
+		}
+	}
+	st := r.Stats()
+	if st.Hedges == 0 || st.HedgeWins == 0 {
+		t.Fatalf("hedge counters = (%d wins %d), want both > 0", st.Hedges, st.HedgeWins)
+	}
+}
+
+// TestRouterSnapshotRoundTrip pins warm restarts: snapshots saved with
+// their log position reload into a fresh router and serve bitwise-
+// identical rows, with stale entries invalidated via the log delta.
+func TestRouterSnapshotRoundTrip(t *testing.T) {
+	m := testModel(t)
+	edges := testEdges(40)
+	nodes, ts := embedQuery()
+	dir := t.TempDir()
+
+	r1 := newTestRouter(t, m, edges, Config{Shards: 3, SnapshotDir: dir})
+	if _, err := r1.Embed(context.Background(), nodes, ts); err != nil {
+		t.Fatal(err)
+	}
+	if err := r1.SaveSnapshots(); err != nil {
+		t.Fatal(err)
+	}
+	if r1.CacheLen() == 0 {
+		t.Fatal("fixture produced no cached entries")
+	}
+
+	// A new router over the same stream plus two newer edges: the
+	// snapshot predates them, so WarmStart must replay invalidation.
+	extra := []graph.Edge{{Src: 1, Dst: 5, Time: 850}, {Src: 3, Dst: 9, Time: 950}}
+	all := append(append([]graph.Edge(nil), edges...), extra...)
+	r2 := newTestRouter(t, m, all, Config{Shards: 3, SnapshotDir: dir})
+	if warmed := r2.WarmStart(); warmed != 3 {
+		t.Fatalf("warmed %d shards, want 3", warmed)
+	}
+	want := referenceSlab(t, m, all, nodes, ts)
+	res, err := r2.Embed(context.Background(), nodes, ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if res.Slab[i] != want[i] {
+			t.Fatalf("warm-started slab[%d] = %v, want %v", i, res.Slab[i], want[i])
+		}
+	}
+}
+
+// TestRouterDeadlineNeverHangs pins the no-hang guarantee: with every
+// shard stalled well past the deadline, Embed returns by the deadline
+// (plus scheduling slack), not when the shards do.
+func TestRouterDeadlineNeverHangs(t *testing.T) {
+	m := testModel(t)
+	edges := testEdges(30)
+	r := newTestRouter(t, m, edges, Config{
+		Shards: 2,
+		WrapEmbedder: func(id int, e core.Embedder) core.Embedder {
+			return &slowEmbedder{Embedder: e, delay: func() time.Duration { return 2 * time.Second }}
+		},
+	})
+	nodes, ts := embedQuery()
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	res, err := r.Embed(ctx, nodes, ts)
+	elapsed := time.Since(start)
+	if elapsed > time.Second {
+		t.Fatalf("Embed hung %v past a 100ms deadline", elapsed)
+	}
+	// Legs time out at 90% of the budget, so the request either
+	// degrades every row or (if the caller's own deadline won the
+	// race) fails with a context error — it never blocks on the
+	// stalled shards.
+	if err == nil && !res.Partial {
+		t.Fatal("stalled shards produced a clean full response")
+	}
+}

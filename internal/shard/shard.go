@@ -1,0 +1,259 @@
+// Package shard partitions a TGOpt serving engine into N independent
+// failure domains. Each shard owns a complete replica of the edge
+// stream (a private graph.Dynamic), its own engine with private memo
+// caches and arena pool, and — when batching is enabled — its own
+// single-flight batcher. Compute and memo state are partitioned by a
+// consistent hash over node ids; storage is deliberately replicated,
+// which is what lets any shard compute any target bitwise-identically
+// and makes fallback and hedged reads sound.
+//
+// A Router scatter-gathers embed calls across the shards under a
+// robustness envelope: per-shard deadline budgets, a rolling-error-rate
+// circuit breaker per shard, optional hedged reads after a p99-derived
+// delay, and degraded partial responses when a shard cannot answer. A
+// supervisor rebuilds a crashed shard from its last cache snapshot plus
+// the router's edge log while the breaker routes traffic around it.
+// See DESIGN.md §13.
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tgopt/internal/batcher"
+	"tgopt/internal/core"
+	"tgopt/internal/graph"
+	"tgopt/internal/stats"
+	"tgopt/internal/tensor"
+)
+
+// errShardPanic wraps a panic recovered on a shard's direct (unbatched)
+// compute path. The batched path surfaces batcher.ErrPassPanicked
+// instead; isPanic recognizes both.
+var errShardPanic = errors.New("shard: engine pass panicked")
+
+// ErrShardDown is returned for calls that reach a shard whose core has
+// been torn down for restart.
+var ErrShardDown = errors.New("shard: shard is down for restart")
+
+// isPanic reports whether err means the shard's engine panicked (on
+// either the direct or the batched path) — the signal that tears the
+// shard down and triggers a supervisor restart.
+func isPanic(err error) bool {
+	return errors.Is(err, errShardPanic) || errors.Is(err, batcher.ErrPassPanicked)
+}
+
+// shardCore is the replaceable heart of a shard: the edge-stream
+// replica, the engine over it, and the optional batcher. A crash
+// discards the whole core (a panic may have poisoned its locks) and the
+// supervisor swaps in a freshly built one.
+type shardCore struct {
+	dyn *graph.Dynamic
+	eng *core.Engine
+	emb core.Embedder // eng, possibly wrapped by Config.WrapEmbedder
+	bat *batcher.Batcher
+}
+
+// close releases the core's engine resources. A crashed core may be in
+// an arbitrary state, so the close is panic-protected.
+func (c *shardCore) close() (err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			err = fmt.Errorf("shard: core close panicked: %v", rec)
+		}
+	}()
+	return c.eng.Close()
+}
+
+// Shard is one failure domain: a core plus the health machinery the
+// router consults (breaker, latency histogram, crash flags).
+type Shard struct {
+	id int
+	r  *Router
+
+	// coreMu guards the core pointer swap on restart; calls hold RLock
+	// only long enough to copy the pointer, never across compute.
+	coreMu sync.RWMutex
+	core   *shardCore
+
+	breaker *Breaker
+	lat     *stats.Histogram // per-leg latency, feeds the hedge delay
+
+	// crashed marks the shard torn down (panic observed) until the
+	// supervisor swaps in a rebuilt core; restarting is the supervisor's
+	// single-flight latch.
+	crashed    atomic.Bool
+	restarting atomic.Bool
+
+	calls    atomic.Int64
+	errs     atomic.Int64
+	timeouts atomic.Int64
+	panics   atomic.Int64
+	restarts atomic.Int64
+}
+
+// currentCore returns the live core, or nil while torn down.
+func (s *Shard) currentCore() *shardCore {
+	s.coreMu.RLock()
+	defer s.coreMu.RUnlock()
+	return s.core
+}
+
+// swapCore installs a rebuilt core and returns the old one.
+func (s *Shard) swapCore(c *shardCore) *shardCore {
+	s.coreMu.Lock()
+	defer s.coreMu.Unlock()
+	old := s.core
+	s.core = c
+	return old
+}
+
+// Admit reports whether the shard may take a call right now (not
+// crashed, breaker allows). A true return consumes a half-open probe
+// token when applicable, so the caller must follow with exactly one
+// call (whose outcome is recorded by call itself).
+func (s *Shard) Admit() bool {
+	if s.crashed.Load() {
+		return false
+	}
+	return s.breaker.Allow()
+}
+
+// call runs one embed leg on this shard and feeds the outcome to the
+// breaker. The returned slab is len(nodes)×dim, row i for nodes[i].
+func (s *Shard) call(ctx context.Context, nodes []int32, ts []float64) ([]float32, error) {
+	c := s.currentCore()
+	if c == nil || s.crashed.Load() {
+		err := ErrShardDown
+		s.errs.Add(1)
+		s.breaker.Record(OutcomeFailure)
+		return nil, err
+	}
+	s.calls.Add(1)
+	start := time.Now()
+	var slab []float32
+	var err error
+	if c.bat != nil {
+		slab, err = c.bat.Embed(ctx, nodes, ts)
+	} else {
+		slab, err = s.direct(ctx, c, nodes, ts)
+	}
+	s.observe(start, err)
+	return slab, err
+}
+
+// direct is the unbatched compute path: the engine pass runs in its own
+// goroutine (the shard's panic domain) while the caller stays
+// cancelable on ctx.
+func (s *Shard) direct(ctx context.Context, c *shardCore, nodes []int32, ts []float64) ([]float32, error) {
+	type result struct {
+		slab []float32
+		err  error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		defer func() {
+			if rec := recover(); rec != nil {
+				// The arena is deliberately not returned to the pool: a
+				// panic mid-pass may have left it in an arbitrary state.
+				ch <- result{nil, fmt.Errorf("%w: %v", errShardPanic, rec)}
+			}
+		}()
+		ar := tensor.GetArena()
+		h := c.emb.EmbedWith(ar, nodes, ts)
+		d := c.emb.Dim()
+		slab := make([]float32, len(nodes)*d)
+		copy(slab, h.Data()[:len(slab)])
+		tensor.PutArena(ar)
+		ch <- result{slab, nil}
+	}()
+	select {
+	case r := <-ch:
+		return r.slab, r.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// observe classifies one finished leg for the breaker and counters, and
+// escalates panics to the supervisor.
+func (s *Shard) observe(start time.Time, err error) {
+	s.lat.Observe(time.Since(start))
+	switch {
+	case err == nil:
+		s.breaker.Record(OutcomeSuccess)
+	case errors.Is(err, context.Canceled):
+		// The client went away; that says nothing about shard health.
+		s.breaker.Record(OutcomeNeutral)
+	case errors.Is(err, context.DeadlineExceeded):
+		s.timeouts.Add(1)
+		s.breaker.Record(OutcomeFailure)
+	case isPanic(err):
+		s.panics.Add(1)
+		s.breaker.Record(OutcomeFailure)
+		s.r.crash(s, err)
+	default:
+		s.errs.Add(1)
+		s.breaker.Record(OutcomeFailure)
+	}
+}
+
+// Healthy reports whether the router should count this shard toward
+// quorum: not crashed, and its breaker either admitting traffic or
+// ready to start half-open probes (see Breaker.Eligible for why a
+// State-based check would deadlock a fully-open pool).
+func (s *Shard) Healthy() bool {
+	return !s.crashed.Load() && s.breaker.Eligible()
+}
+
+// Status is one shard's row in Router.Stats.
+type Status struct {
+	ID       int    `json:"id"`
+	Breaker  string `json:"breaker"`
+	Crashed  bool   `json:"crashed"`
+	Calls    int64  `json:"calls"`
+	Errors   int64  `json:"errors"`
+	Timeouts int64  `json:"timeouts"`
+	Panics   int64  `json:"panics"`
+	Restarts int64  `json:"restarts"`
+
+	BreakerOpens     int64 `json:"breaker_opens"`
+	BreakerHalfOpens int64 `json:"breaker_half_opens"`
+	BreakerCloses    int64 `json:"breaker_closes"`
+
+	CacheItems int   `json:"cache_items"`
+	CacheBytes int64 `json:"cache_bytes"`
+	GraphEdges int   `json:"graph_edges"`
+
+	LatencyP50Ms float64 `json:"latency_p50_ms"`
+	LatencyP99Ms float64 `json:"latency_p99_ms"`
+}
+
+func (s *Shard) status() Status {
+	opens, halfOpens, closes := s.breaker.Transitions()
+	st := Status{
+		ID:               s.id,
+		Breaker:          s.breaker.State().String(),
+		Crashed:          s.crashed.Load(),
+		Calls:            s.calls.Load(),
+		Errors:           s.errs.Load(),
+		Timeouts:         s.timeouts.Load(),
+		Panics:           s.panics.Load(),
+		Restarts:         s.restarts.Load(),
+		BreakerOpens:     opens,
+		BreakerHalfOpens: halfOpens,
+		BreakerCloses:    closes,
+		LatencyP50Ms:     float64(s.lat.Quantile(0.5)) / float64(time.Millisecond),
+		LatencyP99Ms:     float64(s.lat.Quantile(0.99)) / float64(time.Millisecond),
+	}
+	if c := s.currentCore(); c != nil {
+		st.CacheItems = c.eng.CacheLen()
+		st.CacheBytes = c.eng.CacheBytes()
+		st.GraphEdges = c.dyn.NumEdges()
+	}
+	return st
+}

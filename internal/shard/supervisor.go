@@ -1,0 +1,248 @@
+package shard
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"path/filepath"
+	"time"
+
+	"tgopt/internal/checkpoint"
+	"tgopt/internal/graph"
+)
+
+// Supervisor: a shard whose engine panics is torn down wholesale (the
+// panic may have left the old core's locks or arenas poisoned, so
+// nothing from it is reused) and rebuilt in the background:
+//
+//  1. crash() trips the breaker (ForceOpen) and marks the shard
+//     crashed, so the router routes around it and broadcast ingest
+//     stops touching the old core.
+//  2. The restart goroutine captures the edge-log length n, builds a
+//     fresh replica + engine from log[:n], and warms its caches from
+//     the shard's last snapshot (validating the snapshot's log
+//     position and re-running invalidation for the edges it predates).
+//  3. Under ingestMu it replays log[n:] — edges broadcast while the
+//     rebuild ran — swaps the core in, and clears crashed, so no edge
+//     is ever missed between replay and the first live Apply.
+//  4. The breaker moves Open → HalfOpen: traffic is re-admitted by
+//     probes rather than a thundering herd.
+
+// restartBackoff paces rebuild attempts after a failed rebuild.
+const restartBackoff = 100 * time.Millisecond
+
+// posVersion is the envelope version of the .pos sidecar (an 8-byte
+// little-endian edge-log position).
+const posVersion uint32 = 1
+
+// crash tears a shard down and schedules a single-flight restart. It
+// is safe to call from any number of concurrent observers; only the
+// first arms the rebuild.
+func (r *Router) crash(s *Shard, cause error) {
+	s.crashed.Store(true)
+	s.breaker.ForceOpen()
+	if r.closed.Load() {
+		return
+	}
+	if !s.restarting.CompareAndSwap(false, true) {
+		return
+	}
+	r.restartWG.Add(1)
+	go func() {
+		defer r.restartWG.Done()
+		defer s.restarting.Store(false)
+		r.restart(s, cause)
+	}()
+}
+
+// restart rebuilds a crashed shard from the edge log and its last
+// cache snapshot. It retries with backoff until the rebuild succeeds
+// or the router closes.
+func (r *Router) restart(s *Shard, cause error) {
+	r.cfg.Logf("shard %d: crashed (%v); rebuilding", s.id, cause)
+	for attempt := 1; ; attempt++ {
+		if r.closed.Load() {
+			return
+		}
+		if r.restartOnce(s) {
+			s.restarts.Add(1)
+			s.breaker.ToHalfOpen()
+			r.cfg.Logf("shard %d: restarted (attempt %d)", s.id, attempt)
+			return
+		}
+		time.Sleep(restartBackoff)
+	}
+}
+
+// restartOnce is one rebuild attempt.
+func (r *Router) restartOnce(s *Shard) bool {
+	// Capture a stable prefix of the log. Appends may grow r.log past n
+	// concurrently, but entries below n are immutable and the full
+	// slice expression pins the prefix against reallocation races.
+	r.ingestMu.Lock()
+	n := len(r.log)
+	prefix := r.log[:n:n]
+	r.ingestMu.Unlock()
+
+	c, err := r.buildCore(s.id, prefix)
+	if err != nil {
+		r.cfg.Logf("shard %d: rebuild failed: %v", s.id, err)
+		return false
+	}
+	r.loadSnapshot(s.id, c, prefix)
+
+	// Catch up on edges broadcast during the rebuild and swap the core
+	// in atomically with respect to Apply, so none are missed.
+	r.ingestMu.Lock()
+	for _, e := range r.log[n:] {
+		// nil divergence counter: replay trusts the replica's own
+		// ingest decision, there is no authoritative outcome to check.
+		applyToCore(c, e, graph.IngestDropped, nil)
+	}
+	old := s.swapCore(c)
+	s.crashed.Store(false)
+	r.ingestMu.Unlock()
+
+	if old != nil {
+		// Close what can be closed; a poisoned core may refuse.
+		if cerr := old.close(); cerr != nil {
+			r.cfg.Logf("shard %d: old core close: %v", s.id, cerr)
+		}
+	}
+	return true
+}
+
+// snapshotPaths returns the cache blob and log-position sidecar paths
+// for a shard.
+func (r *Router) snapshotPaths(id int) (cache, pos string) {
+	return filepath.Join(r.cfg.SnapshotDir, fmt.Sprintf("shard-%d.tgc", id)),
+		filepath.Join(r.cfg.SnapshotDir, fmt.Sprintf("shard-%d.pos", id))
+}
+
+// SaveSnapshots persists every live shard's memo caches plus the edge-
+// log position the snapshot is valid for. The position is captured
+// BEFORE the cache save starts: entries stored concurrently with the
+// save against newer edges are then redundantly re-invalidated on
+// restore, which is safe — recording the position after the save could
+// silently skip invalidations instead.
+func (r *Router) SaveSnapshots() error {
+	if r.cfg.SnapshotDir == "" {
+		return fmt.Errorf("shard: no snapshot dir configured")
+	}
+	var first error
+	for _, s := range r.shards {
+		if s.crashed.Load() {
+			continue
+		}
+		c := s.currentCore()
+		if c == nil {
+			continue
+		}
+		r.ingestMu.Lock()
+		pos := int64(len(r.log))
+		r.ingestMu.Unlock()
+		cachePath, posPath := r.snapshotPaths(s.id)
+		err := c.eng.SaveCachesFS(r.cfg.FS, cachePath)
+		if err == nil {
+			err = writePos(r.cfg.FS, posPath, pos)
+		}
+		if err != nil {
+			r.snapshotErrors.Add(1)
+			if first == nil {
+				first = fmt.Errorf("shard %d: %w", s.id, err)
+			}
+			continue
+		}
+		r.snapshotSaves.Add(1)
+	}
+	return first
+}
+
+// WarmStart loads every shard's snapshot at boot (before traffic).
+// Missing snapshots cold-start silently; corrupt ones are counted and
+// cold-start. Returns the number of shards warmed.
+func (r *Router) WarmStart() int {
+	if r.cfg.SnapshotDir == "" {
+		return 0
+	}
+	warmed := 0
+	r.ingestMu.Lock()
+	prefix := r.log[:len(r.log):len(r.log)]
+	r.ingestMu.Unlock()
+	for _, s := range r.shards {
+		c := s.currentCore()
+		if c == nil {
+			continue
+		}
+		if r.loadSnapshot(s.id, c, prefix) {
+			warmed++
+		}
+	}
+	return warmed
+}
+
+// loadSnapshot warms one freshly built core from the shard's last
+// snapshot, if it exists, validates, and is not newer than the log
+// prefix the core was built from. Edges in log[pos:] — ingested after
+// the snapshot was taken — get their invalidation re-run, since the
+// snapshot may hold entries those edges already invalidated in the
+// live engine. Any problem means cold start (correctness never
+// depends on the snapshot).
+func (r *Router) loadSnapshot(id int, c *shardCore, prefix []graph.Edge) bool {
+	if r.cfg.SnapshotDir == "" {
+		return false
+	}
+	cachePath, posPath := r.snapshotPaths(id)
+	pos, err := readPos(r.cfg.FS, posPath)
+	if err != nil {
+		return false // no (or unreadable) sidecar: cold start
+	}
+	if pos < 0 || pos > int64(len(prefix)) {
+		// Snapshot is ahead of the prefix this core knows about (or
+		// nonsense); replaying invalidations would be unsound.
+		r.snapshotErrors.Add(1)
+		r.cfg.Logf("shard %d: snapshot position %d outside log (%d); cold start", id, pos, len(prefix))
+		return false
+	}
+	if err := c.eng.LoadCachesFS(r.cfg.FS, cachePath); err != nil {
+		r.snapshotErrors.Add(1)
+		r.cfg.Logf("shard %d: snapshot load: %v; cold start", id, err)
+		return false
+	}
+	// InvalidateLateEdge rather than InvalidateAppend: the latter's
+	// no-future-memos fast path would skip the scan on a fresh engine,
+	// and the restored entries are exactly such future memos.
+	for _, e := range prefix[pos:] {
+		c.eng.InvalidateLateEdge(e.Src, e.Dst, e.Time)
+	}
+	r.snapshotLoads.Add(1)
+	return true
+}
+
+// writePos persists an edge-log position through the checkpoint
+// envelope (checksummed, atomically replaced).
+func writePos(fsys checkpoint.FS, path string, pos int64) error {
+	return checkpoint.WriteFS(fsys, path, posVersion, func(w io.Writer) error {
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], uint64(pos))
+		_, err := w.Write(buf[:])
+		return err
+	})
+}
+
+// readPos reads a position written by writePos.
+func readPos(fsys checkpoint.FS, path string) (int64, error) {
+	var pos int64
+	err := checkpoint.ReadFS(fsys, path, func(version uint32, rd io.Reader) error {
+		if version != posVersion {
+			return fmt.Errorf("shard: pos sidecar version %d", version)
+		}
+		var buf [8]byte
+		if _, err := io.ReadFull(rd, buf[:]); err != nil {
+			return err
+		}
+		pos = int64(binary.LittleEndian.Uint64(buf[:]))
+		return nil
+	})
+	return pos, err
+}

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Tier-1 verification plus race checks for the concurrency-sensitive
 # packages (the parallel runtime, the serving middleware, the request
-# micro-batcher, the sharded cache, and the mutable dynamic graph) and
+# micro-batcher, the sharded cache, the shard router, and the mutable
+# dynamic graph) and
 # the crash-safety suites (checkpoint envelope, fault injection, trainer
 # resume). Run on every PR.
 set -euo pipefail
@@ -18,9 +19,13 @@ go test ./...
 
 echo "== go test -race (concurrency-sensitive + fault-injection packages)"
 go test -race ./internal/parallel/... ./internal/serve/... ./internal/core/... \
-    ./internal/batcher/... ./internal/graph/... \
+    ./internal/batcher/... ./internal/graph/... ./internal/shard/... \
     ./internal/stats/... ./internal/checkpoint/... ./internal/faultfs/... \
     ./internal/trainer/... ./internal/tensor/... ./internal/nn/... ./internal/tgat/...
+
+echo "== shard chaos gate (panic injection, breaker cycle, restart-from-snapshot; race-enabled)"
+go test -race -count=1 -run 'TestChaos|TestRouter|TestBreaker|TestServeSharded|TestServeHealth' \
+    ./internal/shard/... ./internal/serve/...
 
 echo "== spill-tier fault injection (crash mid-seal, bit flips, torn segments; race-enabled)"
 go test -race -count=1 -run 'TestSpill|TestTieredCache|TestBatcherRetire' ./internal/core/ ./internal/batcher/
