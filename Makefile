@@ -33,6 +33,12 @@ bench-serve:
 bench-cache:
 	$(GO) run ./cmd/tgopt-bench cachesweep -o BENCH_3.json
 
+# Committed quantized-path artifact: int8 vs float32 kernel MB/s,
+# e2e ns/edge and cache hit rate at equal byte budgets, plus the AP
+# delta from the accuracy harness (BENCH_4.json, see DESIGN.md §14).
+bench-quant:
+	./scripts/bench.sh quant
+
 # In-place Go microbenchmarks (no artifact).
 microbench:
 	$(GO) test -bench=. -benchmem ./internal/tensor/

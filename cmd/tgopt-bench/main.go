@@ -20,6 +20,10 @@
 //	                                       # and latency vs concurrency, batching on/off
 //	tgopt-bench cachesweep [-o BENCH.json] # memo-cache hit rate vs byte budget,
 //	                                       # FIFO vs TinyLFU admission
+//	tgopt-bench quant [-o BENCH.json]      # int8 vs float32: kernel MB/s, e2e
+//	                                       # ns/edge and hit rate at equal budgets
+//	tgopt-bench quantacc [-max-ap-delta d] # int8 accuracy harness: AP/accuracy
+//	                                       # delta + max-abs embedding delta
 //	tgopt-bench all                        # everything above, CPU + GPU
 //
 // Figure subcommands accept --plot <dir> (SVG output) and --csv <dir>
@@ -72,6 +76,7 @@ func main() {
 	rotate := fs.Int("rotate", 64, "serve: advance the query timestamp every N requests (0 = static times)")
 	batchWindow := fs.Duration("batch-window", 2*time.Millisecond, "serve: batcher flush window")
 	batchMax := fs.Int("batch-max", 256, "serve: batcher size trigger")
+	maxAPDelta := fs.Float64("max-ap-delta", 0, "quantacc: exit non-zero if |AP(float32) - AP(int8)| exceeds this (0 disables the gate)")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}
@@ -217,6 +222,10 @@ func main() {
 		cfg := perfbench.DefaultCacheSweepConfig()
 		cfg.Seed = *seed
 		err = runCacheSweep(cfg, *out)
+	case "quant":
+		err = runQuant(setup, one(focus, "snap-msg", *ds), *runs, *out)
+	case "quantacc":
+		err = runQuantAcc(setup, one(focus, "snap-msg", *ds), *maxAPDelta, *out)
 	case "all":
 		err = runAll(setup, selected, focus, *plotDir, *csvDir)
 	default:
@@ -495,8 +504,72 @@ func runCacheSweep(cfg perfbench.CacheSweepConfig, out string) error {
 	return nil
 }
 
+// runQuant executes the quantized-path suite (BENCH_4: kernel MB/s at
+// both precisions, e2e ns/edge and cache hit rate at equal byte
+// budgets, embedded accuracy report) and writes the JSON report to out
+// (stdout when empty), with a summary on stderr.
+func runQuant(setup experiments.Setup, name string, runs int, out string) error {
+	rep, err := perfbench.RunQuant(setup, name, runs)
+	if err != nil {
+		return err
+	}
+	if err := writeReport(rep, out); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "quant: kernel int8/float32 %.2fx MB/s\n", rep.KernelSpeedup)
+	for _, p := range rep.Budgets {
+		fmt.Fprintf(os.Stderr, "quant: budget=%8d hit-rate float32=%.4f (%d entries) int8=%.4f (%d entries)\n",
+			p.BudgetBytes, p.Float32HitRate, p.Float32Entries, p.Int8HitRate, p.Int8Entries)
+	}
+	for _, r := range rep.Results {
+		if r.NsPerEdge > 0 {
+			fmt.Fprintf(os.Stderr, "quant: %s %.0f ns/edge (budget %d B)\n", r.Name, r.NsPerEdge, rep.E2EBudgetBytes)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "quant: e2e int8 speedup %.2fx, AP delta %.4f, max-abs embed delta %.4f\n",
+		rep.E2ESpeedup, rep.Acc.APDelta, rep.Acc.MaxAbsEmbedDelta)
+	return nil
+}
+
+// runQuantAcc executes the int8-vs-float32 accuracy harness, writes
+// the JSON report to out (stdout when empty), and — when maxAPDelta is
+// positive — fails if the AP drop exceeds it (the check.sh gate).
+func runQuantAcc(setup experiments.Setup, name string, maxAPDelta float64, out string) error {
+	rep, err := perfbench.RunQuantAcc(setup, name)
+	if err != nil {
+		return err
+	}
+	if err := writeReport(rep, out); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "quantacc: AP float32=%.4f int8=%.4f delta=%.4f acc float32=%.4f int8=%.4f\n",
+		rep.APFloat32, rep.APInt8, rep.APDelta, rep.AccFloat32, rep.AccInt8)
+	fmt.Fprintf(os.Stderr, "quantacc: max-abs embed delta %.4f, max-abs logit delta %.4f\n",
+		rep.MaxAbsEmbedDelta, rep.MaxAbsLogitDelta)
+	if maxAPDelta > 0 && rep.APDelta > maxAPDelta {
+		return fmt.Errorf("quantacc: AP delta %.4f exceeds -max-ap-delta %.4f", rep.APDelta, maxAPDelta)
+	}
+	return nil
+}
+
+// writeReport marshals a JSON report to out, or stdout when out is
+// empty.
+func writeReport(rep any, out string) error {
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if out == "" {
+		_, err = os.Stdout.Write(buf)
+	} else {
+		err = os.WriteFile(out, buf, 0o644)
+	}
+	return err
+}
+
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: tgopt-bench <table1|table2|fig3|fig4|fig5|fig6|fig7|table3|table4|table5|sampling|train-dedup|batchsweep|warmstart|perf|serve|cachesweep|all> [flags]
+	fmt.Fprintln(os.Stderr, `usage: tgopt-bench <table1|table2|fig3|fig4|fig5|fig6|fig7|table3|table4|table5|sampling|train-dedup|batchsweep|warmstart|perf|serve|cachesweep|quant|quantacc|all> [flags]
 run "tgopt-bench fig5 -h" for flags`)
 }
 

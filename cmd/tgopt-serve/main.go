@@ -65,6 +65,7 @@ func main() {
 	breakerThreshold := flag.Float64("breaker-threshold", 0.5, "per-shard breaker: failure rate that opens the breaker")
 	breakerCooldown := flag.Duration("breaker-cooldown", 500*time.Millisecond, "per-shard breaker: open duration before half-open probes")
 	breakerProbes := flag.Int("breaker-probes", 3, "per-shard breaker: consecutive half-open successes required to re-close")
+	quant := flag.String("quant", "float32", "inference precision: float32 (default) or int8 (packed kernels + ~4x denser memo cache; see DESIGN.md §14)")
 	flag.Parse()
 
 	setup := experiments.Setup{
@@ -106,6 +107,9 @@ func main() {
 	}
 	opt.CacheSpillDir = *spillDir
 	opt.CacheSpillMaxBytes = *spillMax
+	if opt.Quant, err = core.ParseQuantMode(*quant); err != nil {
+		fatal(err)
+	}
 	var srv *serve.Server
 	if *shards > 1 {
 		// Sharded serving plane: batching (when on) runs per shard, and
@@ -185,6 +189,7 @@ func main() {
 	} else {
 		log.Printf("out-of-order ingest: off (out-of-order edges are dropped against the watermark)")
 	}
+	log.Printf("inference precision: %s", opt.Quant)
 	if *batchOff {
 		log.Printf("cross-request batching: off")
 	} else {

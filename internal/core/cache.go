@@ -17,10 +17,18 @@ import (
 const cacheEntryOverhead = 64
 
 // EntriesForBudget converts a byte budget into a hot-tier item limit
-// for dim-wide entries — the vector payload plus per-item bookkeeping,
-// the same accounting UsedBytes reports. Always at least 1.
+// for dim-wide float32 entries — the vector payload plus per-item
+// bookkeeping, the same accounting UsedBytes reports. Always at least 1.
 func EntriesForBudget(budget int64, dim int) int {
-	n := int(budget / int64(4*dim+cacheEntryOverhead))
+	return EntriesForBudgetQuant(budget, dim, false)
+}
+
+// EntriesForBudgetQuant is EntriesForBudget for either entry format.
+// Int8 entries are roughly 4× smaller, so the same byte budget admits
+// roughly 4× the items — the capacity half of the quantization win
+// (BENCH_4's hit-rate-at-budget section measures it).
+func EntriesForBudgetQuant(budget int64, dim int, quant bool) int {
+	n := int(budget / int64(entryCodec{dim: dim, quant: quant}.entryBytes()))
 	if n < 1 {
 		n = 1
 	}
@@ -58,7 +66,11 @@ type CacheConfig struct {
 	// refused admission to) the hot tier are appended there, hot-tier
 	// misses fall through to it, and spill hits are asynchronously
 	// promoted back. The cache takes ownership — Cache.Close seals it.
+	// Its dim and quant mode must match the cache's.
 	Spill *SpillStore
+	// Quant stores entries int8-quantized (scale + codes, ~4× smaller)
+	// instead of float32. See QuantInt8.
+	Quant bool
 }
 
 // CacheStats is a point-in-time snapshot of the cache's counters. The
@@ -91,6 +103,7 @@ type CacheStats struct {
 // implementation.
 type Cache struct {
 	dim    int
+	codec  entryCodec
 	shards []cacheShard
 	mask   uint64
 	limit  int
@@ -121,9 +134,9 @@ type promoteReq struct {
 
 type cacheShard struct {
 	mu    sync.Mutex
-	limit int // this shard's slice of the global limit; Σ limits == Cache.limit
-	m     map[uint64][]float32
-	fifo  []uint64 // insertion order; head compacts lazily
+	limit int               // this shard's slice of the global limit; Σ limits == Cache.limit
+	m     map[uint64][]byte // entryCodec payloads
+	fifo  []uint64          // insertion order; head compacts lazily
 	head  int
 	// dead counts FIFO occurrences orphaned by Remove: re-storing a
 	// removed key appends a fresh occurrence, so the old one must be
@@ -162,8 +175,8 @@ func NewCacheWith(cfg CacheConfig) *Cache {
 	if cfg.Dim < 1 {
 		panic("core: cache dim must be >= 1")
 	}
-	if cfg.Spill != nil && cfg.Spill.dim != cfg.Dim {
-		panic("core: cache spill dim mismatch")
+	if cfg.Spill != nil && cfg.Spill.codec != (entryCodec{dim: cfg.Dim, quant: cfg.Quant}) {
+		panic("core: cache spill dim/quant mismatch")
 	}
 	shards := cfg.Shards
 	if shards <= 0 {
@@ -178,6 +191,7 @@ func NewCacheWith(cfg CacheConfig) *Cache {
 	}
 	c := &Cache{
 		dim:    cfg.Dim,
+		codec:  entryCodec{dim: cfg.Dim, quant: cfg.Quant},
 		shards: make([]cacheShard, ns),
 		mask:   uint64(ns - 1),
 		limit:  cfg.Limit,
@@ -187,7 +201,7 @@ func NewCacheWith(cfg CacheConfig) *Cache {
 	base, rem := cfg.Limit/ns, cfg.Limit%ns
 	for i := range c.shards {
 		s := &c.shards[i]
-		s.m = make(map[uint64][]float32)
+		s.m = make(map[uint64][]byte)
 		s.limit = base
 		if i < rem {
 			s.limit++
@@ -224,6 +238,9 @@ func (c *Cache) Limit() int { return c.limit }
 // Policy returns the hot-tier eviction policy.
 func (c *Cache) Policy() CachePolicy { return c.policy }
 
+// Quant reports whether entries are stored int8-quantized.
+func (c *Cache) Quant() bool { return c.codec.quant }
+
 // SpillStore returns the cold tier, or nil.
 func (c *Cache) SpillStore() *SpillStore { return c.spill }
 
@@ -243,7 +260,7 @@ func (c *Cache) Len() int {
 // embeddings, payload plus bookkeeping overhead. The cold tier's
 // on-disk bytes are reported separately via Stats().Spill.Bytes.
 func (c *Cache) UsedBytes() int64 {
-	return int64(c.Len()) * int64(4*c.dim+cacheEntryOverhead)
+	return int64(c.Len()) * int64(c.codec.entryBytes())
 }
 
 // Stats snapshots the cache counters (see CacheStats for the exactness
@@ -326,7 +343,7 @@ func (c *Cache) lookupRange(keys []uint64, data []float32, hits []bool, lo, hi i
 		}
 		v, ok := s.m[key]
 		if ok {
-			copy(data[i*c.dim:(i+1)*c.dim], v)
+			c.codec.decode(v, data[i*c.dim:(i+1)*c.dim])
 			s.hits++
 		} else {
 			s.misses++
@@ -399,15 +416,15 @@ func (c *Cache) promoteOne(req promoteReq) {
 		c.promoteDrops.Add(1)
 		return
 	}
-	victimKey, victimVec, admitted := c.insertLocked(s, req.key, req.vec)
+	victimKey, victimPayload, admitted := c.insertLocked(s, req.key, req.vec)
 	s.mu.Unlock()
 	if !admitted {
 		c.promoteDrops.Add(1)
 		return
 	}
 	c.promotes.Add(1)
-	if victimVec != nil && c.spill != nil {
-		c.spill.Put(victimKey, victimVec)
+	if victimPayload != nil && c.spill != nil {
+		c.spill.putPayload(victimKey, victimPayload)
 	}
 }
 
@@ -444,15 +461,18 @@ func (c *Cache) storeRange(keys []uint64, data []float32, lo, hi int) {
 func (c *Cache) storeOne(key uint64, vec []float32) {
 	s := c.shardFor(key)
 	s.mu.Lock()
-	victimKey, victimVec, admitted := c.insertLocked(s, key, vec)
+	victimKey, victimPayload, admitted := c.insertLocked(s, key, vec)
 	s.mu.Unlock()
 	if c.spill == nil {
 		return
 	}
 	if !admitted {
 		c.spill.Put(key, vec)
-	} else if victimVec != nil {
-		c.spill.Put(victimKey, victimVec)
+	} else if victimPayload != nil {
+		// The evicted payload moves to the cold tier byte-for-byte: the
+		// tiers share the entry codec, so no re-encode (and for int8, no
+		// second quantization) happens on the demotion path.
+		c.spill.putPayload(victimKey, victimPayload)
 	}
 }
 
@@ -464,9 +484,9 @@ func (c *Cache) storeOne(key uint64, vec []float32) {
 // the sketch); counting here too would double-count every miss+store
 // access, and a bulk load of never-looked-up keys would age resident
 // heavy hitters out of the sketch without a single real access.
-func (c *Cache) insertLocked(s *cacheShard, key uint64, vec []float32) (victimKey uint64, victimVec []float32, admitted bool) {
+func (c *Cache) insertLocked(s *cacheShard, key uint64, vec []float32) (victimKey uint64, victimPayload []byte, admitted bool) {
 	if old, ok := s.m[key]; ok {
-		copy(old, vec)
+		c.codec.encode(vec, old)
 		return 0, nil, true
 	}
 	if len(s.m) >= s.limit {
@@ -476,13 +496,13 @@ func (c *Cache) insertLocked(s *cacheShard, key uint64, vec []float32) (victimKe
 				return 0, nil, false
 			}
 		}
-		victimKey, victimVec = s.evictOldestLocked()
+		victimKey, victimPayload = s.evictOldestLocked()
 	}
-	v := make([]float32, len(vec))
-	copy(v, vec)
+	v := make([]byte, c.codec.payloadSize())
+	c.codec.encode(vec, v)
 	s.m[key] = v
 	s.fifo = append(s.fifo, key)
-	return victimKey, victimVec, true
+	return victimKey, victimPayload, true
 }
 
 // oldestLocked peeks at the shard's oldest live entry — the eviction
@@ -511,7 +531,7 @@ func (s *cacheShard) oldestLocked() (uint64, bool) {
 // compacts once it grows past half the queue. It returns the evicted
 // entry (the cache-owned vector, safe to hand to the spill tier) or ok
 // = false when the shard held nothing live.
-func (s *cacheShard) evictOldestLocked() (key uint64, vec []float32) {
+func (s *cacheShard) evictOldestLocked() (key uint64, payload []byte) {
 	for s.head < len(s.fifo) {
 		k := s.fifo[s.head]
 		s.head++
@@ -521,7 +541,7 @@ func (s *cacheShard) evictOldestLocked() (key uint64, vec []float32) {
 		}
 		if v, ok := s.m[k]; ok {
 			delete(s.m, k)
-			key, vec = k, v
+			key, payload = k, v
 			break
 		}
 	}
@@ -529,7 +549,7 @@ func (s *cacheShard) evictOldestLocked() (key uint64, vec []float32) {
 		s.fifo = append(s.fifo[:0], s.fifo[s.head:]...)
 		s.head = 0
 	}
-	return key, vec
+	return key, payload
 }
 
 // markPoppedLocked consumes one dead mark for a key whose stale FIFO
@@ -619,7 +639,7 @@ func (c *Cache) Clear() {
 	for i := range c.shards {
 		s := &c.shards[i]
 		s.mu.Lock()
-		s.m = make(map[uint64][]float32)
+		s.m = make(map[uint64][]byte)
 		s.fifo = nil
 		s.head = 0
 		s.dead = nil

@@ -59,6 +59,16 @@ type Options struct {
 	// TimeWindow is the precomputed Δt window (default 10,000).
 	TimeWindow int
 
+	// Quant selects the inference precision (DESIGN.md §14). QuantOff
+	// (the default) is the unchanged float32 path. QuantInt8 packs the
+	// model's projection weights once at engine construction and runs
+	// them through the int8 kernels, stores memo-cache entries (hot
+	// tier, spill tier, snapshots) as per-vector-scaled int8 (~4× more
+	// entries per byte budget), and quantizes the precomputed time
+	// table. Outputs differ from float32 by quantization error only;
+	// the quantacc harness bounds the downstream AP delta.
+	Quant QuantMode
+
 	// Collector receives per-operation timings (Table 3). Optional.
 	Collector *stats.Collector
 	// HitRate receives per-lookup hit statistics (Figure 7). Optional.
@@ -147,6 +157,10 @@ type Engine struct {
 	// re-consumed, so caching it would waste the budget).
 	caches []*Cache
 	ttable *TimeTable
+	// qmodel is the packed int8 view of model (Options.Quant ==
+	// QuantInt8); nil on the float path. Weights are quantized once
+	// here, never per request.
+	qmodel *tgat.QuantModel
 	deps   *DepTracker
 	// targets indexes cached keys by target node (Options.TrackTargets)
 	// and dyn is the live graph when serving a stream — together they
@@ -190,12 +204,16 @@ func NewEngine(m *tgat.Model, s *graph.Sampler, opt Options) *Engine {
 		panic("core: sampler k differs from model NumNeighbors")
 	}
 	e.maxEmbedBits.Store(math.Float64bits(math.Inf(-1)))
+	quant := opt.Quant == QuantInt8
+	if quant {
+		e.qmodel = tgat.QuantizeModel(m)
+	}
 	if opt.EnableCache {
 		if s.Strategy() != graph.MostRecent {
 			panic("core: the memoization cache requires most-recent sampling (§3.2)")
 		}
 		if opt.CacheBudgetBytes > 0 {
-			limit := EntriesForBudget(opt.CacheBudgetBytes, m.Cfg.NodeDim)
+			limit := EntriesForBudgetQuant(opt.CacheBudgetBytes, m.Cfg.NodeDim, quant)
 			opt.CacheLimit = limit
 			e.opt.CacheLimit = limit
 		}
@@ -224,7 +242,7 @@ func NewEngine(m *tgat.Model, s *graph.Sampler, opt Options) *Engine {
 			var sp *SpillStore
 			if opt.CacheSpillDir != "" {
 				var err error
-				sp, err = NewSpillStore(fsys, filepath.Join(opt.CacheSpillDir, fmt.Sprintf("layer%d", l)), m.Cfg.NodeDim, spillPer)
+				sp, err = NewSpillStoreWith(fsys, filepath.Join(opt.CacheSpillDir, fmt.Sprintf("layer%d", l)), m.Cfg.NodeDim, spillPer, quant)
 				if err != nil {
 					panic("core: opening cache spill dir: " + err.Error())
 				}
@@ -235,6 +253,7 @@ func NewEngine(m *tgat.Model, s *graph.Sampler, opt Options) *Engine {
 				Shards: opt.CacheShards,
 				Policy: opt.CachePolicy,
 				Spill:  sp,
+				Quant:  quant,
 			})
 		}
 	}
@@ -246,7 +265,11 @@ func NewEngine(m *tgat.Model, s *graph.Sampler, opt Options) *Engine {
 		e.targets = NewTargetIndex(e.CacheFor(1).Contains)
 	}
 	if opt.EnableTimePrecompute {
-		e.ttable = NewTimeTable(m.Time, opt.TimeWindow)
+		if quant {
+			e.ttable = NewTimeTableQuant(m.Time, opt.TimeWindow)
+		} else {
+			e.ttable = NewTimeTable(m.Time, opt.TimeWindow)
+		}
 		// Table residency: on a device run the table ships to device
 		// memory once, charged here.
 		if opt.Device != nil {
@@ -262,6 +285,20 @@ func (e *Engine) Options() Options { return e.opt }
 
 // Model returns the underlying TGAT model.
 func (e *Engine) Model() *tgat.Model { return e.model }
+
+// Quant returns the engine's inference precision.
+func (e *Engine) Quant() QuantMode { return e.opt.Quant }
+
+// ScoreWith computes link-prediction logits through the engine's
+// precision: the packed int8 affinity head on the quantized path, the
+// float head otherwise. Servers must score through this seam rather
+// than the model directly, so -quant changes the whole request path.
+func (e *Engine) ScoreWith(ar *tensor.Arena, hSrc, hDst *tensor.Tensor) *tensor.Tensor {
+	if e.qmodel != nil {
+		return e.qmodel.ScoreWith(ar, hSrc, hDst)
+	}
+	return e.model.ScoreWith(ar, hSrc, hDst)
+}
 
 // CacheFor returns the memoization cache serving layer l, or nil.
 func (e *Engine) CacheFor(l int) *Cache {
@@ -744,7 +781,12 @@ func (e *Engine) embed(ar *tensor.Arena, l int, nodes []int32, ts []float64) *te
 		e.chargeTransfer(stats.OpFeatLookup, device.HtoD, int64(nm*k*cfg.EdgeDim*4), 1)
 
 		start = time.Now()
-		hm := e.model.LayerForwardWith(ar, l, hTgt, hNgh, eFeat, tEnc0, tEncD, b.Valid)
+		var hm *tensor.Tensor
+		if e.qmodel != nil {
+			hm = e.qmodel.LayerForwardWith(ar, l, hTgt, hNgh, eFeat, tEnc0, tEncD, b.Valid)
+		} else {
+			hm = e.model.LayerForwardWith(ar, l, hTgt, hNgh, eFeat, tEnc0, tEncD, b.Valid)
+		}
 		e.observe(stats.OpAttention, StageAttention, device.TensorOp, 8, start)
 
 		if cache != nil && e.dyn != nil &&

@@ -7,7 +7,6 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"math"
 
 	"tgopt/internal/checkpoint"
 )
@@ -21,13 +20,19 @@ import (
 // while its entries are serialized, so concurrent stores and evictions
 // can never make a header disagree with the entries actually written:
 //
-//	magic    uint32 = 0x32434754 ("TGC2")
+//	magic    uint32 = 0x32434754 ("TGC2") | 0x31514754 ("TGQ1")
 //	dim      uint32
-//	sections repeated { count uint32, count × { key uint64, vec [dim]float32 } }
+//	sections repeated { count uint32, count × { key uint64, payload } }
 //	end      uint32 = 0xFFFFFFFF
 //
+// The entry payload is the shared entry codec's format: [dim]float32
+// under TGC2, or {scale float32, [dim]int8} under TGQ1 (an
+// int8-quantized cache, ~4× smaller on disk). The magic states the
+// precision, so a float32 cache refuses a TGQ1 blob — and vice versa —
+// with a clear error instead of misreading the bytes.
+//
 // The legacy (v1, "TGCC") layout — a single global count followed by
-// all entries — is still read, never written.
+// all float32 entries — is still read, never written.
 //
 // Engine snapshots wrap the per-layer blobs in a checkpoint envelope
 // (internal/checkpoint): CRC32-checksummed and atomically replaced, so
@@ -37,6 +42,7 @@ import (
 const (
 	cacheMagicV1 uint32 = 0x54474343 // "TGCC": global count header (legacy)
 	cacheMagicV2 uint32 = 0x32434754 // "TGC2": per-shard sections
+	cacheMagicQ1 uint32 = 0x31514754 // "TGQ1": per-shard sections, int8 payloads
 	// cacheSectionEnd terminates the v2 section list. Section counts
 	// are bounded by the cache limit, far below this sentinel.
 	cacheSectionEnd uint32 = 0xFFFFFFFF
@@ -62,29 +68,32 @@ func (c *Cache) WriteTo(w io.Writer) (int64, error) {
 		n += int64(k)
 		return err
 	}
-	if err := put32(cacheMagicV2); err != nil {
+	magic := cacheMagicV2
+	if c.codec.quant {
+		magic = cacheMagicQ1
+	}
+	if err := put32(magic); err != nil {
 		return n, err
 	}
 	if err := put32(uint32(c.dim)); err != nil {
 		return n, err
 	}
 	var scratch bytes.Buffer
-	rec := make([]byte, 8+4*c.dim)
+	rec := make([]byte, 8+c.codec.payloadSize())
 	for i := range c.shards {
 		s := &c.shards[i]
 		scratch.Reset()
 		count := uint32(0)
 		s.mu.Lock()
-		// Write in FIFO order so ages are approximately preserved.
+		// Write in FIFO order so ages are approximately preserved. The
+		// stored payload IS the serialized form — both precisions.
 		for _, key := range s.fifo[s.head:] {
 			v, ok := s.m[key]
 			if !ok {
 				continue
 			}
 			binary.LittleEndian.PutUint64(rec, key)
-			for j, f := range v {
-				binary.LittleEndian.PutUint32(rec[8+4*j:], math.Float32bits(f))
-			}
+			copy(rec[8:], v)
 			scratch.Write(rec)
 			count++
 		}
@@ -126,7 +135,16 @@ func (c *Cache) ReadFrom(r io.Reader) (int64, error) {
 	if err != nil {
 		return n, err
 	}
-	if magic != cacheMagicV1 && magic != cacheMagicV2 {
+	switch magic {
+	case cacheMagicV1, cacheMagicV2:
+		if c.codec.quant {
+			return n, fmt.Errorf("core: cache snapshot is float32, cache runs int8-quantized — re-warm instead of loading across precisions")
+		}
+	case cacheMagicQ1:
+		if !c.codec.quant {
+			return n, fmt.Errorf("core: cache snapshot is int8-quantized, cache runs float32 — re-warm instead of loading across precisions")
+		}
+	default:
 		return n, fmt.Errorf("core: bad cache magic %#x", magic)
 	}
 	dim, err := get32()
@@ -141,8 +159,9 @@ func (c *Cache) ReadFrom(r io.Reader) (int64, error) {
 	// grow by append: a hostile count in a truncated stream must not
 	// drive a huge allocation.
 	var keys []uint64
-	var vals []float32
-	rec := make([]byte, 8+4*c.dim)
+	var payloads []byte
+	ps := c.codec.payloadSize()
+	rec := make([]byte, 8+ps)
 	readEntries := func(count uint32) error {
 		for i := uint32(0); i < count; i++ {
 			k, err := io.ReadFull(br, rec)
@@ -151,9 +170,7 @@ func (c *Cache) ReadFrom(r io.Reader) (int64, error) {
 				return fmt.Errorf("core: cache entry %d: %w", len(keys), err)
 			}
 			keys = append(keys, binary.LittleEndian.Uint64(rec))
-			for j := 0; j < c.dim; j++ {
-				vals = append(vals, math.Float32frombits(binary.LittleEndian.Uint32(rec[8+4*j:])))
-			}
+			payloads = append(payloads, rec[8:]...)
 		}
 		return nil
 	}
@@ -166,7 +183,7 @@ func (c *Cache) ReadFrom(r io.Reader) (int64, error) {
 		if err := readEntries(count); err != nil {
 			return n, err
 		}
-	case cacheMagicV2:
+	default: // cacheMagicV2, cacheMagicQ1: per-shard sections
 		for {
 			count, err := get32()
 			if err != nil {
@@ -182,9 +199,12 @@ func (c *Cache) ReadFrom(r io.Reader) (int64, error) {
 	}
 
 	// Commit: the stream parsed cleanly; only now do entries enter the
-	// live cache.
+	// live cache. Payloads re-enter through the decoded path so TinyLFU
+	// admission and spill cascades behave exactly like live stores.
+	vec := make([]float32, c.dim)
 	for i, key := range keys {
-		c.storeOne(key, vals[i*c.dim:(i+1)*c.dim])
+		c.codec.decode(payloads[i*ps:(i+1)*ps], vec)
+		c.storeOne(key, vec)
 	}
 	return n, nil
 }
@@ -193,18 +213,27 @@ func (c *Cache) ReadFrom(r io.Reader) (int64, error) {
 // shard count) and no entries — a staging target for all-or-nothing
 // loads.
 func (c *Cache) cloneEmpty() *Cache {
-	return NewCache(c.limit, c.dim, len(c.shards))
+	return NewCacheWith(CacheConfig{
+		Limit:  c.limit,
+		Dim:    c.dim,
+		Shards: len(c.shards),
+		Policy: CacheFIFO,
+		Quant:  c.codec.quant,
+	})
 }
 
 // absorb merges every entry of other into c in other's FIFO order,
-// under c's usual limit semantics. other must have the same dim and is
-// expected to be a private staging cache (it is read without locking).
+// under c's usual limit semantics. other must have the same dim and
+// precision and is expected to be a private staging cache (it is read
+// without locking).
 func (c *Cache) absorb(other *Cache) {
+	vec := make([]float32, c.dim)
 	for i := range other.shards {
 		s := &other.shards[i]
 		for _, key := range s.fifo[s.head:] {
 			if v, ok := s.m[key]; ok {
-				c.storeOne(key, v)
+				c.codec.decode(v, vec)
+				c.storeOne(key, vec)
 			}
 		}
 	}

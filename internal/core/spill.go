@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
-	"math"
 	"path/filepath"
 	"sort"
 	"strconv"
@@ -74,10 +73,16 @@ type SpillStats struct {
 //
 // Layout of a segment payload:
 //
-//	dim     uint32
-//	records × (key uint64, vec [dim]float32, crc32 uint32)
+//	dim     uint32 (bit 31 set when records are int8-quantized)
+//	records × (key uint64, payload [entryCodec], crc32 uint32)
 //
-// where each record's crc32 is IEEE over its key+vec bytes.
+// where each record's crc32 is IEEE over its key+payload bytes and the
+// payload is the shared entry codec's format — float32 vectors, or
+// scale-prefixed int8 codes in quant mode (~4× smaller records). A
+// segment whose header flag or dim disagrees with the store is treated
+// exactly like a corrupt one: deleted and counted, so a precision
+// change across restarts costs the cold entries, never a wrong
+// embedding.
 //
 // Overwritten and removed records stay in their segment as dead bytes
 // until compaction folds the survivors back into the open buffer and
@@ -88,6 +93,7 @@ type SpillStore struct {
 	fsys      checkpoint.FS
 	dir       string
 	dim       int
+	codec     entryCodec
 	maxBytes  int64
 	segTarget int
 
@@ -110,15 +116,24 @@ type SpillStore struct {
 	compactions atomic.Int64
 }
 
-// spillRecSize returns the on-disk record size for dim-wide vectors.
-func spillRecSize(dim int) int64 { return 8 + 4*int64(dim) + 4 }
+// spillQuantFlag marks a segment's dim header word as holding
+// int8-quantized records (dims are far below 2³¹, so the bit is free).
+const spillQuantFlag = 1 << 31
 
-// NewSpillStore opens (or creates) the cold tier under dir, recovering
-// every valid sealed segment already present. Segments that fail
-// envelope validation — torn by a crash mid-seal that somehow bypassed
-// the atomic rename, or bit-flipped at rest — are deleted and counted,
-// never indexed. maxBytes <= 0 means unbounded.
+// NewSpillStore opens (or creates) a float32 cold tier under dir,
+// recovering every valid sealed segment already present. Segments that
+// fail envelope validation — torn by a crash mid-seal that somehow
+// bypassed the atomic rename, or bit-flipped at rest — are deleted and
+// counted, never indexed. maxBytes <= 0 means unbounded.
 func NewSpillStore(fsys checkpoint.FS, dir string, dim int, maxBytes int64) (*SpillStore, error) {
+	return NewSpillStoreWith(fsys, dir, dim, maxBytes, false)
+}
+
+// NewSpillStoreWith is NewSpillStore with an explicit record precision:
+// quant stores scale-prefixed int8 payloads instead of float32 vectors.
+// Existing segments of the other precision are dropped during recovery
+// (counted as corrupt), mirroring how any unreadable segment is a miss.
+func NewSpillStoreWith(fsys checkpoint.FS, dir string, dim int, maxBytes int64, quant bool) (*SpillStore, error) {
 	if fsys == nil {
 		fsys = checkpoint.OS{}
 	}
@@ -132,6 +147,7 @@ func NewSpillStore(fsys checkpoint.FS, dir string, dim int, maxBytes int64) (*Sp
 		fsys:      fsys,
 		dir:       dir,
 		dim:       dim,
+		codec:     entryCodec{dim: dim, quant: quant},
 		maxBytes:  maxBytes,
 		segTarget: defaultSegTarget,
 		index:     make(map[uint64]spillRef),
@@ -151,7 +167,11 @@ func NewSpillStore(fsys checkpoint.FS, dir string, dim int, maxBytes int64) (*Sp
 func (sp *SpillStore) resetOpenLocked() {
 	sp.open = sp.open[:0]
 	var hdr [4]byte
-	binary.LittleEndian.PutUint32(hdr[:], uint32(sp.dim))
+	h := uint32(sp.dim)
+	if sp.codec.quant {
+		h |= spillQuantFlag
+	}
+	binary.LittleEndian.PutUint32(hdr[:], h)
 	sp.open = append(sp.open, hdr[:]...)
 	sp.openKeys = sp.openKeys[:0]
 }
@@ -204,7 +224,7 @@ func (sp *SpillStore) recover() error {
 	// Live counts: a record is live iff the index still points at it.
 	for _, id := range sp.order {
 		seg := sp.segs[id]
-		rec := spillRecSize(sp.dim)
+		rec := sp.codec.recSize()
 		for i, key := range seg.keys {
 			if sp.index[key] == (spillRef{seg: id, off: 4 + int64(i)*rec}) {
 				seg.live++
@@ -226,10 +246,14 @@ func (sp *SpillStore) decodeSegment(seg *spillSeg, version uint32, r io.Reader) 
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return err
 	}
-	if d := binary.LittleEndian.Uint32(hdr[:]); int(d) != sp.dim {
+	h := binary.LittleEndian.Uint32(hdr[:])
+	if quant := h&spillQuantFlag != 0; quant != sp.codec.quant {
+		return fmt.Errorf("spill segment quant=%v, store quant=%v", quant, sp.codec.quant)
+	}
+	if d := h &^ spillQuantFlag; int(d) != sp.dim {
 		return fmt.Errorf("spill segment dim %d, cache dim %d", d, sp.dim)
 	}
-	rec := spillRecSize(sp.dim)
+	rec := sp.codec.recSize()
 	buf := make([]byte, rec)
 	off := int64(4)
 	for {
@@ -272,8 +296,37 @@ func (sp *SpillStore) Put(key uint64, vec []float32) {
 }
 
 // putLocked appends one record to the open buffer and points the index
-// at it, superseding any older copy of the key.
+// at it, superseding any older copy of the key. The vector is encoded
+// through the entry codec directly into the buffer.
 func (sp *SpillStore) putLocked(key uint64, vec []float32) {
+	off := sp.beginRecordLocked(key)
+	sp.open = sp.codec.appendTo(sp.open, vec)
+	sp.finishRecordLocked(key, off)
+}
+
+// putPayload spills an already-encoded entry payload — the hot tier's
+// eviction path, which hands over its stored bytes without a re-encode.
+func (sp *SpillStore) putPayload(key uint64, payload []byte) {
+	sp.puts.Add(1)
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	sp.putPayloadLocked(key, payload)
+	if len(sp.open) >= sp.segTarget {
+		sp.sealLocked()
+		sp.enforceBudgetLocked()
+	}
+}
+
+// putPayloadLocked is putLocked for pre-encoded payload bytes.
+func (sp *SpillStore) putPayloadLocked(key uint64, payload []byte) {
+	off := sp.beginRecordLocked(key)
+	sp.open = append(sp.open, payload...)
+	sp.finishRecordLocked(key, off)
+}
+
+// beginRecordLocked drops any superseded copy of key and appends the
+// record's key prefix, returning the record's start offset.
+func (sp *SpillStore) beginRecordLocked(key uint64) int64 {
 	if old, ok := sp.index[key]; ok {
 		sp.dropRefLocked(key, old)
 	}
@@ -281,13 +334,14 @@ func (sp *SpillStore) putLocked(key uint64, vec []float32) {
 	var scratch [8]byte
 	binary.LittleEndian.PutUint64(scratch[:], key)
 	sp.open = append(sp.open, scratch[:]...)
-	for _, x := range vec {
-		binary.LittleEndian.PutUint32(scratch[:4], math.Float32bits(x))
-		sp.open = append(sp.open, scratch[:4]...)
-	}
-	crc := crc32.ChecksumIEEE(sp.open[off:])
-	binary.LittleEndian.PutUint32(scratch[:4], crc)
-	sp.open = append(sp.open, scratch[:4]...)
+	return off
+}
+
+// finishRecordLocked appends the record CRC and indexes the record.
+func (sp *SpillStore) finishRecordLocked(key uint64, off int64) {
+	var scratch [4]byte
+	binary.LittleEndian.PutUint32(scratch[:], crc32.ChecksumIEEE(sp.open[off:]))
+	sp.open = append(sp.open, scratch[:]...)
 	sp.index[key] = spillRef{seg: sp.openID, off: off}
 	sp.openKeys = append(sp.openKeys, key)
 }
@@ -324,7 +378,7 @@ func (sp *SpillStore) sealLocked() {
 		_, werr := w.Write(payload)
 		return werr
 	})
-	rec := spillRecSize(sp.dim)
+	rec := sp.codec.recSize()
 	if err != nil {
 		sp.sealErrs.Add(1)
 		for i, key := range sp.openKeys {
@@ -367,7 +421,7 @@ func (sp *SpillStore) enforceBudgetLocked() {
 
 // removeSegLocked unindexes and deletes one sealed segment.
 func (sp *SpillStore) removeSegLocked(seg *spillSeg) {
-	rec := spillRecSize(sp.dim)
+	rec := sp.codec.recSize()
 	for i, key := range seg.keys {
 		if sp.index[key] == (spillRef{seg: seg.id, off: 4 + int64(i)*rec}) {
 			delete(sp.index, key)
@@ -388,7 +442,7 @@ func (sp *SpillStore) removeSegLocked(seg *spillSeg) {
 // into the open buffer and deletes the file.
 func (sp *SpillStore) compactLocked(seg *spillSeg) {
 	sp.compactions.Add(1)
-	rec := spillRecSize(sp.dim)
+	rec := sp.codec.recSize()
 	// Collect survivors before removeSegLocked unindexes them.
 	type rescued struct {
 		key uint64
@@ -423,8 +477,7 @@ func (sp *SpillStore) compactLocked(seg *spillSeg) {
 			sp.corruptRecs.Add(1)
 			continue
 		}
-		vec := decodeSpillVec(buf[8:rec-4], sp.dim)
-		sp.putLocked(k.key, vec)
+		sp.putPayloadLocked(k.key, buf[8:rec-4])
 	}
 }
 
@@ -444,10 +497,10 @@ func (sp *SpillStore) Get(key uint64, dst []float32) bool {
 		sp.mu.Unlock()
 		return false
 	}
-	rec := spillRecSize(sp.dim)
+	rec := sp.codec.recSize()
 	if ref.seg == sp.openID {
 		buf := sp.open[ref.off : ref.off+rec]
-		copy(dst, decodeSpillVec(buf[8:rec-4], sp.dim))
+		sp.codec.decode(buf[8:rec-4], dst)
 		sp.mu.Unlock()
 		sp.hits.Add(1)
 		return true
@@ -473,7 +526,7 @@ func (sp *SpillStore) Get(key uint64, dst []float32) bool {
 	if !still {
 		return false
 	}
-	copy(dst, decodeSpillVec(buf[8:rec-4], sp.dim))
+	sp.codec.decode(buf[8:rec-4], dst)
 	sp.hits.Add(1)
 	return true
 }
@@ -589,14 +642,4 @@ func (sp *SpillStore) Close() error {
 	sp.sealLocked()
 	sp.enforceBudgetLocked()
 	return nil
-}
-
-// decodeSpillVec reinterprets a record's vector bytes as float32s into
-// a fresh slice.
-func decodeSpillVec(b []byte, dim int) []float32 {
-	vec := make([]float32, dim)
-	for i := range vec {
-		vec[i] = math.Float32frombits(binary.LittleEndian.Uint32(b[4*i:]))
-	}
-	return vec
 }

@@ -16,13 +16,30 @@ import (
 type TimeTable struct {
 	enc    *nn.TimeEncoder
 	window int
-	table  *tensor.Tensor // (window, d)
-	phi0   []float32      // Φ(0) row, kept separately for the z_i path
+	table  *tensor.Tensor // (window, d); nil in quant mode
+	// Quant mode replaces the float table with per-row int8 codes and
+	// scales (~4× smaller residency). Rows dequantize on copy-out; Φ(0)
+	// stays an exact float row — it is reused on every single target, so
+	// its error would be systematic, and keeping it exact is free.
+	qtable  []int8    // (window·d) codes, nil in float mode
+	qscales []float32 // (window) per-row scales
+	phi0    []float32 // Φ(0) row, kept separately for the z_i path
 }
 
 // NewTimeTable precomputes the window [0, window) of time encodings.
 // The paper uses a 10,000-wide window.
 func NewTimeTable(enc *nn.TimeEncoder, window int) *TimeTable {
+	return newTimeTable(enc, window, false)
+}
+
+// NewTimeTableQuant is NewTimeTable storing the precomputed rows
+// int8-quantized (per-row scale), trading ≤ scale/2 per-element error
+// for a 4× smaller table. Miss-path encodings stay exact float32.
+func NewTimeTableQuant(enc *nn.TimeEncoder, window int) *TimeTable {
+	return newTimeTable(enc, window, true)
+}
+
+func newTimeTable(enc *nn.TimeEncoder, window int, quant bool) *TimeTable {
 	if window < 1 {
 		panic("core: time table window must be >= 1")
 	}
@@ -31,11 +48,24 @@ func NewTimeTable(enc *nn.TimeEncoder, window int) *TimeTable {
 	for i := range dts {
 		dts[i] = float64(i)
 	}
-	tt.table = enc.Encode(dts)
-	tt.phi0 = make([]float32, enc.Dim())
-	copy(tt.phi0, tt.table.Data()[:enc.Dim()])
+	full := enc.Encode(dts)
+	d := enc.Dim()
+	tt.phi0 = make([]float32, d)
+	copy(tt.phi0, full.Data()[:d])
+	if !quant {
+		tt.table = full
+		return tt
+	}
+	tt.qtable = make([]int8, window*d)
+	tt.qscales = make([]float32, window)
+	for i := 0; i < window; i++ {
+		tt.qscales[i] = tensor.QuantizeVecInto(full.Data()[i*d:(i+1)*d], tt.qtable[i*d:(i+1)*d])
+	}
 	return tt
 }
+
+// Quant reports whether the table rows are stored int8-quantized.
+func (tt *TimeTable) Quant() bool { return tt.qtable != nil }
 
 // Window returns the precomputed range length.
 func (tt *TimeTable) Window() int { return tt.window }
@@ -68,19 +98,34 @@ func (tt *TimeTable) EncodeInto(dts []float64, dst *tensor.Tensor) int {
 func (tt *TimeTable) EncodeIntoWith(ar *tensor.Arena, dts []float64, dst *tensor.Tensor) int {
 	d := tt.Dim()
 	data := dst.Data()
-	tab := tt.table.Data()
 	hitCount := 0
 	missIdx := ar.Int32s(len(dts))
 	nm := 0
-	for i, dt := range dts {
-		idx := int(dt)
-		if dt >= 0 && float64(idx) == dt && idx < tt.window {
-			copy(data[i*d:(i+1)*d], tab[idx*d:(idx+1)*d])
-			hitCount++
-			continue
+	if tt.qtable != nil {
+		// Quantized rows dequantize on copy-out: one multiply per
+		// element instead of a copy, still branch- and allocation-free.
+		for i, dt := range dts {
+			idx := int(dt)
+			if dt >= 0 && float64(idx) == dt && idx < tt.window {
+				tensor.DequantizeVecInto(tt.qtable[idx*d:(idx+1)*d], tt.qscales[idx], data[i*d:(i+1)*d])
+				hitCount++
+				continue
+			}
+			missIdx[nm] = int32(i)
+			nm++
 		}
-		missIdx[nm] = int32(i)
-		nm++
+	} else {
+		tab := tt.table.Data()
+		for i, dt := range dts {
+			idx := int(dt)
+			if dt >= 0 && float64(idx) == dt && idx < tt.window {
+				copy(data[i*d:(i+1)*d], tab[idx*d:(idx+1)*d])
+				hitCount++
+				continue
+			}
+			missIdx[nm] = int32(i)
+			nm++
+		}
 	}
 	if nm > 0 {
 		missDts := ar.Float64s(nm)
@@ -104,16 +149,29 @@ func (tt *TimeTable) Encode(dts []float64) (*tensor.Tensor, int) {
 }
 
 // Bytes returns the memory footprint of the precomputed table.
-func (tt *TimeTable) Bytes() int64 { return int64(tt.table.Len()+len(tt.phi0)) * 4 }
+func (tt *TimeTable) Bytes() int64 {
+	if tt.qtable != nil {
+		return int64(len(tt.qtable)) + int64(len(tt.qscales)+len(tt.phi0))*4
+	}
+	return int64(tt.table.Len()+len(tt.phi0)) * 4
+}
 
 // Verify checks that every table row matches a fresh encoder evaluation
-// within tol (used by the self-test and property tests).
+// within tol (used by the self-test and property tests). In quant mode
+// the comparison is against the dequantized row, so tol must absorb the
+// quantization step (≤ scale/2 per element).
 func (tt *TimeTable) Verify(tol float64) bool {
 	d := tt.Dim()
 	for i := 0; i < tt.window; i++ {
 		fresh := tt.enc.EncodeScalar(float64(i))
 		for j := 0; j < d; j++ {
-			if math.Abs(float64(tt.table.At(i, j))-float64(fresh.At(j))) > tol {
+			var got float64
+			if tt.qtable != nil {
+				got = float64(tt.qscales[i]) * float64(tt.qtable[i*d+j])
+			} else {
+				got = float64(tt.table.At(i, j))
+			}
+			if math.Abs(got-float64(fresh.At(j))) > tol {
 				return false
 			}
 		}

@@ -96,21 +96,23 @@ func (a *TemporalAttention) forward(ar *tensor.Arena, q, kv *tensor.Tensor, k in
 	// stays allocation-free (see the same pattern in tensor's kernels).
 	if n >= parallel.MinParallelWork && parallel.Degree() > 1 {
 		parallel.ForChunked(n, 0, func(lo, hi int) {
-			a.attnRows(qd, kd, vd, cd, scoresAll, mask, weights, lo, hi, k, hd, scale, wantWeights)
+			attnRows(qd, kd, vd, cd, scoresAll, mask, weights, lo, hi, k, hd, a.Heads, a.EmbedDim, scale, wantWeights)
 		})
 	} else {
-		a.attnRows(qd, kd, vd, cd, scoresAll, mask, weights, 0, n, k, hd, scale, wantWeights)
+		attnRows(qd, kd, vd, cd, scoresAll, mask, weights, 0, n, k, hd, a.Heads, a.EmbedDim, scale, wantWeights)
 	}
 	return a.WO.ForwardWith(ar, ctx), weights
 }
 
 // attnRows computes the fused score/softmax/weighted-sum loop for
-// targets [lo,hi), writing per-head context into cd.
-func (a *TemporalAttention) attnRows(qd, kd, vd, cd, scoresAll []float32, mask []bool, weights *tensor.Tensor, lo, hi, k, hd int, scale float32, wantWeights bool) {
+// targets [lo,hi), writing per-head context into cd. It is a free
+// function so the float and int8-quantized attention operators share
+// one implementation — only the projections differ between them.
+func attnRows(qd, kd, vd, cd, scoresAll []float32, mask []bool, weights *tensor.Tensor, lo, hi, k, hd, heads, embedDim int, scale float32, wantWeights bool) {
 	for i := lo; i < hi; i++ {
 		scores := scoresAll[i*k : (i+1)*k]
-		for h := 0; h < a.Heads; h++ {
-			qrow := qd[i*a.EmbedDim+h*hd : i*a.EmbedDim+(h+1)*hd]
+		for h := 0; h < heads; h++ {
+			qrow := qd[i*embedDim+h*hd : i*embedDim+(h+1)*hd]
 			// Scores for valid slots.
 			maxv := float32(math.Inf(-1))
 			any := false
@@ -119,7 +121,7 @@ func (a *TemporalAttention) attnRows(qd, kd, vd, cd, scoresAll []float32, mask [
 				if !mask[p] {
 					continue
 				}
-				krow := kd[p*a.EmbedDim+h*hd : p*a.EmbedDim+(h+1)*hd]
+				krow := kd[p*embedDim+h*hd : p*embedDim+(h+1)*hd]
 				var s float32
 				for d, qv := range qrow {
 					s += qv * krow[d]
@@ -131,7 +133,7 @@ func (a *TemporalAttention) attnRows(qd, kd, vd, cd, scoresAll []float32, mask [
 					maxv = s
 				}
 			}
-			out := cd[i*a.EmbedDim+h*hd : i*a.EmbedDim+(h+1)*hd]
+			out := cd[i*embedDim+h*hd : i*embedDim+(h+1)*hd]
 			if !any {
 				continue // zero context for neighbor-less targets
 			}
@@ -158,7 +160,7 @@ func (a *TemporalAttention) attnRows(qd, kd, vd, cd, scoresAll []float32, mask [
 				if wantWeights {
 					weights.Set(alpha, i, h, j)
 				}
-				vrow := vd[p*a.EmbedDim+h*hd : p*a.EmbedDim+(h+1)*hd]
+				vrow := vd[p*embedDim+h*hd : p*embedDim+(h+1)*hd]
 				for d, vv := range vrow {
 					out[d] += alpha * vv
 				}

@@ -1,0 +1,166 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"tgopt/internal/parallel"
+	"tgopt/internal/tensor"
+)
+
+// This file holds the int8 inference variants of the forward-only
+// layers (DESIGN.md §14). Weights are quantized ONCE, at model load or
+// hot swap, into tensor.QuantMat's packed-lane layout; per-request work
+// is limited to quantizing activations row-by-row into arena scratch
+// and running the packed kernel. The quantized operators mirror the
+// float ForwardWith contracts exactly — same shapes, same arena
+// discipline, zero steady-state heap allocations — so the engine can
+// select a precision per request without touching batch assembly.
+
+// QuantLinear is a Linear whose weight matrix has been pre-quantized to
+// the packed int8 layout. The bias stays float32: it is added after
+// dequantization, where it is exact.
+type QuantLinear struct {
+	W *tensor.QuantMat
+	B *tensor.Tensor // (out) or nil
+}
+
+// QuantizeLinear quantizes l's weights per output row. The returned
+// layer shares l's bias tensor (biases are never quantized).
+func QuantizeLinear(l *Linear) *QuantLinear {
+	return &QuantLinear{W: tensor.QuantizeMat(l.W), B: l.B}
+}
+
+// In returns the input dimension.
+func (l *QuantLinear) In() int { return l.W.In }
+
+// Out returns the output dimension.
+func (l *QuantLinear) Out() int { return l.W.Out }
+
+// Bytes returns the resident size of the quantized weights plus bias.
+func (l *QuantLinear) Bytes() int {
+	b := l.W.Bytes()
+	if l.B != nil {
+		b += 4 * l.B.Len()
+	}
+	return b
+}
+
+// quantRows quantizes x's rows into arena scratch and returns the
+// packed activation triple consumed by tensor.QuantLinearInto. Callers
+// that feed the same activations to several QuantLinears (attention's
+// kv into WK and WV) quantize once and reuse the triple.
+func quantRows(ar *tensor.Arena, x *tensor.Tensor) (q []uint8, scales []float32, sums []int32) {
+	m, k := x.Dim(0), x.Dim(1)
+	q = ar.Bytes(m * k)
+	scales = ar.Float32s(m)
+	sums = ar.Int32s(m)
+	tensor.QuantizeRowsInto(x, q, scales, sums)
+	return q, scales, sums
+}
+
+// ForwardWith computes x·Wᵀ+b through the int8 kernel, with every
+// intermediate and the output drawn from ar (heap when ar is nil).
+func (l *QuantLinear) ForwardWith(ar *tensor.Arena, x *tensor.Tensor) *tensor.Tensor {
+	q, scales, sums := quantRows(ar, x)
+	return l.forwardQuantized(ar, q, scales, sums, x.Dim(0))
+}
+
+// forwardQuantized runs the kernel over pre-quantized activations.
+func (l *QuantLinear) forwardQuantized(ar *tensor.Arena, q []uint8, scales []float32, sums []int32, m int) *tensor.Tensor {
+	dst := ar.Tensor(m, l.Out())
+	tensor.QuantLinearInto(q, scales, sums, m, l.W, l.B, dst)
+	return dst
+}
+
+// QuantMergeLayer is the int8 variant of MergeLayer. The concat and
+// ReLU between the two projections stay float32 — they are cheap and
+// keeping them exact means the only error sources are the two matmuls.
+type QuantMergeLayer struct {
+	FC1, FC2 *QuantLinear
+}
+
+// QuantizeMergeLayer quantizes both projections of m.
+func QuantizeMergeLayer(m *MergeLayer) *QuantMergeLayer {
+	return &QuantMergeLayer{FC1: QuantizeLinear(m.FC1), FC2: QuantizeLinear(m.FC2)}
+}
+
+// Bytes returns the resident size of both quantized projections.
+func (m *QuantMergeLayer) Bytes() int { return m.FC1.Bytes() + m.FC2.Bytes() }
+
+// ForwardWith mirrors MergeLayer.ForwardWith through the int8 kernels.
+func (m *QuantMergeLayer) ForwardWith(ar *tensor.Arena, a, b *tensor.Tensor) *tensor.Tensor {
+	cat := ar.Tensor(a.Dim(0), a.Dim(1)+b.Dim(1))
+	tensor.ConcatColsInto(cat, a, b)
+	h := m.FC1.ForwardWith(ar, cat)
+	tensor.ReLUInPlace(h)
+	return m.FC2.ForwardWith(ar, h)
+}
+
+// QuantTemporalAttention is TemporalAttention with all four projections
+// quantized. The attention core — scores, softmax, weighted value sum —
+// runs in float32 over the dequantized projections via the same
+// attnRows loop as the float operator; only the matmuls change. The kv
+// activations are quantized once and shared by the WK and WV kernels.
+type QuantTemporalAttention struct {
+	Heads    int
+	EmbedDim int
+	QDim     int
+	KDim     int
+
+	WQ, WK, WV, WO *QuantLinear
+}
+
+// QuantizeAttention quantizes a's projections.
+func QuantizeAttention(a *TemporalAttention) *QuantTemporalAttention {
+	return &QuantTemporalAttention{
+		Heads:    a.Heads,
+		EmbedDim: a.EmbedDim,
+		QDim:     a.QDim,
+		KDim:     a.KDim,
+		WQ:       QuantizeLinear(a.WQ),
+		WK:       QuantizeLinear(a.WK),
+		WV:       QuantizeLinear(a.WV),
+		WO:       QuantizeLinear(a.WO),
+	}
+}
+
+// Bytes returns the resident size of all four quantized projections.
+func (a *QuantTemporalAttention) Bytes() int {
+	return a.WQ.Bytes() + a.WK.Bytes() + a.WV.Bytes() + a.WO.Bytes()
+}
+
+// ForwardWith mirrors TemporalAttention.ForwardWith: n targets with k
+// neighbor slots each, kv row i*k+j is slot j of target i, mask marks
+// valid slots. Returns (n, embedDim) drawn from ar.
+func (a *QuantTemporalAttention) ForwardWith(ar *tensor.Arena, q, kv *tensor.Tensor, k int, mask []bool) *tensor.Tensor {
+	n := q.Dim(0)
+	if kv.Dim(0) != n*k {
+		panic(fmt.Sprintf("nn: quant attention kv rows %d != n*k %d", kv.Dim(0), n*k))
+	}
+	if len(mask) != n*k {
+		panic(fmt.Sprintf("nn: quant attention mask len %d != n*k %d", len(mask), n*k))
+	}
+	qp := a.WQ.ForwardWith(ar, q)
+	// kv feeds both the key and value projections: quantize its rows
+	// once and run two kernels over the shared packed bytes.
+	kq, kscales, ksums := quantRows(ar, kv)
+	kp := a.WK.forwardQuantized(ar, kq, kscales, ksums, n*k)
+	vp := a.WV.forwardQuantized(ar, kq, kscales, ksums, n*k)
+	hd := a.EmbedDim / a.Heads
+	scale := float32(1 / math.Sqrt(float64(hd)))
+
+	ctx := ar.TensorZero(n, a.EmbedDim)
+	scoresAll := ar.Float32s(n * k)
+
+	qd, kd, vd, cd := qp.Data(), kp.Data(), vp.Data(), ctx.Data()
+	if n >= parallel.MinParallelWork && parallel.Degree() > 1 {
+		heads, embedDim := a.Heads, a.EmbedDim
+		parallel.ForChunked(n, 0, func(lo, hi int) {
+			attnRows(qd, kd, vd, cd, scoresAll, mask, nil, lo, hi, k, hd, heads, embedDim, scale, false)
+		})
+	} else {
+		attnRows(qd, kd, vd, cd, scoresAll, mask, nil, 0, n, k, hd, a.Heads, a.EmbedDim, scale, false)
+	}
+	return a.WO.ForwardWith(ar, ctx)
+}

@@ -1,0 +1,219 @@
+// BENCH_4: the int8 quantized inference path (DESIGN.md §14). RunQuant
+// compares both precisions at three levels — the dense kernel, the
+// end-to-end stream task at an equal cache byte budget, and the memo
+// cache's hit rate across byte budgets (int8 entries are smaller, so
+// the same budget holds more of the working set) — and embeds the
+// accuracy harness so the speed numbers always travel with the AP
+// delta that buys them.
+
+package perfbench
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"tgopt/internal/core"
+	"tgopt/internal/experiments"
+	"tgopt/internal/parallel"
+	"tgopt/internal/stats"
+	"tgopt/internal/tensor"
+	"tgopt/internal/tgat"
+)
+
+// QuantBudgetPoint is one cache byte budget measured at both
+// precisions over the same chronological stream.
+type QuantBudgetPoint struct {
+	BudgetBytes int64 `json:"budget_bytes"`
+	// Entry capacities at this budget (int8 entries are smaller).
+	Float32Entries int `json:"float32_entries"`
+	Int8Entries    int `json:"int8_entries"`
+	// Memo-cache hit rates over the full stream.
+	Float32HitRate float64 `json:"float32_hit_rate"`
+	Int8HitRate    float64 `json:"int8_hit_rate"`
+}
+
+// QuantReport is the BENCH_4 artifact.
+type QuantReport struct {
+	Schema         int     `json:"schema"`
+	GoVersion      string  `json:"go_version"`
+	GOOS           string  `json:"goos"`
+	GOARCH         string  `json:"goarch"`
+	MaxProcs       int     `json:"maxprocs"`
+	ParallelDegree int     `json:"parallel_degree"`
+	Dataset        string  `json:"dataset"`
+	Scale          float64 `json:"scale"`
+	Runs           int     `json:"runs"`
+
+	// KernelSpeedup is int8_packed MB/s over float32_blocked MB/s at
+	// the attention batch shape (acceptance: >= 2x).
+	KernelSpeedup float64 `json:"kernel_speedup"`
+	// E2EBudgetBytes is the shared cache byte budget of the two e2e
+	// rows; E2ESpeedup is float32 ns/edge over int8 ns/edge there.
+	E2EBudgetBytes int64   `json:"e2e_budget_bytes"`
+	E2ESpeedup     float64 `json:"e2e_speedup"`
+
+	Results []Result           `json:"results"`
+	Budgets []QuantBudgetPoint `json:"budgets"`
+	Acc     *QuantAccReport    `json:"acc"`
+}
+
+// quantBudgets are the swept hot-tier byte budgets: deliberately tight
+// against the scaled workloads so entry density is the deciding factor.
+var quantBudgets = []int64{64 << 10, 256 << 10, 1 << 20}
+
+// RunQuant executes the quantized-path suite on the named workload.
+func RunQuant(setup experiments.Setup, datasetName string, runs int) (*QuantReport, error) {
+	if runs < 1 {
+		runs = 1
+	}
+	rep := &QuantReport{
+		Schema:         1,
+		GoVersion:      runtime.Version(),
+		GOOS:           runtime.GOOS,
+		GOARCH:         runtime.GOARCH,
+		MaxProcs:       runtime.GOMAXPROCS(0),
+		ParallelDegree: parallel.Degree(),
+		Dataset:        datasetName,
+		Scale:          setup.Scale,
+		Runs:           runs,
+	}
+
+	kernels, speedup := quantKernelResults()
+	rep.Results = append(rep.Results, kernels...)
+	rep.KernelSpeedup = speedup
+
+	w, err := experiments.LoadWorkload(datasetName, setup)
+	if err != nil {
+		return nil, err
+	}
+
+	// Hit rate vs byte budget, both precisions over the same stream.
+	for _, budget := range quantBudgets {
+		p := QuantBudgetPoint{
+			BudgetBytes:    budget,
+			Float32Entries: core.EntriesForBudgetQuant(budget, setup.NodeDim, false),
+			Int8Entries:    core.EntriesForBudgetQuant(budget, setup.NodeDim, true),
+		}
+		p.Float32HitRate = quantHitRate(w, setup, budget, core.QuantOff)
+		p.Int8HitRate = quantHitRate(w, setup, budget, core.QuantInt8)
+		rep.Budgets = append(rep.Budgets, p)
+	}
+
+	// End-to-end at an equal (middle) budget: the kernel speedup and
+	// the density-driven hit-rate gain compound into ns/edge.
+	rep.E2EBudgetBytes = quantBudgets[1]
+	rf := quantE2EResult("e2e/stream/float32", w, setup, rep.E2EBudgetBytes, core.QuantOff, runs)
+	ri := quantE2EResult("e2e/stream/int8", w, setup, rep.E2EBudgetBytes, core.QuantInt8, runs)
+	rep.Results = append(rep.Results, rf, ri)
+	if ri.NsPerEdge > 0 {
+		rep.E2ESpeedup = rf.NsPerEdge / ri.NsPerEdge
+	}
+
+	acc, err := RunQuantAcc(setup, datasetName)
+	if err != nil {
+		return nil, err
+	}
+	rep.Acc = acc
+	return rep, nil
+}
+
+// quantKernelResults measures the float32 blocked kernel against the
+// packed int8 kernel at the BENCH_1 attention-batch shape, plus the
+// row-quantization pass the int8 path pays per activation matrix. The
+// MB/s figures use the float32 byte volume on both rows so they are
+// directly comparable (same work, different representation).
+func quantKernelResults() ([]Result, float64) {
+	r := tensor.NewRNG(1)
+	x := tensor.Randn(r, kernelM, kernelK)
+	b := tensor.Randn(r, kernelK, kernelN)
+	wf := tensor.Randn(r, kernelN, kernelK)
+	bias := tensor.Randn(r, kernelN)
+	dst := tensor.New(kernelM, kernelN)
+	bytes := int64(4 * (kernelM*kernelK + kernelK*kernelN + kernelM*kernelN))
+
+	blocked := testing.Benchmark(func(bm *testing.B) {
+		bm.ReportAllocs()
+		for i := 0; i < bm.N; i++ {
+			tensor.MatMulInto(x, b, dst)
+		}
+	})
+
+	w := tensor.QuantizeMat(wf)
+	q := make([]uint8, kernelM*kernelK)
+	scales := make([]float32, kernelM)
+	sums := make([]int32, kernelM)
+	tensor.QuantizeRowsInto(x, q, scales, sums)
+	packed := testing.Benchmark(func(bm *testing.B) {
+		bm.ReportAllocs()
+		for i := 0; i < bm.N; i++ {
+			tensor.QuantLinearInto(q, scales, sums, kernelM, w, bias, dst)
+		}
+	})
+	quantize := testing.Benchmark(func(bm *testing.B) {
+		bm.ReportAllocs()
+		for i := 0; i < bm.N; i++ {
+			tensor.QuantizeRowsInto(x, q, scales, sums)
+		}
+	})
+
+	rb := toResult("kernel/matmul_float32_blocked", blocked, bytes)
+	rp := toResult("kernel/matmul_int8_packed", packed, bytes)
+	rq := toResult("kernel/quantize_rows", quantize, bytes)
+	var speedup float64
+	if rb.MBPerS > 0 {
+		speedup = rp.MBPerS / rb.MBPerS
+	}
+	return []Result{rb, rp, rq}, speedup
+}
+
+// quantOpts builds the engine options for one measured configuration:
+// all paper optimizations on, hot tier capped by the byte budget at the
+// given precision, no spill tier (the sweep isolates hot-tier density).
+func quantOpts(s experiments.Setup, budget int64, quant core.QuantMode) core.Options {
+	opt := optAll(s)
+	opt.CacheBudgetBytes = budget
+	opt.Quant = quant
+	return opt
+}
+
+// quantHitRate runs one full chronological stream pass and returns the
+// overall memo-cache hit rate.
+func quantHitRate(w *experiments.Workload, s experiments.Setup, budget int64, quant core.QuantMode) float64 {
+	hr := stats.NewHitRate(10)
+	opt := quantOpts(s, budget, quant)
+	opt.HitRate = hr
+	eng := core.NewEngine(w.Model, w.Sampler, opt)
+	tgat.StreamInferenceArenaScored(w.DS.Graph, w.Model, s.BatchSize, 1, eng.EmbedArenaFunc(), eng)
+	return hr.Average()
+}
+
+// quantE2EResult measures full-stream inference at one precision and
+// budget (fresh engine per repetition, minimum wall time, ns/edge).
+func quantE2EResult(name string, w *experiments.Workload, s experiments.Setup, budget int64, quant core.QuantMode, runs int) Result {
+	edges := len(w.DS.Graph.Edges())
+	var best time.Duration
+	var bestAllocs, bestBytes uint64
+	for i := 0; i < runs; i++ {
+		eng := core.NewEngine(w.Model, w.Sampler, quantOpts(s, budget, quant))
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		start := time.Now()
+		tgat.StreamInferenceArenaScored(w.DS.Graph, w.Model, s.BatchSize, 1, eng.EmbedArenaFunc(), eng)
+		wall := time.Since(start)
+		runtime.ReadMemStats(&m1)
+		if i == 0 || wall < best {
+			best = wall
+			bestAllocs = m1.Mallocs - m0.Mallocs
+			bestBytes = m1.TotalAlloc - m0.TotalAlloc
+		}
+	}
+	return Result{
+		Name:        name,
+		NsPerOp:     float64(best.Nanoseconds()),
+		AllocsPerOp: float64(bestAllocs),
+		BytesPerOp:  float64(bestBytes),
+		NsPerEdge:   float64(best.Nanoseconds()) / float64(edges),
+		Edges:       edges,
+	}
+}

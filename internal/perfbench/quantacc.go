@@ -1,0 +1,188 @@
+// The quantized-path accuracy harness (`tgopt-bench quantacc`): runs
+// the same link-prediction task at float32 and int8 and reports the
+// ranking-quality delta the quantization costs. The task is the
+// paper's stream-inference protocol with sampled negatives: every real
+// edge (src, dst, t) is a positive, paired with one negative (src,
+// rnd, t) drawn uniformly from the node set, and both precisions score
+// the identical pairs. check.sh gates on APDelta.
+
+package perfbench
+
+import (
+	"sort"
+
+	"tgopt/internal/core"
+	"tgopt/internal/experiments"
+	"tgopt/internal/tensor"
+)
+
+// QuantAccReport compares link-prediction quality across precisions.
+type QuantAccReport struct {
+	Dataset string `json:"dataset"`
+	Edges   int    `json:"edges"`
+	// Average precision (positives ranked above sampled negatives) and
+	// accuracy at logit 0, per precision.
+	APFloat32  float64 `json:"ap_float32"`
+	APInt8     float64 `json:"ap_int8"`
+	APDelta    float64 `json:"ap_delta"` // |float32 − int8|
+	AccFloat32 float64 `json:"acc_float32"`
+	AccInt8    float64 `json:"acc_int8"`
+	// MaxAbsEmbedDelta is the largest per-element difference between
+	// the float32 and int8 top-layer embeddings over every target.
+	MaxAbsEmbedDelta float64 `json:"max_abs_embed_delta"`
+	// MaxAbsLogitDelta is the same bound on the affinity logits.
+	MaxAbsLogitDelta float64 `json:"max_abs_logit_delta"`
+}
+
+// RunQuantAcc runs the accuracy comparison on the named workload. Both
+// engines run with all paper optimizations at the default cache limit,
+// so the comparison isolates precision, not configuration.
+func RunQuantAcc(setup experiments.Setup, datasetName string) (*QuantAccReport, error) {
+	w, err := experiments.LoadWorkload(datasetName, setup)
+	if err != nil {
+		return nil, err
+	}
+	edges := w.DS.Graph.Edges()
+	n := len(edges)
+	numNodes := w.DS.Graph.NumNodes()
+
+	// Sampled negatives: deterministic, shared by both precisions.
+	rng := tensor.NewRNG(setup.Seed + 17)
+	negDst := make([]int32, n)
+	for i := range negDst {
+		negDst[i] = int32(rng.Uint64() % uint64(numNodes))
+	}
+
+	optF := optAll(setup)
+	optQ := optAll(setup)
+	optQ.Quant = core.QuantInt8
+	engF := core.NewEngine(w.Model, w.Sampler, optF)
+	engQ := core.NewEngine(w.Model, w.Sampler, optQ)
+
+	rep := &QuantAccReport{Dataset: datasetName, Edges: n}
+	batch := setup.BatchSize
+	if batch < 1 {
+		batch = 200
+	}
+	d := w.Model.Cfg.NodeDim
+	posF := make([]float64, n)
+	negF := make([]float64, n)
+	posQ := make([]float64, n)
+	negQ := make([]float64, n)
+	arF := tensor.NewArena()
+	arQ := tensor.NewArena()
+	nodes := make([]int32, 3*batch)
+	ts := make([]float64, 3*batch)
+	for start := 0; start < n; start += batch {
+		end := start + batch
+		if end > n {
+			end = n
+		}
+		nb := end - start
+		// Targets packed src ‖ dst ‖ negative-dst, timestamps shared.
+		for i, e := range edges[start:end] {
+			nodes[i], nodes[nb+i], nodes[2*nb+i] = e.Src, e.Dst, negDst[start+i]
+			ts[i], ts[nb+i], ts[2*nb+i] = e.Time, e.Time, e.Time
+		}
+		arF.Reset()
+		arQ.Reset()
+		hF := engF.EmbedWith(arF, nodes[:3*nb], ts[:3*nb])
+		hQ := engQ.EmbedWith(arQ, nodes[:3*nb], ts[:3*nb])
+		for i := 0; i < 3*nb*d; i++ {
+			diff := float64(hF.Data()[i]) - float64(hQ.Data()[i])
+			if diff < 0 {
+				diff = -diff
+			}
+			if diff > rep.MaxAbsEmbedDelta {
+				rep.MaxAbsEmbedDelta = diff
+			}
+		}
+		scorePairs := func(eng *core.Engine, ar *tensor.Arena, h *tensor.Tensor, pos, neg []float64) {
+			hSrc := ar.Wrap(h.Data()[:nb*d], nb, d)
+			hDst := ar.Wrap(h.Data()[nb*d:2*nb*d], nb, d)
+			hNeg := ar.Wrap(h.Data()[2*nb*d:3*nb*d], nb, d)
+			lp := eng.ScoreWith(ar, hSrc, hDst)
+			ln := eng.ScoreWith(ar, hSrc, hNeg)
+			for i := 0; i < nb; i++ {
+				pos[start+i] = float64(lp.At(i, 0))
+				neg[start+i] = float64(ln.At(i, 0))
+			}
+		}
+		scorePairs(engF, arF, hF, posF, negF)
+		scorePairs(engQ, arQ, hQ, posQ, negQ)
+	}
+	for i := 0; i < n; i++ {
+		for _, diff := range []float64{posF[i] - posQ[i], negF[i] - negQ[i]} {
+			if diff < 0 {
+				diff = -diff
+			}
+			if diff > rep.MaxAbsLogitDelta {
+				rep.MaxAbsLogitDelta = diff
+			}
+		}
+	}
+
+	rep.APFloat32 = averagePrecision(posF, negF)
+	rep.APInt8 = averagePrecision(posQ, negQ)
+	rep.APDelta = rep.APFloat32 - rep.APInt8
+	if rep.APDelta < 0 {
+		rep.APDelta = -rep.APDelta
+	}
+	rep.AccFloat32 = thresholdAccuracy(posF, negF)
+	rep.AccInt8 = thresholdAccuracy(posQ, negQ)
+	return rep, nil
+}
+
+// averagePrecision ranks all scores descending (positives labeled 1,
+// negatives 0) and returns the mean of precision-at-rank over the
+// positives — the standard AP of the TGAT evaluation protocol. Ties
+// between a positive and a negative are broken pessimistically
+// (negative first) so quantization can only be charged, never
+// credited, for collapsing distinct scores.
+func averagePrecision(pos, neg []float64) float64 {
+	type scored struct {
+		s   float64
+		lab int
+	}
+	all := make([]scored, 0, len(pos)+len(neg))
+	for _, s := range pos {
+		all = append(all, scored{s, 1})
+	}
+	for _, s := range neg {
+		all = append(all, scored{s, 0})
+	}
+	sort.SliceStable(all, func(i, j int) bool {
+		if all[i].s != all[j].s {
+			return all[i].s > all[j].s
+		}
+		return all[i].lab < all[j].lab
+	})
+	var hits, sum float64
+	for rank, sc := range all {
+		if sc.lab == 1 {
+			hits++
+			sum += hits / float64(rank+1)
+		}
+	}
+	if hits == 0 {
+		return 0
+	}
+	return sum / hits
+}
+
+// thresholdAccuracy is the fraction of correct calls at logit 0:
+// positives above, negatives at-or-below.
+func thresholdAccuracy(pos, neg []float64) float64 {
+	var ok int
+	for _, s := range pos {
+		if s > 0 {
+			ok++
+		}
+	}
+	for _, s := range neg {
+		if s <= 0 {
+			ok++
+		}
+	}
+	return float64(ok) / float64(len(pos)+len(neg))
+}

@@ -27,6 +27,10 @@ func NewSharded(model *tgat.Model, dyn *graph.Dynamic, opt core.Options, cfg sha
 		dyn:     dyn,
 		model:   model,
 		hitRate: stats.NewHitRate(10),
+		quant:   opt.Quant,
+	}
+	if opt.Quant == core.QuantInt8 {
+		s.qmodel = tgat.QuantizeModel(model)
 	}
 	opt.HitRate = s.hitRate // concurrency-safe; shared across shards
 	r, err := shard.NewRouter(model, dyn, opt, cfg)

@@ -86,6 +86,25 @@ func matmulRows(a, b, c []float32, lo, hi, k, n int) {
 	}
 }
 
+// MatMulAutoInto computes dst = A·B choosing the dense kernel by
+// measured throughput. pack may be nil or a PackedScratchLen(k, n)
+// scratch slice; it is accepted so callers holding packed scratch can
+// switch kernels without an API change, but the current heuristic never
+// uses it.
+//
+// Benchmark guard: BENCH_1.json (m=2048, k=96, n=64, the attention
+// shape) measured kernel/matmul_blocked at 216.6 MB/s and
+// kernel/matmul_packed at 195.5 MB/s — the packed kernel's O(k·n)
+// repack pass and panel-boundary stores cost more than its extra
+// register blocking buys at every shape the TGAT layers produce, so
+// the blocked kernel is the dense default for all sizes. If a future
+// BENCH_<n>.json shows the packed kernel winning on some shape, encode
+// that shape test here rather than at call sites.
+func MatMulAutoInto(a, b, dst *Tensor, pack []float32) {
+	_ = pack
+	MatMulInto(a, b, dst)
+}
+
 // PackedScratchLen returns the scratch length MatMulPackedInto needs
 // for a B operand of shape (k, n).
 func PackedScratchLen(k, n int) int { return k * ((n + 3) &^ 3) }
@@ -96,8 +115,11 @@ func PackedScratchLen(k, n int) int { return k * ((n + 3) &^ 3) }
 // accumulators in registers. pack must have at least
 // PackedScratchLen(k, n) elements — pass an arena slice to keep the
 // call allocation-free. The packing cost is O(k·n), amortized over m
-// rows; for the tall-skinny shapes the TGAT layers produce (m ≫ k, n)
-// this is the fastest dense kernel (see BenchmarkMatMulKernels).
+// rows. Despite the extra register blocking, BENCH_1.json measured this
+// kernel ~10% slower than MatMulInto at the tall-skinny attention shape
+// (195.5 vs 216.6 MB/s) — the repack pass plus panel-boundary stores
+// outweigh the blocking — so the dense default (MatMulAutoInto) does
+// not select it. It is kept for shapes a future benchmark may surface.
 func MatMulPackedInto(a, b, dst *Tensor, pack []float32) {
 	m, k := a.shape[0], a.shape[1]
 	n := b.shape[1]

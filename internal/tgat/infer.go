@@ -34,6 +34,13 @@ type StreamResult struct {
 	Batches int
 }
 
+// Scorer computes affinity logits for paired embedding rows. *Model,
+// *QuantModel, and core.Engine all satisfy it, so the stream driver can
+// score at whichever precision produced the embeddings.
+type Scorer interface {
+	ScoreWith(ar *tensor.Arena, hSrc, hDst *tensor.Tensor) *tensor.Tensor
+}
+
 // arenaAdapter lifts a plain EmbedFunc into an EmbedArenaFunc (the
 // result simply lives on the heap instead of the arena).
 func arenaAdapter(embed EmbedFunc) EmbedArenaFunc {
@@ -60,6 +67,14 @@ func StreamInferenceConcurrent(g *graph.Graph, m *Model, batchSize, workers int,
 // steady-state batches perform no heap allocation in the driver. With
 // workers <= 1 the stream runs on the calling goroutine.
 func StreamInferenceArena(g *graph.Graph, m *Model, batchSize, workers int, embed EmbedArenaFunc) *StreamResult {
+	return StreamInferenceArenaScored(g, m, batchSize, workers, embed, m)
+}
+
+// StreamInferenceArenaScored is StreamInferenceArena scoring through an
+// explicit Scorer instead of the model's float affinity head — the int8
+// path passes the engine (or QuantModel) so embeddings and logits come
+// from the same precision.
+func StreamInferenceArenaScored(g *graph.Graph, m *Model, batchSize, workers int, embed EmbedArenaFunc, scorer Scorer) *StreamResult {
 	edges := g.Edges()
 	nBatches := (len(edges) + batchSize - 1) / batchSize
 	res := &StreamResult{Scores: make([]float64, len(edges)), Batches: nBatches}
@@ -67,7 +82,7 @@ func StreamInferenceArena(g *graph.Graph, m *Model, batchSize, workers int, embe
 		workers = nBatches
 	}
 	if workers <= 1 {
-		w := newStreamWorker(m, batchSize)
+		w := newStreamWorker(m, scorer, batchSize)
 		for bi := 0; bi < nBatches; bi++ {
 			w.runBatch(edges, bi, batchSize, embed, res.Scores)
 		}
@@ -79,7 +94,7 @@ func StreamInferenceArena(g *graph.Graph, m *Model, batchSize, workers int, embe
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			w := newStreamWorker(m, batchSize)
+			w := newStreamWorker(m, scorer, batchSize)
 			for {
 				bi := int(next.Add(1)) - 1
 				if bi >= nBatches {
@@ -97,18 +112,20 @@ func StreamInferenceArena(g *graph.Graph, m *Model, batchSize, workers int, embe
 // the scratch arena and the packed node/timestamp buffers. One worker
 // processes one batch at a time, so all fields are single-owner.
 type streamWorker struct {
-	m     *Model
-	ar    *tensor.Arena
-	nodes []int32
-	ts    []float64
+	m      *Model
+	scorer Scorer
+	ar     *tensor.Arena
+	nodes  []int32
+	ts     []float64
 }
 
-func newStreamWorker(m *Model, batchSize int) *streamWorker {
+func newStreamWorker(m *Model, scorer Scorer, batchSize int) *streamWorker {
 	return &streamWorker{
-		m:     m,
-		ar:    tensor.NewArena(),
-		nodes: make([]int32, 2*batchSize),
-		ts:    make([]float64, 2*batchSize),
+		m:      m,
+		scorer: scorer,
+		ar:     tensor.NewArena(),
+		nodes:  make([]int32, 2*batchSize),
+		ts:     make([]float64, 2*batchSize),
 	}
 }
 
@@ -136,7 +153,7 @@ func (w *streamWorker) runBatch(edges []graph.Edge, bi, batchSize int, embed Emb
 	h := embed(w.ar, nodes, ts)
 	hSrc := w.ar.Wrap(h.Data()[:nb*d], nb, d)
 	hDst := w.ar.Wrap(h.Data()[nb*d:], nb, d)
-	logits := w.m.ScoreWith(w.ar, hSrc, hDst)
+	logits := w.scorer.ScoreWith(w.ar, hSrc, hDst)
 	for i := 0; i < nb; i++ {
 		scores[start+i] = float64(logits.At(i, 0))
 	}

@@ -7,12 +7,21 @@
 #
 #   scripts/bench.sh cache    # regenerate the cache-policy sweep
 #                             # (hit rate vs byte budget, BENCH_3.json)
+#   scripts/bench.sh quant    # regenerate the int8 quantized-path report
+#                             # (kernel MB/s, e2e ns/edge, hit rate at
+#                             # equal budgets, AP delta; BENCH_4.json)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 if [ "${1:-}" = "cache" ]; then
   go run ./cmd/tgopt-bench cachesweep -o BENCH_3.json
   echo "wrote BENCH_3.json" >&2
+  exit 0
+fi
+
+if [ "${1:-}" = "quant" ]; then
+  go run ./cmd/tgopt-bench quant -runs "${RUNS:-3}" -o BENCH_4.json
+  echo "wrote BENCH_4.json" >&2
   exit 0
 fi
 

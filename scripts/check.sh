@@ -33,6 +33,10 @@ go test -race -count=1 -run 'TestSpill|TestTieredCache|TestBatcherRetire' ./inte
 echo "== cache-policy sweep smoke (Zipf trace, TinyLFU >= FIFO at equal budget)"
 go test -count=1 -run 'TestCacheSweep' ./internal/perfbench/
 
+echo "== quantized-path gate (int8 kernels/cache/snapshots under race; AP within 1pp of float32)"
+go test -race -count=1 -run 'TestQuant' ./internal/core/ ./internal/nn/ ./internal/tensor/
+go run ./cmd/tgopt-bench quantacc -max-ap-delta 0.01 > /dev/null
+
 echo "== bench smoke (compile + one iteration of every benchmark)"
 go test -run='^$' -bench=. -benchtime=1x ./internal/tensor/ ./internal/core/ ./internal/graph/ > /dev/null
 
