@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check race bench bench-serve bench-cache microbench
+.PHONY: build test check race bench bench-serve bench-cache bench-quant bench-deep microbench
 
 build:
 	$(GO) build ./...
@@ -38,6 +38,13 @@ bench-cache:
 # delta from the accuracy harness (BENCH_4.json, see DESIGN.md §14).
 bench-quant:
 	./scripts/bench.sh quant
+
+# Committed deep-invalidation artifact: 3-layer serving under live
+# ingest, selective transitive invalidation vs the conservative deep
+# clear — per-layer hit rates and ns/edge at several ingest rates
+# (BENCH_5.json, see DESIGN.md §15).
+bench-deep:
+	./scripts/bench.sh deep
 
 # In-place Go microbenchmarks (no artifact).
 microbench:

@@ -22,6 +22,8 @@
 //	                                       # FIFO vs TinyLFU admission
 //	tgopt-bench quant [-o BENCH.json]      # int8 vs float32: kernel MB/s, e2e
 //	                                       # ns/edge and hit rate at equal budgets
+//	tgopt-bench deepsweep [-o BENCH.json]  # 3-layer serving under live ingest:
+//	                                       # transitive invalidation vs deep clear-all
 //	tgopt-bench quantacc [-max-ap-delta d] # int8 accuracy harness: AP/accuracy
 //	                                       # delta + max-abs embedding delta
 //	tgopt-bench all                        # everything above, CPU + GPU
@@ -222,6 +224,11 @@ func main() {
 		cfg := perfbench.DefaultCacheSweepConfig()
 		cfg.Seed = *seed
 		err = runCacheSweep(cfg, *out)
+	case "deepsweep":
+		cfg := perfbench.DefaultDeepSweepConfig()
+		cfg.Seed = *seed
+		cfg.Runs = *runs
+		err = runDeepSweep(cfg, *out)
 	case "quant":
 		err = runQuant(setup, one(focus, "snap-msg", *ds), *runs, *out)
 	case "quantacc":
@@ -504,6 +511,31 @@ func runCacheSweep(cfg perfbench.CacheSweepConfig, out string) error {
 	return nil
 }
 
+// runDeepSweep executes the deep-layer invalidation sweep (BENCH_5:
+// 3-layer serving under live ingest, selective transitive invalidation
+// vs the conservative deep clear) and writes the JSON report to out
+// (stdout when empty), with a summary on stderr.
+func runDeepSweep(cfg perfbench.DeepSweepConfig, out string) error {
+	rep, err := perfbench.RunDeepSweep(cfg)
+	if err != nil {
+		return err
+	}
+	if err := writeReport(rep, out); err != nil {
+		return err
+	}
+	for _, p := range rep.Points {
+		fmt.Fprintf(os.Stderr,
+			"deepsweep: rate=%4d/1000 (%d ingests, %d late) deep-hit sel=%.4f clr=%.4f (%+.4f) ns/edge sel=%.0f clr=%.0f (%.2fx)\n",
+			p.RatePer1000, p.Ingests, p.LateEdges,
+			p.Selective.DeepHitRate, p.ClearAll.DeepHitRate, p.HitRateGain,
+			p.Selective.NsPerEdge, p.ClearAll.NsPerEdge, p.Speedup)
+	}
+	if !rep.AllPointsPass {
+		return fmt.Errorf("deepsweep: acceptance failed — selective did not beat clear-all at every rate")
+	}
+	return nil
+}
+
 // runQuant executes the quantized-path suite (BENCH_4: kernel MB/s at
 // both precisions, e2e ns/edge and cache hit rate at equal byte
 // budgets, embedded accuracy report) and writes the JSON report to out
@@ -569,7 +601,7 @@ func writeReport(rep any, out string) error {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: tgopt-bench <table1|table2|fig3|fig4|fig5|fig6|fig7|table3|table4|table5|sampling|train-dedup|batchsweep|warmstart|perf|serve|cachesweep|quant|quantacc|all> [flags]
+	fmt.Fprintln(os.Stderr, `usage: tgopt-bench <table1|table2|fig3|fig4|fig5|fig6|fig7|table3|table4|table5|sampling|train-dedup|batchsweep|warmstart|perf|serve|cachesweep|quant|quantacc|deepsweep|all> [flags]
 run "tgopt-bench fig5 -h" for flags`)
 }
 

@@ -5,6 +5,7 @@ import (
 
 	"tgopt/internal/parallel"
 	"tgopt/internal/tensor"
+	"tgopt/internal/tgat"
 )
 
 // TestEngineEmbedSteadyStateAllocs pins the headline memory-discipline
@@ -24,18 +25,34 @@ func TestEngineEmbedSteadyStateAllocs(t *testing.T) {
 	parallel.SetDegree(1)
 	defer parallel.SetDegree(old)
 
-	_, m, s := engineTestSetup(t, 500)
+	ds, m, s := engineTestSetup(t, 500)
 	nodes := []int32{1, 2, 3, 1, 26, 30, 7, 12}
 	ts := []float64{4e4, 4e4, 3e4, 4e4, 4.5e4, 2e4, 3.5e4, 4.2e4}
 
+	// A 3-layer model exercises the deep-memo dependency recording
+	// (target + support indexes, DESIGN.md §15): recording happens only
+	// on the miss/store path, so the all-hit steady state must stay
+	// allocation-free there too.
+	cfg3 := engineTestConfig()
+	cfg3.Layers = 3
+	m3, err := tgat.NewModel(cfg3, ds.NodeFeat, ds.EdgeFeat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracked := OptAll()
+	tracked.TrackTargets = true
+
 	cases := []struct {
-		name string
-		opt  Options
+		name  string
+		model *tgat.Model
+		opt   Options
 	}{
-		{"baseline", Options{}},
-		{"optall", OptAll()},
+		{"baseline", m, Options{}},
+		{"optall", m, OptAll()},
+		{"optall-3layer-tracked", m3, tracked},
 	}
 	for _, tc := range cases {
+		m := tc.model
 		eng := NewEngine(m, s, tc.opt)
 		ar := tensor.NewArena()
 		nb := len(nodes) / 2

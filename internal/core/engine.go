@@ -27,9 +27,16 @@ type Options struct {
 	EnableTimePrecompute bool
 
 	// CacheLimit bounds the total cached embeddings (default 2,000,000,
-	// the paper's setting). With more than one cached layer the limit is
-	// split evenly across per-layer caches.
+	// the paper's setting). With more than one cached layer the limit
+	// is divided across per-layer caches per CacheSplit.
 	CacheLimit int
+	// CacheSplit selects how CacheLimit and CacheSpillMaxBytes divide
+	// across per-layer caches when more than one layer is cached. The
+	// zero value is CacheSplitWeighted — layer l's share is
+	// proportional to k^(top−l), matching expected lookup traffic
+	// (every layer-(l+1) miss fans out into k layer-l lookups);
+	// CacheSplitEven restores the flat split.
+	CacheSplit CacheSplitPolicy
 	// CacheBudgetBytes, when > 0, overrides CacheLimit with an explicit
 	// hot-tier byte budget: the item limit becomes
 	// budget / (4·NodeDim + entry overhead). This is the operator-facing
@@ -90,13 +97,24 @@ type Options struct {
 	// memory proportional to cached items × (k+1).
 	TrackDependencies bool
 
-	// TrackTargets maintains the per-node key index that makes
+	// TrackTargets maintains the per-node indexes that make
 	// out-of-order edge inserts sound under memoization
-	// (Engine.InvalidateLateEdge): one index record per cached entry —
-	// far cheaper than TrackDependencies' k+1 — listing, for every
-	// node, the cached ⟨node, t⟩ keys. Serving over a graph.Dynamic
-	// with a lateness window enables this automatically.
+	// (Engine.InvalidateLateEdge). The final cached layer costs one
+	// target record per cached entry — far cheaper than
+	// TrackDependencies' k+1 — listing, for every node, the cached
+	// ⟨node, t⟩ keys; deeper cached layers (models with L > 2)
+	// additionally record their sampled support set (at most k support
+	// records per entry), enabling transitive selective invalidation
+	// instead of the conservative deep clear (DESIGN.md §15). Serving
+	// over a graph.Dynamic with a lateness window enables this
+	// automatically.
 	TrackTargets bool
+
+	// DeepClearAll disables transitive deep-layer invalidation: every
+	// late insert or future-displacing append clears the l ≥ 2 caches
+	// whole, as before PR 9. Operational escape hatch, and the
+	// baseline leg of the deepsweep benchmark (BENCH_5).
+	DeepClearAll bool
 }
 
 // OptAll returns Options with all three optimizations enabled at the
@@ -162,11 +180,20 @@ type Engine struct {
 	// here, never per request.
 	qmodel *tgat.QuantModel
 	deps   *DepTracker
-	// targets indexes cached keys by target node (Options.TrackTargets)
-	// and dyn is the live graph when serving a stream — together they
-	// implement selective staleness invalidation for late edge inserts.
-	targets *TargetIndex
-	dyn     *graph.Dynamic
+	// layerTargets[l] indexes layer l's cached keys by target node and
+	// layerSupports[l] (l ≥ 2) indexes them by support node — the
+	// (node, time) pairs whose layer-(l−1) embeddings the entry
+	// aggregated (Options.TrackTargets). dyn is the live graph when
+	// serving a stream. Together they implement selective staleness
+	// invalidation for late inserts and appends, transitively across
+	// cached layers (DESIGN.md §15). Support indexes for middle layers
+	// (2 ≤ l < top) retain records past eviction: an upper entry may
+	// still depend on an evicted value, and losing its record would
+	// break rule-(iii) propagation; the retained lists are capped, and
+	// an overflow forces the conservative deep clear.
+	layerTargets  []*TargetIndex
+	layerSupports []*SupportIndex
+	dyn           *graph.Dynamic
 	// staleSkips counts memoizations abandoned because the graph's
 	// mutation epoch advanced between sampling and store: the sampled
 	// neighborhoods may predate a history rewrite, so caching the
@@ -217,38 +244,28 @@ func NewEngine(m *tgat.Model, s *graph.Sampler, opt Options) *Engine {
 			opt.CacheLimit = limit
 			e.opt.CacheLimit = limit
 		}
-		cached := m.Cfg.Layers - 1
-		if cached < 1 {
-			cached = 1 // single-layer models cache their only layer
+		top := m.Cfg.Layers - 1
+		if m.Cfg.Layers == 1 {
+			top = 1 // single-layer models cache their only layer
 		}
-		per := opt.CacheLimit / cached
-		if per < 1 {
-			per = 1
-		}
-		var spillPer int64
-		if opt.CacheSpillMaxBytes > 0 {
-			spillPer = opt.CacheSpillMaxBytes / int64(cached)
-		}
+		per := SplitCacheLimit(opt.CacheLimit, m.Cfg.NumNeighbors, top, opt.CacheSplit)
+		spillPer := SplitCacheBudget(opt.CacheSpillMaxBytes, m.Cfg.NumNeighbors, top, opt.CacheSplit)
 		fsys := opt.SpillFS
 		if fsys == nil {
 			fsys = checkpoint.OS{}
 		}
 		e.caches = make([]*Cache, m.Cfg.Layers+1)
-		top := m.Cfg.Layers - 1
-		if m.Cfg.Layers == 1 {
-			top = 1
-		}
 		for l := 1; l <= top; l++ {
 			var sp *SpillStore
 			if opt.CacheSpillDir != "" {
 				var err error
-				sp, err = NewSpillStoreWith(fsys, filepath.Join(opt.CacheSpillDir, fmt.Sprintf("layer%d", l)), m.Cfg.NodeDim, spillPer, quant)
+				sp, err = NewSpillStoreWith(fsys, filepath.Join(opt.CacheSpillDir, fmt.Sprintf("layer%d", l)), m.Cfg.NodeDim, spillPer[l], quant)
 				if err != nil {
 					panic("core: opening cache spill dir: " + err.Error())
 				}
 			}
 			e.caches[l] = NewCacheWith(CacheConfig{
-				Limit:  per,
+				Limit:  per[l],
 				Dim:    m.Cfg.NodeDim,
 				Shards: opt.CacheShards,
 				Policy: opt.CachePolicy,
@@ -262,7 +279,33 @@ func NewEngine(m *tgat.Model, s *graph.Sampler, opt Options) *Engine {
 	}
 	e.dyn = s.Dynamic()
 	if opt.TrackTargets && opt.EnableCache {
-		e.targets = NewTargetIndex(e.CacheFor(1).Contains)
+		top := 0
+		for l, c := range e.caches {
+			if c != nil {
+				top = l
+			}
+		}
+		e.layerTargets = make([]*TargetIndex, len(e.caches))
+		e.layerSupports = make([]*SupportIndex, len(e.caches))
+		for l, c := range e.caches {
+			if c == nil {
+				continue
+			}
+			e.layerTargets[l] = NewTargetIndex(c.Contains)
+			if l < 2 {
+				continue
+			}
+			// Deep layers also track supports. The top layer's records
+			// serve only rules (ii)/(iii) against itself, so pruning
+			// against its own liveness is sound; middle layers feed
+			// rule-(iii) propagation upward and must retain records
+			// past eviction (nil probe, capped — see SupportIndex).
+			alive := c.Contains
+			if l < top {
+				alive = nil
+			}
+			e.layerSupports[l] = NewSupportIndex(alive)
+		}
 	}
 	if opt.EnableTimePrecompute {
 		if quant {
@@ -385,12 +428,14 @@ func (e *Engine) InvalidateEdge(eidx int32) int {
 // out-of-order edge (u, v, t) was sorted-inserted into the live graph
 // (graph.Dynamic.InsertLate): it drops every memoized embedding
 // ⟨w, t'⟩ with t' > t whose sampled neighborhood could now include the
-// new edge. Only targets u and v qualify — the edge enters no other
-// node's adjacency — and a candidate is kept (reuse maximized, §7) when
-// k or more of the target's interactions already lie strictly between t
-// and t': the most-recent-k window is then full of newer edges and the
-// insert cannot surface in it. Deeper cached layers (L > 2) lack
-// transitive dependencies and are cleared conservatively. Returns the
+// new edge. At layer 1 only targets u and v qualify — the edge enters
+// no other node's adjacency — and a candidate is kept (reuse
+// maximized, §7) when k or more of the target's interactions already
+// lie strictly between t and t': the most-recent-k window is then full
+// of newer edges and the insert cannot surface in it. Deeper cached
+// layers propagate the same refinement transitively through their
+// recorded support sets instead of clearing whole (DESIGN.md §15;
+// Options.DeepClearAll restores the conservative clear). Returns the
 // number of entries removed.
 //
 // Without Options.TrackTargets there is no index to consult, so the
@@ -442,9 +487,19 @@ func (e *Engine) SetInvalidationHook(fn func(u, v int32, t float64)) {
 }
 
 // invalidateNewer is the shared selective-invalidation body behind
-// InvalidateLateEdge and InvalidateAppend.
+// InvalidateLateEdge and InvalidateAppend. Layers are processed bottom
+// up; a layer-l entry is dropped when (i) its own most-recent-k window
+// is displaced by the new edge — the PR 5 rule, now applied per layer
+// through layerTargets — or (ii) one of its recorded support values
+// ⟨s, t_s⟩ with s ∈ {u, v} had its window displaced (the same
+// CountBetween refinement one hop down), or (iii) one of its supports
+// is itself a layer-(l−1) entry dropped in the previous pass. Rule
+// (ii) makes the propagation exact for L = 3 — layer-1 values depend
+// only on their own window and immutable layer-0 features — and rule
+// (iii) carries deeper models, relying on middle-layer record
+// retention (see SupportIndex).
 func (e *Engine) invalidateNewer(u, v int32, t float64) int {
-	if e.targets == nil {
+	if e.layerTargets == nil {
 		removed := e.CacheLen()
 		for _, c := range e.caches {
 			if c != nil {
@@ -453,44 +508,115 @@ func (e *Engine) invalidateNewer(u, v int32, t float64) int {
 		}
 		return removed
 	}
-	removed := 0
-	if c := e.CacheFor(1); c != nil {
-		k := e.model.Cfg.NumNeighbors
-		endpoints := [2]int32{u, v}
-		n := 2
-		if u == v {
-			n = 1 // self-loop: one scan suffices
-		}
-		for _, w := range endpoints[:n] {
-			keys := e.targets.CollectNewer(w, t, func(_ uint64, at float64) bool {
-				if e.dyn == nil {
-					return true
-				}
-				// The insert displaces the window of ⟨w, at⟩ only if
-				// fewer than k interactions separate it from the query
-				// time (CountBetween runs post-insert and excludes the
-				// new edge itself at time t).
-				return e.dyn.CountBetween(w, t, at) < k
-			})
-			removed += c.Remove(keys)
+	// A shed support record means some deep entry's dependencies are
+	// unknown: fall back to the conservative clear this one time (the
+	// deep indexes reset with it, so tracking restarts clean).
+	deepClear := e.opt.DeepClearAll || e.supportsShed()
+	k := e.model.Cfg.NumNeighbors
+	endpoints := [2]int32{u, v}
+	n := 2
+	if u == v {
+		n = 1 // self-loop: one scan suffices
+	}
+	// The insert displaces the window of a value ⟨w, at⟩ only if fewer
+	// than k interactions separate it from the query time (CountBetween
+	// runs post-insert and excludes the new edge itself at time t).
+	displacesWindow := func(w int32) func(uint64, float64) bool {
+		return func(_ uint64, at float64) bool {
+			if e.dyn == nil {
+				return true
+			}
+			return e.dyn.CountBetween(w, t, at) < k
 		}
 	}
-	e.clearDeepCaches()
+	removed := 0
+	var displaced []uint64 // layer-(l−1) keys dropped in the previous pass
+	for l := 1; l < len(e.caches); l++ {
+		c := e.caches[l]
+		if c == nil {
+			continue
+		}
+		if l >= 2 && deepClear {
+			removed += c.Len()
+			c.Clear()
+			e.layerTargets[l].Reset()
+			if six := e.layerSupports[l]; six != nil {
+				six.Reset()
+			}
+			continue
+		}
+		var drop []uint64
+		tix := e.layerTargets[l]
+		for _, w := range endpoints[:n] {
+			drop = append(drop, tix.CollectNewer(w, t, displacesWindow(w))...)
+		}
+		if six := e.layerSupports[l]; six != nil {
+			for _, w := range endpoints[:n] {
+				drop = append(drop, six.CollectWindow(w, t, displacesWindow(w))...)
+			}
+			for _, lower := range displaced {
+				drop = append(drop, six.CollectUpper(lower)...)
+			}
+		}
+		removed += c.Remove(drop)
+		// Propagate every displaced value, cached or not: an upper
+		// entry may have consumed it before it aged out of this cache.
+		displaced = drop
+	}
 	return removed
+}
+
+// supportsShed reports whether any retained support index dropped a
+// record at its cap since the last reset.
+func (e *Engine) supportsShed() bool {
+	for _, six := range e.layerSupports {
+		if six != nil && six.Shed() {
+			return true
+		}
+	}
+	return false
 }
 
 // StaleStoreSkips returns how many batch memoizations were abandoned
 // (or rolled back) because a history rewrite raced the computation.
 func (e *Engine) StaleStoreSkips() int64 { return e.staleSkips.Load() }
 
-// Targets returns the per-node key index, or nil when
+// Targets returns layer 1's per-node key index, or nil when
 // Options.TrackTargets is off.
-func (e *Engine) Targets() *TargetIndex { return e.targets }
+func (e *Engine) Targets() *TargetIndex { return e.TargetsFor(1) }
 
+// TargetsFor returns layer l's per-node key index, or nil.
+func (e *Engine) TargetsFor(l int) *TargetIndex {
+	if e.layerTargets == nil || l < 1 || l >= len(e.layerTargets) {
+		return nil
+	}
+	return e.layerTargets[l]
+}
+
+// SupportsFor returns layer l's support index (l ≥ 2 on deep models
+// with Options.TrackTargets), or nil.
+func (e *Engine) SupportsFor(l int) *SupportIndex {
+	if e.layerSupports == nil || l < 1 || l >= len(e.layerSupports) {
+		return nil
+	}
+	return e.layerSupports[l]
+}
+
+// clearDeepCaches drops every deep (l ≥ 2) cache whole and resets the
+// matching indexes — the conservative response on the paths without
+// transitive dependency information (DepTracker invalidations and
+// snapshot loads).
 func (e *Engine) clearDeepCaches() {
 	for l := 2; l < len(e.caches); l++ {
-		if e.caches[l] != nil {
-			e.caches[l].Clear()
+		if e.caches[l] == nil {
+			continue
+		}
+		e.caches[l].Clear()
+		if e.layerTargets != nil && e.layerTargets[l] != nil {
+			e.layerTargets[l].Reset()
+		}
+		if six := e.SupportsFor(l); six != nil {
+			six.Reset()
 		}
 	}
 }
@@ -524,29 +650,40 @@ func (e *Engine) staleByAppend(missTs []float64, wm float64, aseq int64) bool {
 func (e *Engine) CacheStats() CacheStats {
 	var agg CacheStats
 	for _, c := range e.caches {
+		if c != nil {
+			agg.Add(c.Stats())
+		}
+	}
+	return agg
+}
+
+// LayerCacheStats is one cached layer's slice of the cache counters,
+// plus its resident footprint — the per-layer breakdown behind the
+// serving plane's cache_layers stats section and the
+// tgopt_cache_layer_* metrics.
+type LayerCacheStats struct {
+	Layer int   `json:"layer"`
+	Items int   `json:"items"`
+	Bytes int64 `json:"bytes"`
+	CacheStats
+}
+
+// LayerCacheStats returns the per-layer cache counters in layer order.
+// Nil when the cache is disabled.
+func (e *Engine) LayerCacheStats() []LayerCacheStats {
+	var out []LayerCacheStats
+	for l, c := range e.caches {
 		if c == nil {
 			continue
 		}
-		st := c.Stats()
-		agg.Lookups += st.Lookups
-		agg.Hits += st.Hits
-		agg.Misses += st.Misses
-		agg.SpillHits += st.SpillHits
-		agg.Promotes += st.Promotes
-		agg.PromoteDrops += st.PromoteDrops
-		agg.AdmitRejected += st.AdmitRejected
-		agg.Spill.Entries += st.Spill.Entries
-		agg.Spill.Segments += st.Spill.Segments
-		agg.Spill.Bytes += st.Spill.Bytes
-		agg.Spill.Hits += st.Spill.Hits
-		agg.Spill.Puts += st.Spill.Puts
-		agg.Spill.SealErrors += st.Spill.SealErrors
-		agg.Spill.CorruptRecords += st.Spill.CorruptRecords
-		agg.Spill.CorruptSegments += st.Spill.CorruptSegments
-		agg.Spill.DroppedSegments += st.Spill.DroppedSegments
-		agg.Spill.Compactions += st.Spill.Compactions
+		out = append(out, LayerCacheStats{
+			Layer:      l,
+			Items:      c.Len(),
+			Bytes:      c.UsedBytes(),
+			CacheStats: c.Stats(),
+		})
 	}
-	return agg
+	return out
 }
 
 // Close stops the caches' promotion workers and seals their spill
@@ -811,11 +948,25 @@ func (e *Engine) embed(ar *tensor.Arena, l int, nodes []int32, ts []float64) *te
 			start = time.Now()
 			cache.Store(missKeys, hm)
 			e.observe(stats.OpCacheStore, StageCacheStore, device.HostOp, 0, start)
-			if e.targets != nil && l == 1 {
-				// Index per-target (layer 1 only: deeper cached layers
-				// are invalidated conservatively).
-				for i := 0; i < nm; i++ {
-					e.targets.Record(missNodes[i], missKeys[i], missTs[i])
+			if e.layerTargets != nil {
+				// Index per-target, and — for deep layers — per
+				// support: the (node, time) pairs whose layer-(l−1)
+				// embeddings this entry aggregated, read straight off
+				// the sampled batch (padding slots carry node 0).
+				// Recording only runs on the miss path, so the all-hit
+				// steady state stays allocation-free.
+				if tix := e.layerTargets[l]; tix != nil {
+					for i := 0; i < nm; i++ {
+						tix.Record(missNodes[i], missKeys[i], missTs[i])
+					}
+				}
+				if six := e.layerSupports[l]; six != nil {
+					for i := 0; i < nm; i++ {
+						base := i * k
+						for j := 0; j < k; j++ {
+							six.Record(b.Nghs[base+j], missKeys[i], b.Times[base+j])
+						}
+					}
 				}
 			}
 			if e.dyn != nil && (e.dyn.Mutations() != epoch || e.staleByAppend(missTs, wm, aseq)) {

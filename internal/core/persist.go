@@ -352,21 +352,31 @@ func (e *Engine) loadCacheStream(r io.Reader) error {
 		}
 		staged[l] = sc
 	}
-	// Commit: every layer validated; merge into the live caches.
+	// Commit: every layer validated; merge into the live caches. Deep
+	// layers are the exception under transitive invalidation: a key
+	// decodes its target and time but not the support set the entry
+	// aggregated, so a warm-started deep entry could never be
+	// selectively invalidated — those layers conservatively re-warm
+	// instead of loading (DESIGN.md §15). Layer 1 keeps its warm
+	// start: its index rebuilds from the keys alone.
 	for l, sc := range staged {
+		if l >= 2 && e.layerSupports != nil {
+			continue
+		}
 		e.caches[l].absorb(sc)
 	}
 	e.rebuildTargetIndex()
 	return nil
 }
 
-// rebuildTargetIndex re-derives the per-node key index from the
-// layer-1 cache after a snapshot load, so late-edge invalidation also
-// covers warm-started entries. Keys decode exactly within Key's
+// rebuildTargetIndex re-derives the layer-1 per-node key index from
+// the layer-1 cache after a snapshot load, so late-edge invalidation
+// also covers warm-started entries. Keys decode exactly within Key's
 // documented domain (integral timestamps fitting 32 bits); outside it
 // the cache keying itself already forfeits its guarantees.
 func (e *Engine) rebuildTargetIndex() {
-	if e.targets == nil {
+	ix := e.TargetsFor(1)
+	if ix == nil {
 		return
 	}
 	c := e.CacheFor(1)
@@ -374,6 +384,6 @@ func (e *Engine) rebuildTargetIndex() {
 		return
 	}
 	for _, key := range c.Keys() {
-		e.targets.Record(int32(key>>32), key, float64(uint32(key)))
+		ix.Record(int32(key>>32), key, float64(uint32(key)))
 	}
 }

@@ -1,0 +1,343 @@
+// BENCH_5: deep-layer memoization under live ingestion (DESIGN.md
+// §15). RunDeepSweep serves a 3-layer model over a graph.Dynamic while
+// appends and late inserts race the query stream, and compares the two
+// invalidation policies — transitive selective invalidation against
+// the pre-PR-9 clear-the-deep-caches-whole baseline — at several
+// ingest rates. The acceptance bar: selective wins the deep-layer hit
+// rate at every measured rate and improves end-to-end ns/edge.
+
+package perfbench
+
+import (
+	"runtime"
+	"time"
+
+	"tgopt/internal/core"
+	"tgopt/internal/graph"
+	"tgopt/internal/parallel"
+	"tgopt/internal/tensor"
+	"tgopt/internal/tgat"
+)
+
+// DeepSweepConfig shapes the sweep. Edge times are integral (the memo
+// Key's documented sound domain) and strictly increasing on the append
+// path; late inserts land inside the lateness window.
+type DeepSweepConfig struct {
+	Nodes  int // graph size
+	Edges  int // total pre-generated interaction stream
+	Prefix int // edges ingested before serving starts
+
+	Layers int // model depth (3 = one deep cached layer)
+	K      int // sampled most-recent neighbors
+	Dim    int // node/edge/time feature width
+	Heads  int
+
+	Pairs    int     // query pairs served per rate point
+	Batch    int     // pairs per fused Embed call
+	HotPairs int     // distinct (src, dst) templates queries draw from
+	ZipfS    float64 // query skew over the hot pairs
+	Rates    []int   // ingest events per 1000 query pairs, one point each
+	LateFrac float64 // fraction of ingests that are late inserts
+	Lateness float64 // dynamic graph lateness window
+	Runs     int     // timing repetitions (min wall wins)
+	CacheLim int     // total cache item limit across layers
+	Seed     uint64
+}
+
+// DefaultDeepSweepConfig is the committed BENCH_5.json configuration.
+func DefaultDeepSweepConfig() DeepSweepConfig {
+	return DeepSweepConfig{
+		Nodes:    60,
+		Edges:    6_000,
+		Prefix:   4_000,
+		Layers:   3,
+		K:        5,
+		Dim:      32,
+		Heads:    2,
+		Pairs:    2_000,
+		Batch:    25,
+		HotPairs: 64,
+		ZipfS:    1.1,
+		Rates:    []int{25, 100, 400},
+		LateFrac: 0.5,
+		Lateness: 1e9,
+		Runs:     3,
+		CacheLim: 200_000,
+		Seed:     1,
+	}
+}
+
+// DeepSweepLayer is one layer's hit-rate line within a leg.
+type DeepSweepLayer struct {
+	Layer   int     `json:"layer"`
+	Lookups int64   `json:"lookups"`
+	Hits    int64   `json:"hits"`
+	HitRate float64 `json:"hit_rate"`
+}
+
+// DeepSweepLeg is one policy's measurement at one ingest rate.
+type DeepSweepLeg struct {
+	Policy      string           `json:"policy"` // "selective" | "clear_all"
+	NsPerEdge   float64          `json:"ns_per_edge"`
+	Layers      []DeepSweepLayer `json:"layers"`
+	DeepHitRate float64          `json:"deep_hit_rate"` // layers >= 2 pooled
+	Invalidated int64            `json:"invalidated"`
+}
+
+// DeepSweepPoint pairs the two legs at one ingest rate.
+type DeepSweepPoint struct {
+	RatePer1000 int          `json:"rate_per_1000_pairs"`
+	Ingests     int          `json:"ingests"`
+	LateEdges   int          `json:"late_edges"`
+	Selective   DeepSweepLeg `json:"selective"`
+	ClearAll    DeepSweepLeg `json:"clear_all"`
+	// Acceptance per point: selective must hold a strictly better
+	// deep-layer hit rate and no worse end-to-end time.
+	HitRateGain float64 `json:"hit_rate_gain"`
+	Speedup     float64 `json:"speedup"`
+}
+
+// DeepSweepReport is the BENCH_5.json artifact.
+type DeepSweepReport struct {
+	Schema         int              `json:"schema"`
+	GoVersion      string           `json:"go_version"`
+	GOOS           string           `json:"goos"`
+	GOARCH         string           `json:"goarch"`
+	MaxProcs       int              `json:"maxprocs"`
+	ParallelDegree int              `json:"parallel_degree"`
+	Config         DeepSweepConfig  `json:"config"`
+	Points         []DeepSweepPoint `json:"points"`
+	// AllPointsPass is the committed acceptance flag: at every rate,
+	// selective beats clear-all on deep hit rate and on ns/edge.
+	AllPointsPass bool `json:"all_points_pass"`
+}
+
+// deepSweepWorkload is the shared deterministic input both legs replay.
+type deepSweepWorkload struct {
+	model  *tgat.Model
+	stream []graph.Edge // full pre-generated stream (prefix + tail)
+	pairs  [][2]int32   // hot (src, dst) query templates
+	picks  []int        // Zipf-sampled template index per query pair
+	lates  []bool       // per ingest event: late insert vs append
+}
+
+func buildDeepSweep(cfg DeepSweepConfig) (*deepSweepWorkload, error) {
+	r := tensor.NewRNG(cfg.Seed)
+	stream := make([]graph.Edge, 0, cfg.Edges)
+	clock := 0.0
+	for len(stream) < cfg.Edges {
+		clock += float64(1 + r.Intn(3))
+		src := int32(1 + r.Intn(cfg.Nodes))
+		dst := int32(1 + r.Intn(cfg.Nodes))
+		if src == dst {
+			continue
+		}
+		stream = append(stream, graph.Edge{Src: src, Dst: dst, Time: clock, Idx: int32(len(stream) + 1)})
+	}
+	// Room for every possible live-ingested edge id past the stream.
+	nodeFeat := tensor.Randn(r, cfg.Nodes+1, cfg.Dim)
+	edgeFeat := tensor.Randn(r, 2*cfg.Edges+2, cfg.Dim)
+	for j := 0; j < cfg.Dim; j++ {
+		nodeFeat.Set(0, 0, j)
+		edgeFeat.Set(0, 0, j)
+	}
+	mcfg := tgat.Config{
+		Layers: cfg.Layers, Heads: cfg.Heads, NodeDim: cfg.Dim, EdgeDim: cfg.Dim,
+		TimeDim: cfg.Dim, NumNeighbors: cfg.K, Seed: 7,
+	}
+	m, err := tgat.NewModel(mcfg, nodeFeat, edgeFeat)
+	if err != nil {
+		return nil, err
+	}
+	// Hot query templates: endpoint pairs of busy prefix edges, so their
+	// sampled neighborhoods are deep and overlapping.
+	pairs := make([][2]int32, cfg.HotPairs)
+	for i := range pairs {
+		e := stream[r.Intn(cfg.Prefix)]
+		pairs[i] = [2]int32{e.Src, e.Dst}
+	}
+	// Zipf picks over the templates, shared by both legs; reuse the
+	// cachesweep inverse-CDF sampler.
+	trace := zipfKeys(CacheSweepConfig{
+		Keyspace: cfg.HotPairs, Accesses: cfg.Pairs, ZipfS: cfg.ZipfS, Seed: cfg.Seed + 1,
+	})
+	picks := make([]int, cfg.Pairs)
+	for i, k := range trace {
+		picks[i] = int(k - 1)
+	}
+	// Pre-draw the late/append decision per potential ingest event so
+	// both legs see the identical mutation sequence.
+	lates := make([]bool, cfg.Edges)
+	for i := range lates {
+		lates[i] = r.Float64() < cfg.LateFrac
+	}
+	return &deepSweepWorkload{model: m, stream: stream, pairs: pairs, picks: picks, lates: lates}, nil
+}
+
+// deepSweepLeg replays the interleaved query/ingest schedule once under
+// the given policy and returns the leg measurement. Deterministic: both
+// legs consume identical queries and mutations.
+func deepSweepLeg(cfg DeepSweepConfig, w *deepSweepWorkload, clearAll bool) (DeepSweepLeg, int, int, error) {
+	leg := DeepSweepLeg{Policy: "selective"}
+	if clearAll {
+		leg.Policy = "clear_all"
+	}
+	var best time.Duration
+	ingests, lateCount := 0, 0
+	for run := 0; run < cfg.Runs; run++ {
+		dyn := graph.NewDynamic(cfg.Nodes)
+		dyn.SetLateness(cfg.Lateness)
+		for _, e := range w.stream[:cfg.Prefix] {
+			if _, err := dyn.Append(e); err != nil {
+				return leg, 0, 0, err
+			}
+		}
+		opt := core.OptAll()
+		opt.TrackTargets = true
+		opt.CacheLimit = cfg.CacheLim
+		opt.DeepClearAll = clearAll
+		eng := core.NewEngine(w.model, graph.NewDynamicSampler(dyn, cfg.K, graph.MostRecent, 0), opt)
+
+		mr := tensor.NewRNG(cfg.Seed + 2) // mutation times, same per run/leg
+		ar := tensor.NewArena()
+		ns := make([]int32, 2*cfg.Batch)
+		ts := make([]float64, 2*cfg.Batch)
+		tail := cfg.Prefix // next unused stream edge (endpoint source)
+		nextIdx := int32(cfg.Edges + 1)
+		var invalidated int64
+		ingests, lateCount = 0, 0
+		pending := 0 // accumulated ingest credit, in events per 1000 pairs
+
+		start := time.Now()
+		for q := 0; q < cfg.Pairs; q += cfg.Batch {
+			n := cfg.Batch
+			if q+n > cfg.Pairs {
+				n = cfg.Pairs - q
+			}
+			now := dyn.MaxTime() + 1
+			for i := 0; i < n; i++ {
+				p := w.pairs[w.picks[q+i]]
+				ns[i], ns[n+i] = p[0], p[1]
+				ts[i], ts[n+i] = now, now
+			}
+			ar.Reset()
+			h := eng.EmbedWith(ar, ns[:2*n], ts[:2*n])
+			d := h.Dim(1)
+			hSrc := ar.Wrap(h.Data()[:n*d], n, d)
+			hDst := ar.Wrap(h.Data()[n*d:2*n*d], n, d)
+			w.model.ScoreWith(ar, hSrc, hDst)
+
+			// Ingest credit: rate events per 1000 pairs, accumulated in
+			// integer thousandths so every rate divides evenly.
+			pending += n * cfg.Rates[0]
+			for pending >= 1000 && tail < len(w.stream) {
+				pending -= 1000
+				src, dst := w.stream[tail].Src, w.stream[tail].Dst
+				late := w.lates[tail]
+				tail++
+				var et float64
+				if late {
+					// Land a whole-number time a few steps behind the head
+					// (deep inside every recent query's window).
+					back := float64(2 + mr.Intn(8))
+					et = dyn.MaxTime() - back
+					if et <= 0 {
+						et = 1
+					}
+				} else {
+					et = dyn.MaxTime() + float64(1+mr.Intn(2))
+				}
+				res, _, err := dyn.Ingest(graph.Edge{Src: src, Dst: dst, Time: et, Idx: nextIdx})
+				if err != nil {
+					return leg, 0, 0, err
+				}
+				switch res {
+				case graph.IngestAppended:
+					nextIdx++
+					ingests++
+					invalidated += int64(eng.InvalidateAppend(src, dst, et))
+				case graph.IngestLate:
+					nextIdx++
+					ingests++
+					lateCount++
+					invalidated += int64(eng.InvalidateLateEdge(src, dst, et))
+				}
+			}
+		}
+		wall := time.Since(start)
+		if run == 0 || wall < best {
+			best = wall
+		}
+		if run == cfg.Runs-1 {
+			// Stats from the final run (deterministic across runs).
+			var deepLookups, deepHits int64
+			for _, ls := range eng.LayerCacheStats() {
+				lr := DeepSweepLayer{Layer: ls.Layer, Lookups: ls.Lookups, Hits: ls.Hits}
+				if ls.Lookups > 0 {
+					lr.HitRate = float64(ls.Hits) / float64(ls.Lookups)
+				}
+				leg.Layers = append(leg.Layers, lr)
+				if ls.Layer >= 2 {
+					deepLookups += ls.Lookups
+					deepHits += ls.Hits
+				}
+			}
+			if deepLookups > 0 {
+				leg.DeepHitRate = float64(deepHits) / float64(deepLookups)
+			}
+			leg.Invalidated = invalidated
+		}
+	}
+	leg.NsPerEdge = float64(best.Nanoseconds()) / float64(cfg.Pairs)
+	return leg, ingests, lateCount, nil
+}
+
+// RunDeepSweep executes the sweep and returns the report.
+func RunDeepSweep(cfg DeepSweepConfig) (*DeepSweepReport, error) {
+	if cfg.Runs < 1 {
+		cfg.Runs = 1
+	}
+	w, err := buildDeepSweep(cfg)
+	if err != nil {
+		return nil, err
+	}
+	rep := &DeepSweepReport{
+		Schema:         1,
+		GoVersion:      runtime.Version(),
+		GOOS:           runtime.GOOS,
+		GOARCH:         runtime.GOARCH,
+		MaxProcs:       runtime.GOMAXPROCS(0),
+		ParallelDegree: parallel.Degree(),
+		Config:         cfg,
+		AllPointsPass:  true,
+	}
+	rates := cfg.Rates
+	for _, rate := range rates {
+		ptCfg := cfg
+		ptCfg.Rates = []int{rate}
+		sel, ingests, lateCount, err := deepSweepLeg(ptCfg, w, false)
+		if err != nil {
+			return nil, err
+		}
+		clr, _, _, err := deepSweepLeg(ptCfg, w, true)
+		if err != nil {
+			return nil, err
+		}
+		pt := DeepSweepPoint{
+			RatePer1000: rate,
+			Ingests:     ingests,
+			LateEdges:   lateCount,
+			Selective:   sel,
+			ClearAll:    clr,
+			HitRateGain: sel.DeepHitRate - clr.DeepHitRate,
+		}
+		if sel.NsPerEdge > 0 {
+			pt.Speedup = clr.NsPerEdge / sel.NsPerEdge
+		}
+		if pt.HitRateGain <= 0 || pt.Speedup < 1 {
+			rep.AllPointsPass = false
+		}
+		rep.Points = append(rep.Points, pt)
+	}
+	return rep, nil
+}

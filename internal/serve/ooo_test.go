@@ -22,6 +22,10 @@ import (
 // servers must run identical parameters so any divergence is ingestion
 // order, not weights.
 func oooModel(t *testing.T, nodes, maxEdges, d int) *tgat.Model {
+	return oooModelLayers(t, nodes, maxEdges, d, 2)
+}
+
+func oooModelLayers(t *testing.T, nodes, maxEdges, d, layers int) *tgat.Model {
 	t.Helper()
 	r := tensor.NewRNG(21)
 	nodeFeat := tensor.Randn(r, nodes+1, d)
@@ -30,7 +34,7 @@ func oooModel(t *testing.T, nodes, maxEdges, d int) *tgat.Model {
 		nodeFeat.Set(0, 0, j)
 		edgeFeat.Set(0, 0, j)
 	}
-	cfg := tgat.Config{Layers: 2, Heads: 2, NodeDim: d, EdgeDim: d, TimeDim: d, NumNeighbors: 4, Seed: 2}
+	cfg := tgat.Config{Layers: layers, Heads: 2, NodeDim: d, EdgeDim: d, TimeDim: d, NumNeighbors: 4, Seed: 2}
 	m, err := tgat.NewModel(cfg, nodeFeat, edgeFeat)
 	if err != nil {
 		t.Fatal(err)
@@ -60,13 +64,24 @@ func embedRows(t *testing.T, url string, ns []int32, ts []float64) [][]float32 {
 // identical, and selective invalidation plus the mutation-epoch store
 // guard leave no stale memo behind. Run with -race.
 func TestServeOutOfOrderIngestConvergesToSorted(t *testing.T) {
+	serveOOOConvergence(t, 2, 500)
+}
+
+// TestServeOutOfOrderIngestConvergesToSortedDeep repeats the
+// convergence pin with a 3-layer model, so the layer-2 memo cache and
+// its transitive invalidation (DESIGN.md §15) are under the same
+// concurrent ingest/embed race. Run with -race.
+func TestServeOutOfOrderIngestConvergesToSortedDeep(t *testing.T) {
+	serveOOOConvergence(t, 3, 300)
+}
+
+func serveOOOConvergence(t *testing.T, layers, total int) {
 	const (
 		nodes    = 20
-		total    = 500
 		lateness = 60.0
 		dim      = 16
 	)
-	m := oooModel(t, nodes, total+1, dim)
+	m := oooModelLayers(t, nodes, total+1, dim, layers)
 	r := tensor.NewRNG(33)
 
 	// Strictly increasing distinct integral times and explicit edge ids:
@@ -214,6 +229,14 @@ func TestServeOutOfOrderIngestConvergesToSorted(t *testing.T) {
 				t.Fatalf("row %d dim %d: second (all-hit) pass changed (%v vs %v) — stale memo",
 					i, j, got[i][j], again[i][j])
 			}
+		}
+	}
+	if layers >= 3 {
+		// The deep cache must have survived the churn selectively — a
+		// clear-all policy would leave it rebuilt but proves nothing; a
+		// zero here means deep memoization never engaged at all.
+		if c := oooSrv.engine.CacheFor(2); c == nil || c.Len() == 0 {
+			t.Fatal("layer-2 cache empty after converged deep serving")
 		}
 	}
 }
@@ -443,6 +466,83 @@ func TestServeStatsReportIngestSection(t *testing.T) {
 		"tgopt_ingest_watermark 50",
 		"tgopt_cache_invalidated_total",
 		"tgopt_cache_stale_store_skips_total",
+	} {
+		if !bytes.Contains(buf.Bytes(), []byte(want)) {
+			t.Fatalf("metrics missing %q:\n%s", want, buf.String())
+		}
+	}
+}
+
+// TestServeStatsReportPerLayerCache pins the per-layer cache breakdown:
+// a 3-layer server must expose a cache_layers section on /v1/stats with
+// one entry per memoized layer, and layer-labeled tgopt_cache_layer_*
+// series on /metrics. The per-layer counters must sum to the aggregate
+// section for the fields both report.
+func TestServeStatsReportPerLayerCache(t *testing.T) {
+	const nodes, dim = 20, 16
+	m := oooModelLayers(t, nodes, 64, dim, 3)
+	dyn := graph.NewDynamic(nodes)
+	dyn.SetLateness(50)
+	srv := New(m, dyn, core.OptAll())
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	ingest(t, ts.URL, []edgeJSON{
+		{Src: 1, Dst: 2, Time: 10, Idx: 1},
+		{Src: 1, Dst: 3, Time: 20, Idx: 2},
+		{Src: 2, Dst: 4, Time: 30, Idx: 3},
+	})
+	embedRows(t, ts.URL, []int32{1, 2, 3}, []float64{40, 40, 40})
+	embedRows(t, ts.URL, []int32{1, 2, 3}, []float64{40, 40, 40}) // all-hit pass
+
+	sresp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	var sr statsResponse
+	if err := json.NewDecoder(sresp.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	if len(sr.CacheLayers) != 2 {
+		t.Fatalf("cache_layers has %d entries, want 2 (layers 1 and 2): %+v", len(sr.CacheLayers), sr.CacheLayers)
+	}
+	var items int
+	var lookups, hits int64
+	for i, ls := range sr.CacheLayers {
+		if ls.Layer != i+1 {
+			t.Fatalf("cache_layers[%d].Layer = %d, want %d", i, ls.Layer, i+1)
+		}
+		if ls.Items == 0 || ls.Lookups == 0 {
+			t.Fatalf("layer %d reports no activity: %+v", ls.Layer, ls)
+		}
+		items += ls.Items
+		lookups += ls.Lookups
+		hits += ls.Hits
+	}
+	if items != sr.CacheItems {
+		t.Fatalf("per-layer items sum %d != aggregate %d", items, sr.CacheItems)
+	}
+	if lookups != sr.Cache.Lookups || hits != sr.Cache.Hits {
+		t.Fatalf("per-layer counters (%d lookups, %d hits) != aggregate (%d, %d)",
+			lookups, hits, sr.Cache.Lookups, sr.Cache.Hits)
+	}
+	if sr.CacheLayers[1].Hits == 0 {
+		t.Fatal("layer-2 cache never hit across the repeat pass")
+	}
+
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(mresp.Body)
+	for _, want := range []string{
+		`tgopt_cache_layer_entries{layer="1"}`,
+		`tgopt_cache_layer_entries{layer="2"}`,
+		`tgopt_cache_layer_hits_total{layer="2"}`,
+		`tgopt_cache_layer_lookups_total{layer="1"}`,
 	} {
 		if !bytes.Contains(buf.Bytes(), []byte(want)) {
 			t.Fatalf("metrics missing %q:\n%s", want, buf.String())

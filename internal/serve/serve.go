@@ -239,6 +239,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	write("tgopt_cache_spill_corrupt_segments_total", "Spill segments discarded at recovery for failed validation.", float64(cs.Spill.CorruptSegments))
 	write("tgopt_cache_spill_dropped_segments_total", "Spill segments dropped whole to honor the byte budget.", float64(cs.Spill.DroppedSegments))
 	write("tgopt_cache_spill_compactions_total", "Spill segment compactions.", float64(cs.Spill.Compactions))
+	s.writeLayerCacheMetrics(&b)
 	write("tgopt_requests_total", "API requests handled.", float64(s.requests.Load()))
 	write("tgopt_ingested_total", "Edges accepted via /v1/ingest.", float64(s.ingested.Load()))
 	write("tgopt_ingest_late_accepted_total", "Out-of-order edges absorbed inside the lateness window.", float64(s.dyn.LateAccepted()))
@@ -622,12 +623,16 @@ type statsResponse struct {
 	CacheBytes int64           `json:"cache_bytes"`
 	HitRate    float64         `json:"hit_rate"`
 	Cache      core.CacheStats `json:"cache"`
-	Requests   int64           `json:"requests"`
-	Ingested   int64           `json:"ingested"`
-	InFlight   int64           `json:"in_flight"`
-	Rejected   int64           `json:"rejected"`
-	Timeouts   int64           `json:"timeouts"`
-	Panics     int64           `json:"panics"`
+	// CacheLayers breaks the cache section down per memoized layer
+	// (summed across shards in sharded mode); deep layers (>= 2) only
+	// appear when serving a model with -layers >= 3.
+	CacheLayers []core.LayerCacheStats `json:"cache_layers,omitempty"`
+	Requests    int64                  `json:"requests"`
+	Ingested    int64                  `json:"ingested"`
+	InFlight    int64                  `json:"in_flight"`
+	Rejected    int64                  `json:"rejected"`
+	Timeouts    int64                  `json:"timeouts"`
+	Panics      int64                  `json:"panics"`
 	// ClientCancels (499-style) and Unavailable (real 503s) split the
 	// failed-computation accounting by cause; QuorumRejects and
 	// Partials are the sharded degradation counters.
@@ -681,6 +686,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		CacheBytes:    s.cacheBytes(),
 		HitRate:       s.hitRate.Average(),
 		Cache:         s.cacheStats(),
+		CacheLayers:   s.layerCacheStats(),
 		Requests:      s.requests.Load(),
 		Ingested:      s.ingested.Load(),
 		InFlight:      s.inflight.Load(),

@@ -73,6 +73,13 @@ func (s *Server) cacheStats() core.CacheStats {
 	return s.engine.CacheStats()
 }
 
+func (s *Server) layerCacheStats() []core.LayerCacheStats {
+	if s.router != nil {
+		return s.router.LayerCacheStats()
+	}
+	return s.engine.LayerCacheStats()
+}
+
 func (s *Server) staleStoreSkips() int64 {
 	if s.router != nil {
 		return s.router.StaleStoreSkips()
@@ -152,6 +159,37 @@ func (s *Server) stageStatsJSON() map[string]stageStats {
 		}
 	}
 	return out
+}
+
+// writeLayerCacheMetrics renders the per-layer memo-cache breakdown as
+// layer-labeled series (summed across shards in sharded mode). The
+// per-layer families are named tgopt_cache_layer_* — distinct from the
+// unlabeled tgopt_cache_* aggregates so each Prometheus family stays
+// either fully labeled or fully unlabeled.
+func (s *Server) writeLayerCacheMetrics(b *strings.Builder) {
+	layers := s.layerCacheStats()
+	if len(layers) == 0 {
+		return
+	}
+	for _, series := range []struct {
+		name, help string
+		value      func(core.LayerCacheStats) float64
+	}{
+		{"tgopt_cache_layer_entries", "Memoized embeddings resident in RAM for the layer.", func(v core.LayerCacheStats) float64 { return float64(v.Items) }},
+		{"tgopt_cache_layer_bytes", "Approximate RAM footprint of the layer's cache.", func(v core.LayerCacheStats) float64 { return float64(v.Bytes) }},
+		{"tgopt_cache_layer_lookups_total", "Layer cache lookups.", func(v core.LayerCacheStats) float64 { return float64(v.Lookups) }},
+		{"tgopt_cache_layer_hits_total", "Layer cache hits (RAM tier).", func(v core.LayerCacheStats) float64 { return float64(v.Hits) }},
+		{"tgopt_cache_layer_misses_total", "Layer cache misses.", func(v core.LayerCacheStats) float64 { return float64(v.Misses) }},
+		{"tgopt_cache_layer_spill_hits_total", "Layer lookups served from the disk spill tier.", func(v core.LayerCacheStats) float64 { return float64(v.SpillHits) }},
+		{"tgopt_cache_layer_admit_rejected_total", "Layer stores rejected by TinyLFU admission.", func(v core.LayerCacheStats) float64 { return float64(v.AdmitRejected) }},
+		{"tgopt_cache_layer_spill_entries", "Entries resident in the layer's disk spill tier.", func(v core.LayerCacheStats) float64 { return float64(v.Spill.Entries) }},
+		{"tgopt_cache_layer_spill_bytes", "Bytes resident in the layer's disk spill tier.", func(v core.LayerCacheStats) float64 { return float64(v.Spill.Bytes) }},
+	} {
+		fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s gauge\n", series.name, series.help, series.name)
+		for _, v := range layers {
+			fmt.Fprintf(b, "%s{layer=\"%d\"} %g\n", series.name, v.Layer, series.value(v))
+		}
+	}
 }
 
 // writeShardMetrics renders the shard pool's health onto /metrics:

@@ -130,6 +130,21 @@ func TestServeShardedEquivalence(t *testing.T) {
 	if sOn.Router().CacheLen() == 0 {
 		t.Fatal("shard caches empty after serving")
 	}
+	// Per-layer stats must survive the shard merge: the summed Items
+	// across layers equals the router's total entry count, and the
+	// stats response carries the same per-layer section it does in
+	// single-engine mode.
+	if len(sr.CacheLayers) == 0 {
+		t.Fatal("sharded stats missing cache_layers section")
+	}
+	layerItems := 0
+	for _, lc := range sOn.Router().LayerCacheStats() {
+		layerItems += lc.Items
+	}
+	if layerItems != sOn.Router().CacheLen() {
+		t.Fatalf("merged per-layer Items %d != router CacheLen %d",
+			layerItems, sOn.Router().CacheLen())
+	}
 }
 
 func getJSON(t *testing.T, url string, v any) {

@@ -596,30 +596,41 @@ func (r *Router) CacheBytes() int64 {
 func (r *Router) CacheStats() core.CacheStats {
 	var agg core.CacheStats
 	for _, s := range r.shards {
+		if c := s.currentCore(); c != nil {
+			agg.Add(c.eng.CacheStats())
+		}
+	}
+	return agg
+}
+
+// LayerCacheStats merges the per-layer cache counters across the pool:
+// every shard runs the same cached-layer layout, so same-layer sections
+// add field by field. Returned in layer order.
+func (r *Router) LayerCacheStats() []core.LayerCacheStats {
+	var out []core.LayerCacheStats
+	for _, s := range r.shards {
 		c := s.currentCore()
 		if c == nil {
 			continue
 		}
-		cs := c.eng.CacheStats()
-		agg.Lookups += cs.Lookups
-		agg.Hits += cs.Hits
-		agg.Misses += cs.Misses
-		agg.SpillHits += cs.SpillHits
-		agg.Promotes += cs.Promotes
-		agg.PromoteDrops += cs.PromoteDrops
-		agg.AdmitRejected += cs.AdmitRejected
-		agg.Spill.Entries += cs.Spill.Entries
-		agg.Spill.Segments += cs.Spill.Segments
-		agg.Spill.Bytes += cs.Spill.Bytes
-		agg.Spill.Hits += cs.Spill.Hits
-		agg.Spill.Puts += cs.Spill.Puts
-		agg.Spill.SealErrors += cs.Spill.SealErrors
-		agg.Spill.CorruptRecords += cs.Spill.CorruptRecords
-		agg.Spill.CorruptSegments += cs.Spill.CorruptSegments
-		agg.Spill.DroppedSegments += cs.Spill.DroppedSegments
-		agg.Spill.Compactions += cs.Spill.Compactions
+		for _, ls := range c.eng.LayerCacheStats() {
+			merged := false
+			for i := range out {
+				if out[i].Layer == ls.Layer {
+					out[i].Items += ls.Items
+					out[i].Bytes += ls.Bytes
+					out[i].CacheStats.Add(ls.CacheStats)
+					merged = true
+					break
+				}
+			}
+			if !merged {
+				out = append(out, ls)
+			}
+		}
 	}
-	return agg
+	sort.Slice(out, func(i, j int) bool { return out[i].Layer < out[j].Layer })
+	return out
 }
 
 // StaleStoreSkips sums the append-staleness store rejections across the

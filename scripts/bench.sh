@@ -10,6 +10,9 @@
 #   scripts/bench.sh quant    # regenerate the int8 quantized-path report
 #                             # (kernel MB/s, e2e ns/edge, hit rate at
 #                             # equal budgets, AP delta; BENCH_4.json)
+#   scripts/bench.sh deep     # regenerate the deep-invalidation sweep
+#                             # (3-layer serving under live ingest,
+#                             # selective vs clear-all; BENCH_5.json)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -22,6 +25,12 @@ fi
 if [ "${1:-}" = "quant" ]; then
   go run ./cmd/tgopt-bench quant -runs "${RUNS:-3}" -o BENCH_4.json
   echo "wrote BENCH_4.json" >&2
+  exit 0
+fi
+
+if [ "${1:-}" = "deep" ]; then
+  go run ./cmd/tgopt-bench deepsweep -runs "${RUNS:-3}" -o BENCH_5.json
+  echo "wrote BENCH_5.json" >&2
   exit 0
 fi
 

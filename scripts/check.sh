@@ -33,6 +33,10 @@ go test -race -count=1 -run 'TestSpill|TestTieredCache|TestBatcherRetire' ./inte
 echo "== cache-policy sweep smoke (Zipf trace, TinyLFU >= FIFO at equal budget)"
 go test -count=1 -run 'TestCacheSweep' ./internal/perfbench/
 
+echo "== deep-invalidation gate (3-layer transitive invalidation exactness; race-enabled)"
+go test -race -count=1 -run 'TestTransitive|TestSupport|TestDeepClearAll|TestServeOutOfOrderIngestConvergesToSortedDeep' \
+    ./internal/core/ ./internal/serve/
+
 echo "== quantized-path gate (int8 kernels/cache/snapshots under race; AP within 1pp of float32)"
 go test -race -count=1 -run 'TestQuant' ./internal/core/ ./internal/nn/ ./internal/tensor/
 go run ./cmd/tgopt-bench quantacc -max-ap-delta 0.01 > /dev/null
@@ -48,5 +52,6 @@ go test -run='^$' -fuzz='^FuzzDecode$' -fuzztime=5s ./internal/checkpoint/
 go test -run='^$' -fuzz='^FuzzCacheReadFrom$' -fuzztime=5s ./internal/core/
 go test -run='^$' -fuzz='^FuzzLoadParams$' -fuzztime=5s ./internal/tgat/
 go test -run='^$' -fuzz='^FuzzIngest$' -fuzztime=5s ./internal/serve/
+go test -run='^$' -fuzz='^FuzzTransitiveInvalidate$' -fuzztime=5s ./internal/core/
 
 echo "OK"
