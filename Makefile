@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check race bench bench-serve bench-cache bench-quant bench-deep microbench
+.PHONY: build test check race bench bench-serve bench-cache bench-quant bench-deep bench-swap microbench
 
 build:
 	$(GO) build ./...
@@ -45,6 +45,12 @@ bench-quant:
 # (BENCH_5.json, see DESIGN.md §15).
 bench-deep:
 	./scripts/bench.sh deep
+
+# Committed hot-swap artifact: online-learning swap under serving
+# load — cache re-warm cost and swap pause at several cadences, plus
+# bitwise post-swap spot checks (BENCH_6.json, see DESIGN.md §16).
+bench-swap:
+	./scripts/bench.sh swap
 
 # In-place Go microbenchmarks (no artifact).
 microbench:

@@ -24,6 +24,9 @@
 //	                                       # ns/edge and hit rate at equal budgets
 //	tgopt-bench deepsweep [-o BENCH.json]  # 3-layer serving under live ingest:
 //	                                       # transitive invalidation vs deep clear-all
+//	tgopt-bench swapsweep [-o BENCH.json]  # online-learning hot-swap under load:
+//	                                       # cache re-warm cost, swap pause, bitwise
+//	                                       # post-swap spot checks
 //	tgopt-bench quantacc [-max-ap-delta d] # int8 accuracy harness: AP/accuracy
 //	                                       # delta + max-abs embedding delta
 //	tgopt-bench all                        # everything above, CPU + GPU
@@ -229,6 +232,11 @@ func main() {
 		cfg.Seed = *seed
 		cfg.Runs = *runs
 		err = runDeepSweep(cfg, *out)
+	case "swapsweep":
+		cfg := perfbench.DefaultSwapSweepConfig()
+		cfg.Seed = *seed
+		cfg.Runs = *runs
+		err = runSwapSweep(cfg, *out)
 	case "quant":
 		err = runQuant(setup, one(focus, "snap-msg", *ds), *runs, *out)
 	case "quantacc":
@@ -536,6 +544,32 @@ func runDeepSweep(cfg perfbench.DeepSweepConfig, out string) error {
 	return nil
 }
 
+// runSwapSweep executes the hot-swap sweep (BENCH_6: cache re-warm
+// cost and swap pause at several swap cadences, plus bitwise post-swap
+// spot checks against fixed-params references) and writes the JSON
+// report to out (stdout when empty), with a summary on stderr.
+func runSwapSweep(cfg perfbench.SwapSweepConfig, out string) error {
+	rep, err := perfbench.RunSwapSweep(cfg)
+	if err != nil {
+		return err
+	}
+	if err := writeReport(rep, out); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "swapsweep: baseline hit-rate %.4f, %.0f ns/query\n",
+		rep.BaselineHitRate, rep.BaselineNsPerQuery)
+	for _, p := range rep.Points {
+		fmt.Fprintf(os.Stderr,
+			"swapsweep: every=%4d (%d swaps) hit=%.4f post-swap=%.4f steady=%.4f pause=%.0fus spot=%d/%d\n",
+			p.SwapEvery, p.Swaps, p.HitRate, p.PostSwapHitRate, p.SteadyHitRate,
+			p.MeanSwapPauseUs, p.SpotChecks-p.SpotCheckFailures, p.SpotChecks)
+	}
+	if !rep.AllPointsPass {
+		return fmt.Errorf("swapsweep: acceptance failed — a post-swap spot check diverged or the cache never re-warmed")
+	}
+	return nil
+}
+
 // runQuant executes the quantized-path suite (BENCH_4: kernel MB/s at
 // both precisions, e2e ns/edge and cache hit rate at equal byte
 // budgets, embedded accuracy report) and writes the JSON report to out
@@ -601,7 +635,7 @@ func writeReport(rep any, out string) error {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: tgopt-bench <table1|table2|fig3|fig4|fig5|fig6|fig7|table3|table4|table5|sampling|train-dedup|batchsweep|warmstart|perf|serve|cachesweep|quant|quantacc|deepsweep|all> [flags]
+	fmt.Fprintln(os.Stderr, `usage: tgopt-bench <table1|table2|fig3|fig4|fig5|fig6|fig7|table3|table4|table5|sampling|train-dedup|batchsweep|warmstart|perf|serve|cachesweep|quant|quantacc|deepsweep|swapsweep|all> [flags]
 run "tgopt-bench fig5 -h" for flags`)
 }
 

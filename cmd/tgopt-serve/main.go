@@ -19,6 +19,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io/fs"
 	"log"
 	"net/http"
 	"os"
@@ -27,11 +28,14 @@ import (
 	"time"
 
 	"tgopt/internal/batcher"
+	"tgopt/internal/checkpoint"
 	"tgopt/internal/core"
 	"tgopt/internal/experiments"
 	"tgopt/internal/graph"
 	"tgopt/internal/serve"
 	"tgopt/internal/shard"
+	"tgopt/internal/swap"
+	"tgopt/internal/trainer"
 )
 
 func main() {
@@ -66,6 +70,10 @@ func main() {
 	breakerCooldown := flag.Duration("breaker-cooldown", 500*time.Millisecond, "per-shard breaker: open duration before half-open probes")
 	breakerProbes := flag.Int("breaker-probes", 3, "per-shard breaker: consecutive half-open successes required to re-close")
 	quant := flag.String("quant", "float32", "inference precision: float32 (default) or int8 (packed kernels + ~4x denser memo cache; see DESIGN.md §14)")
+	swapDir := flag.String("swap-dir", "", "online-learning swap directory (params-<version>.tgp + CURRENT manifest): load the latest published params at boot and hot-swap to new versions while serving (see DESIGN.md §16)")
+	swapInterval := flag.Duration("swap-interval", 0, "swap loop cadence: poll -swap-dir (or fine-tune, with -swap-train) this often (0 disables the loop; boot-time load still happens)")
+	swapTrain := flag.Bool("swap-train", false, "run the fine-tuner in-process: each -swap-interval, train a clone of the serving model on the watermarked prefix of the live stream, publish it into -swap-dir, and hot-swap to it")
+	swapEpochs := flag.Int("swap-epochs", 1, "fine-tune epochs per swap tick (with -swap-train)")
 	flag.Parse()
 
 	setup := experiments.Setup{
@@ -79,6 +87,29 @@ func main() {
 	if *modelPath != "" {
 		if err := wl.Model.LoadParams(*modelPath); err != nil {
 			fatal(err)
+		}
+	}
+
+	// Boot on the latest published params, if any: a restart after N
+	// swaps must come back serving version N, not the boot checkpoint.
+	// A corrupt published snapshot falls back to whatever -model (or
+	// init) provided rather than refusing to boot.
+	bootVersion := uint64(0)
+	if *swapDir != "" {
+		v, p, err := swap.Latest(checkpoint.OS{}, *swapDir)
+		switch {
+		case err == nil:
+			if sp, perr := wl.Model.ParseParamsFS(checkpoint.OS{}, p); perr != nil {
+				log.Printf("swap: published v%d unreadable (%v); serving boot params as v0", v, perr)
+			} else {
+				wl.Model.ApplyParams(sp)
+				bootVersion = v
+				log.Printf("swap: booted on published params v%d from %s", v, *swapDir)
+			}
+		case errors.Is(err, fs.ErrNotExist):
+			// Nothing published yet; first publish will hot-swap in.
+		default:
+			log.Printf("swap: manifest read: %v; serving boot params as v0", err)
 		}
 	}
 
@@ -107,6 +138,7 @@ func main() {
 	}
 	opt.CacheSpillDir = *spillDir
 	opt.CacheSpillMaxBytes = *spillMax
+	opt.ModelVersion = bootVersion
 	if opt.Quant, err = core.ParseQuantMode(*quant); err != nil {
 		fatal(err)
 	}
@@ -154,6 +186,23 @@ func main() {
 	if *cacheFile != "" && *snapInterval > 0 {
 		stopSnapshots = srv.StartSnapshots(*cacheFile, *snapInterval, log.Printf)
 		log.Printf("snapshotting cache to %s every %s", *cacheFile, *snapInterval)
+	}
+	stopSwaps := func() {}
+	if *swapDir != "" && *swapInterval > 0 {
+		tcfg := trainer.DefaultConfig()
+		tcfg.Epochs = *swapEpochs
+		stopSwaps = srv.StartSwapLoop(serve.SwapConfig{
+			Dir:      *swapDir,
+			Interval: *swapInterval,
+			Train:    *swapTrain,
+			Trainer:  tcfg,
+			Logf:     log.Printf,
+		})
+		if *swapTrain {
+			log.Printf("swap: fine-tune + publish + hot-swap every %s into %s (%d epochs/tick)", *swapInterval, *swapDir, *swapEpochs)
+		} else {
+			log.Printf("swap: watching %s for published params every %s", *swapDir, *swapInterval)
+		}
 	}
 
 	httpSrv := &http.Server{
@@ -211,6 +260,7 @@ func main() {
 	}
 	<-drained
 
+	stopSwaps()     // no swap may land between drain and the final save
 	stopSnapshots() // quiesce the snapshotter before the final save
 	if *cacheFile != "" {
 		if srv.Sharded() {

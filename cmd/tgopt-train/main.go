@@ -15,11 +15,15 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io/fs"
 	"os"
 
+	"tgopt/internal/checkpoint"
 	"tgopt/internal/experiments"
+	"tgopt/internal/swap"
 	"tgopt/internal/trainer"
 )
 
@@ -42,6 +46,7 @@ func main() {
 	ckptEvery := flag.Int("checkpoint-every", 0, "also checkpoint every N batches (0 = epoch boundaries only)")
 	resume := flag.Bool("resume", false, "resume from -checkpoint if it exists")
 	maxBatches := flag.Int("max-batches", 0, "stop cleanly after N batches, checkpointing the position (0 = run to completion)")
+	swapDir := flag.String("swap-dir", "", "also publish the trained parameters into this online-learning swap directory (at the next free version); a running tgopt-serve -swap-dir picks them up and hot-swaps without a restart")
 	flag.Parse()
 
 	setup := experiments.Setup{
@@ -86,6 +91,19 @@ func main() {
 		fatal(err)
 	}
 	fmt.Printf("saved checkpoint to %s\n", path)
+
+	if *swapDir != "" {
+		version := uint64(1)
+		if v, _, err := swap.Latest(checkpoint.OS{}, *swapDir); err == nil {
+			version = v + 1
+		} else if !errors.Is(err, fs.ErrNotExist) {
+			fatal(fmt.Errorf("swap-dir manifest: %w", err))
+		}
+		if err := swap.Publish(checkpoint.OS{}, *swapDir, wl.Model, version); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("published params v%d to %s (servers watching it will hot-swap)\n", version, *swapDir)
+	}
 }
 
 func fatal(err error) {

@@ -754,6 +754,19 @@ func (c *Cache) Clear() {
 	}
 }
 
+// SetModelVersion drops every entry from both tiers and stamps the
+// spill tier so segments written from now on carry the new model
+// version — the invalidation event of a parameter hot-swap. The
+// generation fence is bumped by Clear before any entry leaves, so
+// in-flight promote-on-hit enqueues of pre-swap entries are dropped
+// at the worker's re-check instead of resurrecting old-model rows.
+func (c *Cache) SetModelVersion(v uint64) {
+	c.Clear()
+	if c.spill != nil {
+		c.spill.SetModelVersion(v)
+	}
+}
+
 // Keys returns every resident key across both tiers (no particular
 // order, each key once). Used to rebuild derived indexes after a
 // snapshot load.

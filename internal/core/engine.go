@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"path/filepath"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -115,6 +116,12 @@ type Options struct {
 	// whole, as before PR 9. Operational escape hatch, and the
 	// baseline leg of the deepsweep benchmark (BENCH_5).
 	DeepClearAll bool
+
+	// ModelVersion is the version of the parameters the engine starts
+	// serving. It stamps spill segments and cache snapshots so state
+	// computed under other parameters is refused at recovery, and it
+	// seeds ParamsVersion for the hot-swap protocol (SwapParams).
+	ModelVersion uint64
 }
 
 // OptAll returns Options with all three optimizations enabled at the
@@ -211,6 +218,13 @@ type Engine struct {
 	// pre-insert history can never serve a post-insert waiter. Set it
 	// before serving starts; it is read without synchronization.
 	hook func(u, v int32, t float64)
+	// swapGate is the parameter hot-swap barrier: every embed and score
+	// pass holds the read side for its whole duration, and SwapLock
+	// takes the write side, so a swap can never tear a request — no
+	// request observes a mix of old- and new-version tensors (DESIGN.md
+	// §16). version is the model version currently served.
+	swapGate sync.RWMutex
+	version  atomic.Uint64
 	// stages holds always-on per-stage latency histograms (one atomic
 	// observation per op, so the cost is negligible next to the ops).
 	stages map[string]*stats.Histogram
@@ -231,6 +245,7 @@ func NewEngine(m *tgat.Model, s *graph.Sampler, opt Options) *Engine {
 		panic("core: sampler k differs from model NumNeighbors")
 	}
 	e.maxEmbedBits.Store(math.Float64bits(math.Inf(-1)))
+	e.version.Store(opt.ModelVersion)
 	quant := opt.Quant == QuantInt8
 	if quant {
 		e.qmodel = tgat.QuantizeModel(m)
@@ -259,7 +274,7 @@ func NewEngine(m *tgat.Model, s *graph.Sampler, opt Options) *Engine {
 			var sp *SpillStore
 			if opt.CacheSpillDir != "" {
 				var err error
-				sp, err = NewSpillStoreWith(fsys, filepath.Join(opt.CacheSpillDir, fmt.Sprintf("layer%d", l)), m.Cfg.NodeDim, spillPer[l], quant)
+				sp, err = NewSpillStoreVersioned(fsys, filepath.Join(opt.CacheSpillDir, fmt.Sprintf("layer%d", l)), m.Cfg.NodeDim, spillPer[l], quant, opt.ModelVersion)
 				if err != nil {
 					panic("core: opening cache spill dir: " + err.Error())
 				}
@@ -336,11 +351,85 @@ func (e *Engine) Quant() QuantMode { return e.opt.Quant }
 // precision: the packed int8 affinity head on the quantized path, the
 // float head otherwise. Servers must score through this seam rather
 // than the model directly, so -quant changes the whole request path.
+// The pass holds the swap barrier's read side: a concurrent parameter
+// hot-swap waits it out rather than tearing its tensors.
 func (e *Engine) ScoreWith(ar *tensor.Arena, hSrc, hDst *tensor.Tensor) *tensor.Tensor {
+	e.swapGate.RLock()
+	defer e.swapGate.RUnlock()
 	if e.qmodel != nil {
 		return e.qmodel.ScoreWith(ar, hSrc, hDst)
 	}
 	return e.model.ScoreWith(ar, hSrc, hDst)
+}
+
+// ParamsVersion returns the model version the engine currently serves.
+func (e *Engine) ParamsVersion() uint64 { return e.version.Load() }
+
+// SwapLock acquires the hot-swap barrier's write side: every in-flight
+// embed/score pass drains first and new passes block until SwapUnlock.
+// While held, the caller may mutate the shared model's parameter
+// tensors (tgat.ApplyParams) and must then call FinishSwap on every
+// engine sharing them before unlocking.
+func (e *Engine) SwapLock() { e.swapGate.Lock() }
+
+// SwapUnlock releases the hot-swap barrier.
+func (e *Engine) SwapUnlock() { e.swapGate.Unlock() }
+
+// FinishSwap completes a parameter swap on this engine while SwapLock
+// is held and the shared model already carries the new parameters:
+// the packed int8 weights are re-quantized from the swapped tensors,
+// every memo-cache layer is dropped and its spill tier re-stamped with
+// the new version (hot tier, spill segments, and — through the
+// generation fence Clear bumps — pending promote-on-hit enqueues), the
+// target/support/dependency indexes reset with them, and the served
+// version advances. Memoized embeddings are only valid for the
+// parameters that computed them, so the version bump is the cache-wide
+// invalidation event (the PR 5/9 epoch machinery keyed on model
+// version).
+func (e *Engine) FinishSwap(version uint64) {
+	if e.qmodel != nil {
+		e.qmodel = tgat.QuantizeModel(e.model)
+	}
+	if e.ttable != nil {
+		if e.opt.Quant == QuantInt8 {
+			e.ttable = NewTimeTableQuant(e.model.Time, e.opt.TimeWindow)
+		} else {
+			e.ttable = NewTimeTable(e.model.Time, e.opt.TimeWindow)
+		}
+	}
+	for _, c := range e.caches {
+		if c != nil {
+			c.SetModelVersion(version)
+		}
+	}
+	for _, tix := range e.layerTargets {
+		if tix != nil {
+			tix.Reset()
+		}
+	}
+	for _, six := range e.layerSupports {
+		if six != nil {
+			six.Reset()
+		}
+	}
+	if e.deps != nil {
+		e.deps.Reset()
+	}
+	e.version.Store(version)
+}
+
+// SwapParams atomically swaps this engine to a new parameter version:
+// apply mutates the shared model's tensors (typically
+// tgat.ApplyParams) under the barrier, then FinishSwap invalidates
+// every version-dependent derived structure. Single-engine
+// deployments use this directly; a shard pool coordinates the same
+// three steps across engines itself (shard.Router.SwapParams), since
+// all its engines share one model.
+func (e *Engine) SwapParams(version uint64, apply func()) {
+	e.SwapLock()
+	defer e.SwapUnlock()
+	apply()
+	e.FinishSwap(version)
 }
 
 // CacheFor returns the memoization cache serving layer l, or nil.
@@ -730,6 +819,12 @@ func (e *Engine) EmbedWith(ar *tensor.Arena, nodes []int32, ts []float64) *tenso
 	if len(nodes) != len(ts) {
 		panic("core: Embed nodes/ts length mismatch")
 	}
+	// The whole pass runs under the swap barrier's read side: a
+	// parameter hot-swap (SwapLock) drains in-flight passes and blocks
+	// new ones, so no pass ever mixes tensors from two versions or
+	// stores a memo under the wrong version stamp.
+	e.swapGate.RLock()
+	defer e.swapGate.RUnlock()
 	if e.caches != nil {
 		e.noteEmbedTimes(ts)
 	}

@@ -48,7 +48,13 @@ const (
 	cacheSectionEnd uint32 = 0xFFFFFFFF
 
 	// cacheSnapshotVersion is the engine snapshot's envelope version.
-	cacheSnapshotVersion uint32 = 2
+	// Version 3 prefixed the layer stream with the model version the
+	// entries were computed under; version-2 snapshots load as model
+	// version 0 (the pre-swap-era default).
+	cacheSnapshotVersion uint32 = 3
+
+	// cacheSnapshotVersionV2 is the previous, unversioned-model layout.
+	cacheSnapshotVersionV2 uint32 = 2
 )
 
 // WriteTo serializes every cached entry as a v2 blob. Each shard's
@@ -253,8 +259,21 @@ func (e *Engine) SaveCachesFS(fsys checkpoint.FS, path string) error {
 	if e.caches == nil {
 		return fmt.Errorf("core: engine has no caches to save")
 	}
+	// The save runs under the swap barrier's read side so the model
+	// version it stamps is the version every serialized entry was
+	// computed under — a swap cannot land between the stamp and the
+	// blobs.
+	e.swapGate.RLock()
+	defer e.swapGate.RUnlock()
 	return checkpoint.WriteFS(fsys, path, cacheSnapshotVersion, func(w io.Writer) error {
-		// Payload: number of cached layers, then (layer, blob) pairs.
+		// Payload: model version, number of cached layers, then
+		// (layer, blob) pairs.
+		var mv [8]byte
+		binary.LittleEndian.PutUint64(mv[:], e.version.Load())
+		if _, err := w.Write(mv[:]); err != nil {
+			return err
+		}
+		// Number of cached layers, then (layer, blob) pairs.
 		var live []int
 		for l, c := range e.caches {
 			if c != nil {
@@ -296,11 +315,34 @@ func (e *Engine) LoadCachesFS(fsys checkpoint.FS, path string) error {
 	if e.caches == nil {
 		return fmt.Errorf("core: engine has no caches to load into")
 	}
+	// Under the swap barrier's read side: the version the snapshot is
+	// validated against cannot change while entries are committed.
+	e.swapGate.RLock()
+	defer e.swapGate.RUnlock()
 	err := checkpoint.ReadFS(fsys, path, func(version uint32, r io.Reader) error {
-		if version != cacheSnapshotVersion {
+		switch version {
+		case cacheSnapshotVersion:
+			// v3: model-version stamp precedes the layer stream. A
+			// snapshot taken under other parameters is refused — its
+			// memos would be bitwise-wrong under the current model.
+			var mv [8]byte
+			if _, err := io.ReadFull(r, mv[:]); err != nil {
+				return err
+			}
+			if v := binary.LittleEndian.Uint64(mv[:]); v != e.version.Load() {
+				return fmt.Errorf("core: cache snapshot is model version %d, engine serves %d — re-warm instead of loading across versions", v, e.version.Load())
+			}
+			return e.loadCacheStream(r)
+		case cacheSnapshotVersionV2:
+			// v2: no model stamp; treat as version 0, loadable only by a
+			// version-0 engine (fresh boots that never swapped).
+			if v := e.version.Load(); v != 0 {
+				return fmt.Errorf("core: unversioned (v2) cache snapshot, engine serves model version %d", v)
+			}
+			return e.loadCacheStream(r)
+		default:
 			return fmt.Errorf("core: cache snapshot version %d, engine reads %d", version, cacheSnapshotVersion)
 		}
-		return e.loadCacheStream(r)
 	})
 	if errors.Is(err, checkpoint.ErrNotCheckpoint) {
 		return e.loadCachesLegacy(fsys, path)
@@ -311,6 +353,9 @@ func (e *Engine) LoadCachesFS(fsys checkpoint.FS, path string) error {
 // loadCachesLegacy reads a pre-envelope snapshot file: the same layer
 // stream, with v1 cache blobs and no checksum.
 func (e *Engine) loadCachesLegacy(fsys checkpoint.FS, path string) error {
+	if v := e.version.Load(); v != 0 {
+		return fmt.Errorf("core: legacy cache snapshot, engine serves model version %d", v)
+	}
 	f, err := fsys.Open(path)
 	if err != nil {
 		return err

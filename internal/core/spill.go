@@ -16,8 +16,15 @@ import (
 )
 
 // spillSegVersion is the payload format version of a spill segment
-// inside the checkpoint envelope.
-const spillSegVersion = 1
+// inside the checkpoint envelope. Version 2 added the model-version
+// word to the segment header; version-1 segments (no model stamp) are
+// treated like any other unreadable segment and dropped at recovery.
+const spillSegVersion = 2
+
+// spillHdrSize is the segment payload header: the dim word (quant flag
+// in bit 31) followed by the model version the records were computed
+// under.
+const spillHdrSize = 4 + 8
 
 // spillSegPrefix/Suffix name segment files: seg-<id>.tgs.
 const (
@@ -73,16 +80,17 @@ type SpillStats struct {
 //
 // Layout of a segment payload:
 //
-//	dim     uint32 (bit 31 set when records are int8-quantized)
+//	dim      uint32 (bit 31 set when records are int8-quantized)
+//	modelVer uint64 (model version the records were computed under)
 //	records × (key uint64, payload [entryCodec], crc32 uint32)
 //
 // where each record's crc32 is IEEE over its key+payload bytes and the
 // payload is the shared entry codec's format — float32 vectors, or
 // scale-prefixed int8 codes in quant mode (~4× smaller records). A
-// segment whose header flag or dim disagrees with the store is treated
-// exactly like a corrupt one: deleted and counted, so a precision
-// change across restarts costs the cold entries, never a wrong
-// embedding.
+// segment whose header flag, dim, or model version disagrees with the
+// store is treated exactly like a corrupt one: deleted and counted, so
+// a precision change across restarts — or a parameter hot-swap — costs
+// the cold entries, never a wrong embedding.
 //
 // Overwritten and removed records stay in their segment as dead bytes
 // until compaction folds the survivors back into the open buffer and
@@ -96,6 +104,7 @@ type SpillStore struct {
 	codec     entryCodec
 	maxBytes  int64
 	segTarget int
+	modelVer  uint64 // stamped into segment headers; guarded by mu
 
 	mu          sync.Mutex
 	index       map[uint64]spillRef
@@ -134,6 +143,15 @@ func NewSpillStore(fsys checkpoint.FS, dir string, dim int, maxBytes int64) (*Sp
 // Existing segments of the other precision are dropped during recovery
 // (counted as corrupt), mirroring how any unreadable segment is a miss.
 func NewSpillStoreWith(fsys checkpoint.FS, dir string, dim int, maxBytes int64, quant bool) (*SpillStore, error) {
+	return NewSpillStoreVersioned(fsys, dir, dim, maxBytes, quant, 0)
+}
+
+// NewSpillStoreVersioned is NewSpillStoreWith with an explicit model
+// version: segments written under a different model version — an
+// earlier process generation, or the tier's own pre-swap output — are
+// dropped during recovery exactly like corrupt ones, since spilled
+// embeddings are only valid for the parameters that computed them.
+func NewSpillStoreVersioned(fsys checkpoint.FS, dir string, dim int, maxBytes int64, quant bool, modelVer uint64) (*SpillStore, error) {
 	if fsys == nil {
 		fsys = checkpoint.OS{}
 	}
@@ -150,6 +168,7 @@ func NewSpillStoreWith(fsys checkpoint.FS, dir string, dim int, maxBytes int64, 
 		codec:     entryCodec{dim: dim, quant: quant},
 		maxBytes:  maxBytes,
 		segTarget: defaultSegTarget,
+		modelVer:  modelVer,
 		index:     make(map[uint64]spillRef),
 		segs:      make(map[uint32]*spillSeg),
 	}
@@ -162,16 +181,17 @@ func NewSpillStoreWith(fsys checkpoint.FS, dir string, dim int, maxBytes int64, 
 	return sp, nil
 }
 
-// resetOpenLocked starts a fresh open buffer holding only the dim
-// header.
+// resetOpenLocked starts a fresh open buffer holding only the segment
+// header (dim word + model version).
 func (sp *SpillStore) resetOpenLocked() {
 	sp.open = sp.open[:0]
-	var hdr [4]byte
+	var hdr [spillHdrSize]byte
 	h := uint32(sp.dim)
 	if sp.codec.quant {
 		h |= spillQuantFlag
 	}
-	binary.LittleEndian.PutUint32(hdr[:], h)
+	binary.LittleEndian.PutUint32(hdr[:4], h)
+	binary.LittleEndian.PutUint64(hdr[4:], sp.modelVer)
 	sp.open = append(sp.open, hdr[:]...)
 	sp.openKeys = sp.openKeys[:0]
 }
@@ -226,7 +246,7 @@ func (sp *SpillStore) recover() error {
 		seg := sp.segs[id]
 		rec := sp.codec.recSize()
 		for i, key := range seg.keys {
-			if sp.index[key] == (spillRef{seg: id, off: 4 + int64(i)*rec}) {
+			if sp.index[key] == (spillRef{seg: id, off: spillHdrSize + int64(i)*rec}) {
 				seg.live++
 			}
 		}
@@ -242,20 +262,23 @@ func (sp *SpillStore) decodeSegment(seg *spillSeg, version uint32, r io.Reader) 
 	if version != spillSegVersion {
 		return fmt.Errorf("unsupported spill segment version %d", version)
 	}
-	var hdr [4]byte
+	var hdr [spillHdrSize]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return err
 	}
-	h := binary.LittleEndian.Uint32(hdr[:])
+	h := binary.LittleEndian.Uint32(hdr[:4])
 	if quant := h&spillQuantFlag != 0; quant != sp.codec.quant {
 		return fmt.Errorf("spill segment quant=%v, store quant=%v", quant, sp.codec.quant)
 	}
 	if d := h &^ spillQuantFlag; int(d) != sp.dim {
 		return fmt.Errorf("spill segment dim %d, cache dim %d", d, sp.dim)
 	}
+	if v := binary.LittleEndian.Uint64(hdr[4:]); v != sp.modelVer {
+		return fmt.Errorf("spill segment model version %d, store version %d", v, sp.modelVer)
+	}
 	rec := sp.codec.recSize()
 	buf := make([]byte, rec)
-	off := int64(4)
+	off := int64(spillHdrSize)
 	for {
 		if _, err := io.ReadFull(r, buf); err != nil {
 			if err == io.EOF {
@@ -382,7 +405,7 @@ func (sp *SpillStore) sealLocked() {
 	if err != nil {
 		sp.sealErrs.Add(1)
 		for i, key := range sp.openKeys {
-			if sp.index[key] == (spillRef{seg: id, off: 4 + int64(i)*rec}) {
+			if sp.index[key] == (spillRef{seg: id, off: spillHdrSize + int64(i)*rec}) {
 				delete(sp.index, key)
 			}
 		}
@@ -394,7 +417,7 @@ func (sp *SpillStore) sealLocked() {
 			keys:  append([]uint64(nil), sp.openKeys...),
 		}
 		for i, key := range sp.openKeys {
-			if sp.index[key] == (spillRef{seg: id, off: 4 + int64(i)*rec}) {
+			if sp.index[key] == (spillRef{seg: id, off: spillHdrSize + int64(i)*rec}) {
 				seg.live++
 			}
 		}
@@ -423,7 +446,7 @@ func (sp *SpillStore) enforceBudgetLocked() {
 func (sp *SpillStore) removeSegLocked(seg *spillSeg) {
 	rec := sp.codec.recSize()
 	for i, key := range seg.keys {
-		if sp.index[key] == (spillRef{seg: seg.id, off: 4 + int64(i)*rec}) {
+		if sp.index[key] == (spillRef{seg: seg.id, off: spillHdrSize + int64(i)*rec}) {
 			delete(sp.index, key)
 		}
 	}
@@ -450,7 +473,7 @@ func (sp *SpillStore) compactLocked(seg *spillSeg) {
 	}
 	var keep []rescued
 	for i, key := range seg.keys {
-		ref := spillRef{seg: seg.id, off: 4 + int64(i)*rec}
+		ref := spillRef{seg: seg.id, off: spillHdrSize + int64(i)*rec}
 		if sp.index[key] == ref {
 			keep = append(keep, rescued{key: key, off: ref.off})
 		}
@@ -612,6 +635,33 @@ func (sp *SpillStore) Clear() {
 	sp.openID = sp.nextID
 	sp.nextID++
 	sp.resetOpenLocked()
+}
+
+// SetModelVersion stamps subsequently written segments with v. The
+// open buffer — whose header already carries the old version — is
+// sealed first so no record is ever filed under a version it was not
+// computed for. Callers invalidating on a parameter swap should Clear
+// first and then SetModelVersion, which leaves the tier empty and
+// correctly stamped.
+func (sp *SpillStore) SetModelVersion(v uint64) {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	if v == sp.modelVer {
+		return
+	}
+	if len(sp.openKeys) > 0 {
+		sp.sealLocked()
+		sp.enforceBudgetLocked()
+	}
+	sp.modelVer = v
+	sp.resetOpenLocked()
+}
+
+// ModelVersion returns the version stamped into new segments.
+func (sp *SpillStore) ModelVersion() uint64 {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	return sp.modelVer
 }
 
 // Stats snapshots the cold tier's counters.

@@ -1,0 +1,222 @@
+package core
+
+import (
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"tgopt/internal/checkpoint"
+	"tgopt/internal/graph"
+	"tgopt/internal/tensor"
+	"tgopt/internal/tgat"
+)
+
+// swapTestModel builds the small deterministic fixture; seed varies the
+// parameter init over identical feature tables, so two seeds model two
+// published versions of the same architecture.
+func swapTestModel(t *testing.T, seed uint64) *tgat.Model {
+	t.Helper()
+	const nodes, maxEdges, d = 24, 4096, 16
+	r := tensor.NewRNG(1)
+	nodeFeat := tensor.Randn(r, nodes+1, d)
+	edgeFeat := tensor.Randn(r, maxEdges+1, d)
+	for j := 0; j < d; j++ {
+		nodeFeat.Set(0, 0, j)
+		edgeFeat.Set(0, 0, j)
+	}
+	cfg := tgat.Config{Layers: 2, Heads: 2, NodeDim: d, EdgeDim: d, TimeDim: d, NumNeighbors: 4, Seed: seed}
+	m, err := tgat.NewModel(cfg, nodeFeat, edgeFeat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func swapTestDyn(t *testing.T, n int) *graph.Dynamic {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	dyn := graph.NewDynamic(24)
+	for i := 0; i < n; i++ {
+		e := graph.Edge{
+			Src:  int32(1 + rng.Intn(23)),
+			Dst:  int32(1 + rng.Intn(23)),
+			Time: float64(10 * (i + 1)),
+		}
+		if _, _, err := dyn.Ingest(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dyn
+}
+
+func swapTestEngine(t *testing.T, m *tgat.Model, opt Options) *Engine {
+	t.Helper()
+	dyn := swapTestDyn(t, 60)
+	sampler := graph.NewDynamicSampler(dyn, m.Cfg.NumNeighbors, graph.MostRecent, 0)
+	eng := NewEngine(m, sampler, opt)
+	t.Cleanup(func() { eng.Close() })
+	return eng
+}
+
+// TestEngineSwapBitwiseEquivalence pins the hot-swap contract on one
+// engine: after SwapParams, rows are bitwise-identical to a fresh
+// engine built directly on the new parameters — no stale memo (hot or
+// spill), no stale packed weights, no stale precomputed time table
+// survives the swap. Exercised at both serving precisions because int8
+// re-derives the most state (packed kernels + quantized time table).
+func TestEngineSwapBitwiseEquivalence(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		quant QuantMode
+	}{{"float32", QuantOff}, {"int8", QuantInt8}} {
+		t.Run(tc.name, func(t *testing.T) {
+			opt := OptAll()
+			opt.TimeWindow = 10_000
+			opt.Quant = tc.quant
+
+			mA := swapTestModel(t, 2)
+			eng := swapTestEngine(t, mA, opt)
+
+			nodes := []int32{1, 5, 3, 1, 9, 12}
+			ts := []float64{1000, 1000, 1000, 900, 1000, 1000}
+			eng.Embed(nodes, ts) // warm the memo cache under version 0
+			eng.Embed(nodes, ts)
+			if eng.CacheLen() == 0 {
+				t.Fatal("cache did not warm")
+			}
+			if eng.ParamsVersion() != 0 {
+				t.Fatalf("boot version %d", eng.ParamsVersion())
+			}
+
+			// Publish version-B params through a checkpoint file, the way
+			// the serving loop does.
+			dir := t.TempDir()
+			path := filepath.Join(dir, "params.tgp")
+			if err := swapTestModel(t, 9).SaveParamsFS(checkpoint.OS{}, path); err != nil {
+				t.Fatal(err)
+			}
+			sp, err := mA.ParseParamsFS(checkpoint.OS{}, path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			eng.SwapParams(1, func() { mA.ApplyParams(sp) })
+			if eng.ParamsVersion() != 1 {
+				t.Fatalf("version after swap: %d", eng.ParamsVersion())
+			}
+
+			got := eng.Embed(nodes, ts)
+			ref := swapTestEngine(t, swapTestModel(t, 9), opt)
+			want := ref.Embed(nodes, ts)
+			for i := range nodes {
+				for j := 0; j < mA.Cfg.NodeDim; j++ {
+					if got.At(i, j) != want.At(i, j) {
+						t.Fatalf("row %d col %d: swapped %v vs fresh %v", i, j, got.At(i, j), want.At(i, j))
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSpillRecoveryRejectsOtherVersion pins the durable half of swap
+// invalidation: spill segments written under model version 0 must read
+// as corrupt (dropped whole) when the engine comes back serving
+// version 1 — an on-disk embedding computed by old weights is as wrong
+// as a bit flip.
+func TestSpillRecoveryRejectsOtherVersion(t *testing.T) {
+	const dim = 4
+	vec := []float32{1, 2, 3, 4}
+
+	// Same version across restart: entries survive.
+	dirSame := t.TempDir()
+	sp, err := NewSpillStoreVersioned(checkpoint.OS{}, dirSame, dim, 0, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(1); k <= 10; k++ {
+		sp.Put(k, vec)
+	}
+	if err := sp.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := NewSpillStoreVersioned(checkpoint.OS{}, dirSame, dim, 0, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Len() != 10 {
+		t.Fatalf("same-version recovery: %d of 10 entries", re.Len())
+	}
+	re.Close()
+
+	// Version advanced across restart: every old segment is discarded.
+	dirSwap := t.TempDir()
+	sp, err = NewSpillStoreVersioned(checkpoint.OS{}, dirSwap, dim, 0, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(1); k <= 10; k++ {
+		sp.Put(k, vec)
+	}
+	if err := sp.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err = NewSpillStoreVersioned(checkpoint.OS{}, dirSwap, dim, 0, false, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.Len() != 0 {
+		t.Fatalf("v1 recovery served %d v0 entries", re.Len())
+	}
+	if re.Stats().CorruptSegments == 0 {
+		t.Fatal("version mismatch not surfaced as corrupt segments")
+	}
+	var buf [dim]float32
+	if re.Get(1, buf[:]) {
+		t.Fatal("old-version record served after recovery")
+	}
+}
+
+// TestCacheSnapshotVersionStamp pins the snapshot side: a cache
+// snapshot is valid only for the params version that computed its
+// entries, and loading it into an engine serving any other version is
+// refused (cold start, never silent staleness).
+func TestCacheSnapshotVersionStamp(t *testing.T) {
+	opt := OptAll()
+	opt.ModelVersion = 3
+	m := swapTestModel(t, 2)
+	eng := swapTestEngine(t, m, opt)
+	nodes := []int32{1, 5, 3}
+	ts := []float64{1000, 1000, 1000}
+	eng.Embed(nodes, ts)
+	if eng.CacheLen() == 0 {
+		t.Fatal("cache did not warm")
+	}
+	path := filepath.Join(t.TempDir(), "caches.tgc")
+	if err := eng.SaveCachesFS(checkpoint.OS{}, path); err != nil {
+		t.Fatal(err)
+	}
+
+	same := swapTestEngine(t, swapTestModel(t, 2), opt)
+	if err := same.LoadCachesFS(checkpoint.OS{}, path); err != nil {
+		t.Fatal(err)
+	}
+	if same.CacheLen() == 0 {
+		t.Fatal("same-version snapshot loaded no entries")
+	}
+
+	optOther := opt
+	optOther.ModelVersion = 4
+	other := swapTestEngine(t, swapTestModel(t, 2), optOther)
+	err := other.LoadCachesFS(checkpoint.OS{}, path)
+	if err == nil {
+		t.Fatal("v3 snapshot accepted by a v4 engine")
+	}
+	if !strings.Contains(err.Error(), "version") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	if other.CacheLen() != 0 {
+		t.Fatalf("refused load still populated %d entries", other.CacheLen())
+	}
+}

@@ -1,0 +1,374 @@
+// BENCH_6: online-learning hot-swap under serving load (DESIGN.md
+// §16). RunSwapSweep serves a Zipf-skewed query stream over one engine
+// while parameter hot-swaps fire every SwapEvery queries, and measures
+// what a swap costs the memo cache: the hit rate right after the
+// epoch bump versus the steady rate once the cache re-warms, the pause
+// a swap itself takes, and — the correctness half — bitwise spot
+// checks of post-swap rows against a reference engine built directly
+// on the swapped-in parameters.
+
+package perfbench
+
+import (
+	"runtime"
+	"time"
+
+	"tgopt/internal/core"
+	"tgopt/internal/graph"
+	"tgopt/internal/parallel"
+	"tgopt/internal/tensor"
+	"tgopt/internal/tgat"
+)
+
+// SwapSweepConfig shapes the sweep. Two parameter versions (distinct
+// seeds over identical feature tables) alternate; SwapEvery lists one
+// measured point per swap cadence.
+type SwapSweepConfig struct {
+	Nodes  int // graph size
+	Edges  int // static interaction stream length
+	Layers int
+	K      int // sampled most-recent neighbors
+	Dim    int // node/edge/time feature width
+	Heads  int
+
+	Queries   int     // embed queries served per point
+	Batch     int     // queries per fused Embed call
+	HotKeys   int     // distinct query nodes the Zipf trace draws from
+	ZipfS     float64 // query skew
+	SwapEvery []int   // queries between swaps, one point each
+	Window    int     // queries per hit-rate window (post-swap vs steady)
+	Runs      int     // timing repetitions (min wall wins)
+	CacheLim  int     // cache item limit across layers
+	Seed      uint64
+}
+
+// DefaultSwapSweepConfig is the committed BENCH_6.json configuration.
+func DefaultSwapSweepConfig() SwapSweepConfig {
+	return SwapSweepConfig{
+		Nodes:     60,
+		Edges:     4_000,
+		Layers:    2,
+		K:         5,
+		Dim:       32,
+		Heads:     2,
+		Queries:   3_000,
+		Batch:     25,
+		HotKeys:   64,
+		ZipfS:     1.1,
+		SwapEvery: []int{250, 1000},
+		Window:    50,
+		Runs:      3,
+		CacheLim:  200_000,
+		Seed:      1,
+	}
+}
+
+// SwapSweepPoint is one cadence's measurement.
+type SwapSweepPoint struct {
+	SwapEvery int     `json:"swap_every"`
+	Swaps     int     `json:"swaps"`
+	HitRate   float64 `json:"hit_rate"` // whole stream, all layers
+	// PostSwapHitRate pools the windows that start within Window
+	// queries of a swap (cold re-warm); SteadyHitRate pools the windows
+	// ending just before the next swap (fully re-warmed).
+	PostSwapHitRate float64 `json:"post_swap_hit_rate"`
+	SteadyHitRate   float64 `json:"steady_hit_rate"`
+	RecoveryGain    float64 `json:"recovery_gain"` // steady - post-swap
+	NsPerQuery      float64 `json:"ns_per_query"`  // embed time only
+	MeanSwapPauseUs float64 `json:"mean_swap_pause_us"`
+	// Bitwise spot checks: after every swap, one hot batch is compared
+	// against a reference engine built directly on the active params.
+	SpotChecks        int `json:"spot_checks"`
+	SpotCheckFailures int `json:"spot_check_failures"`
+}
+
+// SwapSweepReport is the BENCH_6.json artifact.
+type SwapSweepReport struct {
+	Schema         int             `json:"schema"`
+	GoVersion      string          `json:"go_version"`
+	GOOS           string          `json:"goos"`
+	GOARCH         string          `json:"goarch"`
+	MaxProcs       int             `json:"maxprocs"`
+	ParallelDegree int             `json:"parallel_degree"`
+	Config         SwapSweepConfig `json:"config"`
+	// Baseline leg: the identical query stream with no swaps at all.
+	BaselineHitRate    float64          `json:"baseline_hit_rate"`
+	BaselineNsPerQuery float64          `json:"baseline_ns_per_query"`
+	Points             []SwapSweepPoint `json:"points"`
+	// AllPointsPass: every spot check bitwise-matched its reference and
+	// every cadence shows the cache actually re-warming (steady rate
+	// strictly above the post-swap rate).
+	AllPointsPass bool `json:"all_points_pass"`
+}
+
+// swapSweepWorkload is the deterministic input every leg replays.
+type swapSweepWorkload struct {
+	serve   *tgat.Model    // mutated in place by swaps
+	refs    []*core.Engine // one per version, fixed params, for spot checks
+	snaps   [][][]float32  // per-version raw param snapshot
+	sampler *graph.Sampler
+	nodes   []int32 // Zipf-picked query node per query index
+	qt      float64 // fixed integral query time past the stream's end
+}
+
+func snapshotParams(m *tgat.Model) [][]float32 {
+	ps := m.Params()
+	out := make([][]float32, len(ps))
+	for i, p := range ps {
+		out[i] = append([]float32(nil), p.Data()...)
+	}
+	return out
+}
+
+func restoreParams(m *tgat.Model, snap [][]float32) {
+	for i, p := range m.Params() {
+		copy(p.Data(), snap[i])
+	}
+}
+
+func buildSwapSweep(cfg SwapSweepConfig) (*swapSweepWorkload, error) {
+	r := tensor.NewRNG(cfg.Seed)
+	edges := make([]graph.Edge, 0, cfg.Edges)
+	clock := 0.0
+	for len(edges) < cfg.Edges {
+		clock += float64(1 + r.Intn(3))
+		src := int32(1 + r.Intn(cfg.Nodes))
+		dst := int32(1 + r.Intn(cfg.Nodes))
+		if src == dst {
+			continue
+		}
+		edges = append(edges, graph.Edge{Src: src, Dst: dst, Time: clock, Idx: int32(len(edges) + 1)})
+	}
+	nodeFeat := tensor.Randn(r, cfg.Nodes+1, cfg.Dim)
+	edgeFeat := tensor.Randn(r, cfg.Edges+2, cfg.Dim)
+	for j := 0; j < cfg.Dim; j++ {
+		nodeFeat.Set(0, 0, j)
+		edgeFeat.Set(0, 0, j)
+	}
+	newModel := func(seed uint64) (*tgat.Model, error) {
+		mcfg := tgat.Config{
+			Layers: cfg.Layers, Heads: cfg.Heads, NodeDim: cfg.Dim, EdgeDim: cfg.Dim,
+			TimeDim: cfg.Dim, NumNeighbors: cfg.K, Seed: seed,
+		}
+		return tgat.NewModel(mcfg, nodeFeat, edgeFeat)
+	}
+	serve, err := newModel(7)
+	if err != nil {
+		return nil, err
+	}
+	other, err := newModel(9)
+	if err != nil {
+		return nil, err
+	}
+	g, err := graph.NewGraph(cfg.Nodes, edges)
+	if err != nil {
+		return nil, err
+	}
+	sampler := graph.NewSampler(g, cfg.K, graph.MostRecent, 0)
+	w := &swapSweepWorkload{
+		serve:   serve,
+		snaps:   [][][]float32{snapshotParams(serve), snapshotParams(other)},
+		sampler: sampler,
+		qt:      clock + 1,
+	}
+	// Reference engines on fixed params, one per version: the bitwise
+	// oracle a post-swap spot check compares against. Cache disabled so
+	// every reference row is a cold compute.
+	for _, seed := range []uint64{7, 9} {
+		rm, err := newModel(seed)
+		if err != nil {
+			return nil, err
+		}
+		ropt := core.OptAll()
+		ropt.EnableCache = false
+		w.refs = append(w.refs, core.NewEngine(rm, sampler, ropt))
+	}
+	// Hot query nodes drawn from busy edges, Zipf-picked per query.
+	hot := make([]int32, cfg.HotKeys)
+	for i := range hot {
+		hot[i] = edges[r.Intn(cfg.Edges)].Src
+	}
+	trace := zipfKeys(CacheSweepConfig{
+		Keyspace: cfg.HotKeys, Accesses: cfg.Queries, ZipfS: cfg.ZipfS, Seed: cfg.Seed + 1,
+	})
+	w.nodes = make([]int32, cfg.Queries)
+	for i, k := range trace {
+		w.nodes[i] = hot[int(k-1)]
+	}
+	return w, nil
+}
+
+// totals sums lookups and hits across all cached layers.
+func totals(eng *core.Engine) (lookups, hits int64) {
+	for _, ls := range eng.LayerCacheStats() {
+		lookups += ls.Lookups
+		hits += ls.Hits
+	}
+	return
+}
+
+// spotCheck embeds one hot batch on the serving engine (post-swap, so
+// cold) and on the fixed-params reference, requiring bitwise equality.
+func spotCheck(cfg SwapSweepConfig, w *swapSweepWorkload, eng, ref *core.Engine) bool {
+	n := cfg.Batch
+	if n > len(w.nodes) {
+		n = len(w.nodes)
+	}
+	ts := make([]float64, n)
+	for i := range ts {
+		ts[i] = w.qt
+	}
+	got := eng.Embed(w.nodes[:n], ts)
+	want := ref.Embed(w.nodes[:n], ts)
+	for i := 0; i < n; i++ {
+		for j := 0; j < cfg.Dim; j++ {
+			if got.At(i, j) != want.At(i, j) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// swapSweepLeg replays the query stream once per run with swaps every
+// swapEvery queries (0 = baseline, no swaps). Embed time is accumulated
+// separately from swap pauses and spot checks so NsPerQuery prices the
+// serving path alone.
+func swapSweepLeg(cfg SwapSweepConfig, w *swapSweepWorkload, swapEvery int) (SwapSweepPoint, error) {
+	pt := SwapSweepPoint{SwapEvery: swapEvery}
+	var best time.Duration
+	for run := 0; run < cfg.Runs; run++ {
+		restoreParams(w.serve, w.snaps[0])
+		opt := core.OptAll()
+		opt.CacheLimit = cfg.CacheLim
+		eng := core.NewEngine(w.serve, w.sampler, opt)
+
+		ns := make([]int32, cfg.Batch)
+		ts := make([]float64, cfg.Batch)
+		ar := tensor.NewArena()
+		var embedWall, pauseWall time.Duration
+		var winLook, winHit int64 // totals at the current window's start
+		var postLook, postHit, steadyLook, steadyHit int64
+		version := uint64(0)
+		swaps, spotChecks, spotFails := 0, 0, 0
+		sinceSwap := 0
+		winSwaps := 0 // swap count at the current window's start
+
+		for q := 0; q < cfg.Queries; q += cfg.Batch {
+			n := cfg.Batch
+			if q+n > cfg.Queries {
+				n = cfg.Queries - q
+			}
+			if swapEvery > 0 && q > 0 && q%swapEvery == 0 {
+				version++
+				snap := w.snaps[version%2]
+				t0 := time.Now()
+				eng.SwapParams(version, func() { restoreParams(w.serve, snap) })
+				pauseWall += time.Since(t0)
+				swaps++
+				sinceSwap = 0
+				spotChecks++
+				if !spotCheck(cfg, w, eng, w.refs[version%2]) {
+					spotFails++
+				}
+			}
+			copy(ns[:n], w.nodes[q:q+n])
+			for i := 0; i < n; i++ {
+				ts[i] = w.qt
+			}
+			ar.Reset()
+			t0 := time.Now()
+			eng.EmbedWith(ar, ns[:n], ts[:n])
+			embedWall += time.Since(t0)
+			sinceSwap += n
+
+			if (q+n)%cfg.Window == 0 || q+n == cfg.Queries {
+				lk, ht := totals(eng)
+				dl, dh := lk-winLook, ht-winHit
+				winLook, winHit = lk, ht
+				if swapEvery > 0 {
+					// A window that contains a swap (or starts right after
+					// one) is cold re-warm; a swap-free window ending just
+					// before the next swap is the fully re-warmed steady
+					// state.
+					if swaps > winSwaps || sinceSwap <= cfg.Window {
+						postLook += dl
+						postHit += dh
+					} else if sinceSwap >= swapEvery-cfg.Window {
+						steadyLook += dl
+						steadyHit += dh
+					}
+				}
+				winSwaps = swaps
+			}
+		}
+		if run == 0 || embedWall < best {
+			best = embedWall
+		}
+		if run == cfg.Runs-1 {
+			lk, ht := totals(eng)
+			if lk > 0 {
+				pt.HitRate = float64(ht) / float64(lk)
+			}
+			if postLook > 0 {
+				pt.PostSwapHitRate = float64(postHit) / float64(postLook)
+			}
+			if steadyLook > 0 {
+				pt.SteadyHitRate = float64(steadyHit) / float64(steadyLook)
+			}
+			pt.RecoveryGain = pt.SteadyHitRate - pt.PostSwapHitRate
+			pt.Swaps = swaps
+			pt.SpotChecks = spotChecks
+			pt.SpotCheckFailures = spotFails
+			if swaps > 0 {
+				pt.MeanSwapPauseUs = float64(pauseWall.Microseconds()) / float64(swaps)
+			}
+		}
+		eng.Close()
+	}
+	pt.NsPerQuery = float64(best.Nanoseconds()) / float64(cfg.Queries)
+	return pt, nil
+}
+
+// RunSwapSweep executes the sweep and returns the report.
+func RunSwapSweep(cfg SwapSweepConfig) (*SwapSweepReport, error) {
+	if cfg.Runs < 1 {
+		cfg.Runs = 1
+	}
+	w, err := buildSwapSweep(cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		for _, ref := range w.refs {
+			ref.Close()
+		}
+	}()
+	rep := &SwapSweepReport{
+		Schema:         1,
+		GoVersion:      runtime.Version(),
+		GOOS:           runtime.GOOS,
+		GOARCH:         runtime.GOARCH,
+		MaxProcs:       runtime.GOMAXPROCS(0),
+		ParallelDegree: parallel.Degree(),
+		Config:         cfg,
+		AllPointsPass:  true,
+	}
+	base, err := swapSweepLeg(cfg, w, 0)
+	if err != nil {
+		return nil, err
+	}
+	rep.BaselineHitRate = base.HitRate
+	rep.BaselineNsPerQuery = base.NsPerQuery
+	for _, every := range cfg.SwapEvery {
+		pt, err := swapSweepLeg(cfg, w, every)
+		if err != nil {
+			return nil, err
+		}
+		if pt.SpotCheckFailures > 0 || pt.RecoveryGain <= 0 {
+			rep.AllPointsPass = false
+		}
+		rep.Points = append(rep.Points, pt)
+	}
+	return rep, nil
+}

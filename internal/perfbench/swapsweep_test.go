@@ -1,0 +1,43 @@
+package perfbench
+
+import "testing"
+
+// TestSwapSweepAcceptance pins the BENCH_6.json acceptance bar at a
+// reduced scale: every post-swap spot check is bitwise-identical to a
+// fixed-params reference engine (no stale cache entry, packed weight,
+// or time table survives a swap), and the cache visibly re-warms —
+// steady-state hit rate strictly above the post-swap rate at every
+// cadence.
+func TestSwapSweepAcceptance(t *testing.T) {
+	cfg := DefaultSwapSweepConfig()
+	cfg.Edges = 1_500
+	cfg.Queries = 1_200
+	cfg.SwapEvery = []int{300}
+	cfg.Runs = 1
+	rep, err := RunSwapSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range rep.Points {
+		t.Logf("every %d: hit %.4f post-swap %.4f steady %.4f pause %.0fus spot %d/%d",
+			p.SwapEvery, p.HitRate, p.PostSwapHitRate, p.SteadyHitRate,
+			p.MeanSwapPauseUs, p.SpotChecks-p.SpotCheckFailures, p.SpotChecks)
+		if p.SpotChecks == 0 {
+			t.Errorf("every %d: no spot checks ran", p.SwapEvery)
+		}
+		if p.SpotCheckFailures > 0 {
+			t.Errorf("every %d: %d post-swap spot checks diverged from the reference",
+				p.SwapEvery, p.SpotCheckFailures)
+		}
+		if p.RecoveryGain <= 0 {
+			t.Errorf("every %d: steady %.4f not above post-swap %.4f",
+				p.SwapEvery, p.SteadyHitRate, p.PostSwapHitRate)
+		}
+	}
+	if !rep.AllPointsPass {
+		t.Error("acceptance flag false")
+	}
+	if rep.BaselineHitRate <= 0 {
+		t.Errorf("baseline hit rate %.4f", rep.BaselineHitRate)
+	}
+}

@@ -40,6 +40,7 @@ import (
 	"math"
 	"net/http"
 	"strings"
+	"sync"
 	"sync/atomic"
 
 	"tgopt/internal/batcher"
@@ -72,6 +73,22 @@ type Server struct {
 	// batcher, when non-nil (SetBatching), fuses concurrent embed and
 	// score targets into shared engine passes with single-flight dedup.
 	batcher *batcher.Batcher
+
+	// swapGate is the request-level hot-swap barrier (swap.go): embed,
+	// score, ingest, and explain hold the read side for their whole
+	// handler body, SwapParams' commit takes the write side. The engine
+	// and router have their own gates, but this one is still needed —
+	// /v1/score runs embedSlab and the affinity head as two separate
+	// calls, and a swap landing between them would score new-version
+	// logits over old-version embeddings. Lock order: swapGate before
+	// the router's swapMu before any engine's gate.
+	swapGate sync.RWMutex
+	// modelVersion is the params version currently serving; swaps,
+	// rollbacks, and lastSwapUnix are the /v1/stats "model" section.
+	modelVersion atomic.Uint64
+	swaps        atomic.Int64
+	rollbacks    atomic.Int64
+	lastSwapUnix atomic.Int64
 
 	// Request bounds (SetLimits) and the middleware's counters: the
 	// admission semaphore, the live in-flight gauge, and totals for
@@ -123,6 +140,7 @@ func New(model *tgat.Model, dyn *graph.Dynamic, opt core.Options) *Server {
 	if opt.Quant == core.QuantInt8 {
 		s.qmodel = tgat.QuantizeModel(model)
 	}
+	s.modelVersion.Store(opt.ModelVersion)
 	opt.HitRate = s.hitRate
 	// The server always keeps the per-node key index: late-edge
 	// invalidation needs it to be targeted rather than a full cache
@@ -194,6 +212,8 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	if !s.validNodes(w, []int32{req.Node}) {
 		return
 	}
+	s.swapGate.RLock()
+	defer s.swapGate.RUnlock()
 	sampler := graph.NewDynamicSampler(s.dyn, s.model.Cfg.NumNeighbors, graph.MostRecent, 0)
 	h, attrs := s.model.Explain(sampler, req.Node, req.Time)
 	resp := explainResponse{Embedding: append([]float32(nil), h.Row(0)...)}
@@ -255,6 +275,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	write("tgopt_unavailable_total", "Computations failed server-side (503), client cancels excluded.", float64(s.unavailable.Load()))
 	write("tgopt_snapshots_total", "Background cache snapshots written.", float64(s.snapshotSaves.Load()))
 	write("tgopt_snapshot_errors_total", "Cache snapshot or warm-start failures.", float64(s.snapshotErrors.Load()))
+	write("tgopt_model_version", "Params version currently serving.", float64(s.modelVersion.Load()))
+	write("tgopt_model_swaps_total", "Successful parameter hot-swaps since boot.", float64(s.swaps.Load()))
+	write("tgopt_model_rollbacks_total", "Hot-swaps rejected (corrupt or failed snapshot); the previous version kept serving.", float64(s.rollbacks.Load()))
+	write("tgopt_model_last_swap_timestamp_seconds", "Unix time of the last successful hot-swap (0 = never).", float64(s.lastSwapUnix.Load()))
 	if bs := s.batchStatsJSON(); bs != nil {
 		write("tgopt_batch_enqueued_total", "Targets enqueued into the micro-batcher.", float64(bs.Enqueued))
 		write("tgopt_batch_coalesced_total", "Targets deduplicated onto an in-flight computation.", float64(bs.Coalesced))
@@ -343,6 +367,14 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	// inside the lateness window sorted-insert and selectively
 	// invalidate the memoized embeddings they could reach; edges below
 	// the watermark are dropped and counted, never silently applied.
+	//
+	// The whole batch runs under the swap gate's read side: a params
+	// swap drops every memo, so an invalidation interleaved with the
+	// commit could neither resurrect an old-version entry nor miss a
+	// new one — but holding the gate keeps the batch's invalidation
+	// accounting attributable to one model version.
+	s.swapGate.RLock()
+	defer s.swapGate.RUnlock()
 	var resp ingestResponse
 	for i, e := range req.Edges {
 		res, _, err := s.dyn.Ingest(graph.Edge{Src: e.Src, Dst: e.Dst, Time: e.Time, Idx: e.Idx})
@@ -422,6 +454,10 @@ func (s *Server) handleEmbed(w http.ResponseWriter, r *http.Request) {
 	if !s.validNodes(w, req.Nodes) || !s.validTimes(w, req.Times) {
 		return
 	}
+	// Read side of the hot-swap barrier: every row of this response is
+	// computed under one params version.
+	s.swapGate.RLock()
+	defer s.swapGate.RUnlock()
 	slab, degraded, ok := s.embedSlab(w, r, req.Nodes, req.Times)
 	if !ok {
 		return
@@ -546,6 +582,11 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 	if !s.validNodes(w, nodes) || !s.validTimes(w, ts[:nb]) {
 		return
 	}
+	// Read side of the hot-swap barrier. Scoring is two engine calls
+	// (embed the slab, then the affinity head) — without this gate a
+	// swap could land between them and mix versions inside one logit.
+	s.swapGate.RLock()
+	defer s.swapGate.RUnlock()
 	d := s.model.Cfg.NodeDim
 	var resp scoreResponse
 	switch {
@@ -643,8 +684,12 @@ type statsResponse struct {
 	Snapshots     int64                 `json:"snapshots"`
 	SnapErrors    int64                 `json:"snapshot_errors"`
 	Ingest        ingestStats           `json:"ingest"`
-	Stages        map[string]stageStats `json:"stages"`
-	Batching      *batchStats           `json:"batching,omitempty"`
+	// Model reports the online-learning loop: the params version
+	// serving, successful hot-swaps, rejected (rolled-back) swaps, and
+	// when the last swap landed.
+	Model    modelStats            `json:"model"`
+	Stages   map[string]stageStats `json:"stages"`
+	Batching *batchStats           `json:"batching,omitempty"`
 	// Shards reports per-shard breaker/restart state and the router's
 	// hedge/degradation counters in sharded mode.
 	Shards *shard.RouterStats `json:"shards,omitempty"`
@@ -707,6 +752,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Invalidated:     s.invalidated.Load(),
 			StaleStoreSkips: s.staleStoreSkips(),
 		},
+		Model:    s.modelStatsJSON(),
 		Stages:   s.stageStatsJSON(),
 		Batching: s.batchStatsJSON(),
 	}

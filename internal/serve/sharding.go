@@ -32,7 +32,9 @@ func NewSharded(model *tgat.Model, dyn *graph.Dynamic, opt core.Options, cfg sha
 	if opt.Quant == core.QuantInt8 {
 		s.qmodel = tgat.QuantizeModel(model)
 	}
-	opt.HitRate = s.hitRate // concurrency-safe; shared across shards
+	s.modelVersion.Store(opt.ModelVersion)
+	cfg.ModelVersion = opt.ModelVersion // pool and server agree on the boot version
+	opt.HitRate = s.hitRate             // concurrency-safe; shared across shards
 	r, err := shard.NewRouter(model, dyn, opt, cfg)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,201 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"sync"
+	"time"
+
+	"tgopt/internal/checkpoint"
+	"tgopt/internal/swap"
+	"tgopt/internal/tgat"
+	"tgopt/internal/trainer"
+)
+
+// This file is the serving side of the online-learning loop (DESIGN.md
+// §16): SwapParams atomically hot-swaps the model to a published
+// parameter snapshot, and StartSwapLoop runs the background cadence —
+// either fine-tuning locally and publishing, or watching a swap
+// directory another process publishes into.
+
+// modelStats is the /v1/stats "model" section.
+type modelStats struct {
+	Version      uint64 `json:"version"`
+	Swaps        int64  `json:"swaps"`
+	Rollbacks    int64  `json:"rollbacks"`
+	LastSwapUnix int64  `json:"last_swap_unix"`
+}
+
+func (s *Server) modelStatsJSON() modelStats {
+	return modelStats{
+		Version:      s.modelVersion.Load(),
+		Swaps:        s.swaps.Load(),
+		Rollbacks:    s.rollbacks.Load(),
+		LastSwapUnix: s.lastSwapUnix.Load(),
+	}
+}
+
+// ModelVersion returns the params version currently serving.
+func (s *Server) ModelVersion() uint64 { return s.modelVersion.Load() }
+
+// SwapRollbacks returns how many swaps were rejected with the previous
+// version kept serving.
+func (s *Server) SwapRollbacks() int64 { return s.rollbacks.Load() }
+
+// SwapParams atomically swaps the serving model to the params
+// checkpoint at path, as the given version. Prepare-then-commit: the
+// checkpoint is parsed and fully validated (envelope CRC, tensor count,
+// every shape) before any serving state is touched, so a corrupt or
+// torn snapshot rolls back trivially — nothing was mutated, the
+// previous version keeps serving, and the attempt is counted in
+// rollbacks. The commit runs under the server's request gate (no
+// in-flight embed/score/ingest/explain straddles it) plus the engine or
+// pool barrier underneath, and re-derives every params-dependent
+// structure: packed int8 weights (including the server's own affinity
+// head), precomputed time tables, and the memo caches across hot tier,
+// spill segments, and pending promotions (stamped with the new version
+// so pre-swap spill segments read as misses even after a restart).
+//
+// In sharded mode the pool reads the checkpoint through its own
+// configured file system (shard.Config.FS / SwapFS) and fsys only
+// covers the single-engine path; pass checkpoint.OS{} (or nil) outside
+// tests.
+func (s *Server) SwapParams(fsys checkpoint.FS, path string, version uint64) error {
+	if s.router != nil {
+		s.swapGate.Lock()
+		err := s.router.SwapParams(path, version)
+		if err == nil && s.qmodel != nil {
+			// The server's own packed affinity head must follow the
+			// engines' weights (sharded scoring runs it here).
+			s.qmodel = tgat.QuantizeModel(s.model)
+		}
+		s.swapGate.Unlock()
+		if err != nil {
+			s.rollbacks.Add(1)
+			return fmt.Errorf("serve: swap to v%d rejected, serving v%d unchanged: %w",
+				version, s.modelVersion.Load(), err)
+		}
+	} else {
+		sp, err := s.model.ParseParamsFS(fsys, path)
+		if err != nil {
+			s.rollbacks.Add(1)
+			return fmt.Errorf("serve: swap to v%d rejected, serving v%d unchanged: %w",
+				version, s.modelVersion.Load(), err)
+		}
+		s.swapGate.Lock()
+		s.engine.SwapParams(version, func() { s.model.ApplyParams(sp) })
+		if s.qmodel != nil {
+			s.qmodel = tgat.QuantizeModel(s.model)
+		}
+		s.swapGate.Unlock()
+	}
+	s.modelVersion.Store(version)
+	s.swaps.Add(1)
+	s.lastSwapUnix.Store(time.Now().Unix())
+	return nil
+}
+
+// SwapConfig configures the background swap loop.
+type SwapConfig struct {
+	// Dir is the swap directory (params-<version>.tgp + CURRENT).
+	Dir string
+	// Interval is the tick cadence (must be > 0).
+	Interval time.Duration
+	// FS overrides the swap-directory file system (default
+	// checkpoint.OS); fault tests inject faultfs.
+	FS checkpoint.FS
+	// Train selects the loop's role. True: fine-tune a clone of the
+	// serving model on the watermarked prefix of the live stream each
+	// tick, publish it into Dir, and swap to it. False: watch Dir's
+	// CURRENT manifest and swap whenever another process (tgopt-train
+	// -swap-dir, or a training-mode server) publishes a new version.
+	Train bool
+	// Trainer configures the fine-tune when Train is set.
+	Trainer trainer.Config
+	// Logf receives swap events. Optional.
+	Logf func(format string, args ...any)
+}
+
+// StartSwapLoop runs the online-learning loop in the background and
+// returns a stop function that quiesces it (waiting out an in-progress
+// tick). Every tick failure is logged and non-fatal: a fine-tune that
+// cannot run (stream too short), a publish that cannot land, or a swap
+// rejected on a corrupt snapshot all leave the current version serving.
+func (s *Server) StartSwapLoop(cfg SwapConfig) (stop func()) {
+	if cfg.FS == nil {
+		cfg.FS = checkpoint.OS{}
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		t := time.NewTicker(cfg.Interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				s.swapTick(cfg)
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		wg.Wait()
+	}
+}
+
+// swapTick is one loop iteration: train-publish-swap, or poll-swap.
+func (s *Server) swapTick(cfg SwapConfig) {
+	if !cfg.Train {
+		v, path, err := swap.Latest(cfg.FS, cfg.Dir)
+		if err != nil {
+			if !errors.Is(err, fs.ErrNotExist) {
+				cfg.Logf("swap: manifest read: %v", err)
+			}
+			return // nothing published yet
+		}
+		if v == s.modelVersion.Load() {
+			return
+		}
+		if err := s.SwapParams(cfg.FS, path, v); err != nil {
+			cfg.Logf("%v", err)
+			return
+		}
+		cfg.Logf("swap: picked up published params v%d from %s", v, cfg.Dir)
+		return
+	}
+
+	// Training role: fine-tune a private clone on the watermarked
+	// prefix (the serving tensors are read, never written, so this runs
+	// concurrently with traffic), publish, then swap through the same
+	// validated path a watcher would take.
+	clone, res, err := swap.FineTune(s.model, s.dyn, cfg.Trainer)
+	if err != nil {
+		cfg.Logf("swap: fine-tune skipped: %v", err)
+		return
+	}
+	version := s.modelVersion.Load() + 1
+	if v, _, lerr := swap.Latest(cfg.FS, cfg.Dir); lerr == nil && v >= version {
+		version = v + 1 // never republish an existing version number
+	}
+	if err := swap.Publish(cfg.FS, cfg.Dir, clone, version); err != nil {
+		cfg.Logf("swap: publish v%d: %v", version, err)
+		return
+	}
+	if err := s.SwapParams(cfg.FS, swap.ParamsPath(cfg.Dir, version), version); err != nil {
+		cfg.Logf("%v", err)
+		return
+	}
+	loss := 0.0
+	if len(res.EpochLoss) > 0 {
+		loss = res.EpochLoss[len(res.EpochLoss)-1]
+	}
+	cfg.Logf("swap: fine-tuned (loss %.4f, val AP %.4f) and swapped to v%d", loss, res.ValAP, version)
+}

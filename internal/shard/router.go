@@ -49,6 +49,15 @@ type Config struct {
 	// FS overrides the snapshot file system (default checkpoint.OS);
 	// fault tests inject faultfs.FS.
 	FS checkpoint.FS
+	// SwapFS, when non-nil, overrides the file system one shard's
+	// prepare phase reads a params checkpoint through during
+	// SwapParams (nil return falls back to FS). Fault tests inject a
+	// bit-flipping faultfs for exactly one shard to prove the
+	// all-or-nothing rollback.
+	SwapFS func(shard int) checkpoint.FS
+	// ModelVersion is the params version the pool boots serving (see
+	// core.Options.ModelVersion); SwapParams advances it.
+	ModelVersion uint64
 	// WrapEmbedder, when non-nil, wraps each shard's engine before the
 	// batcher is attached — the chaos tests use it to inject panics
 	// into exactly one failure domain.
@@ -105,6 +114,15 @@ type Router struct {
 	ingestMu sync.Mutex
 	log      []graph.Edge
 
+	// swapMu is the pool-wide hot-swap barrier: Embed holds the read
+	// side across its whole scatter-gather (no response ever mixes
+	// rows from two model versions) and so does a supervisor rebuild
+	// (a core built mid-commit would pack stale weights); SwapParams'
+	// commit phase takes the write side. Lock order: swapMu before
+	// ingestMu before any engine's swap gate — never the reverse.
+	swapMu  sync.RWMutex
+	version atomic.Uint64
+
 	closed    atomic.Bool
 	restartWG sync.WaitGroup
 
@@ -154,6 +172,7 @@ func NewRouter(model *tgat.Model, dyn *graph.Dynamic, opt core.Options, cfg Conf
 		ring:     newRing(cfg.Shards),
 		log:      append([]graph.Edge(nil), dyn.Edges()...),
 	}
+	r.version.Store(cfg.ModelVersion)
 	if cfg.SnapshotDir != "" {
 		if err := cfg.FS.MkdirAll(cfg.SnapshotDir, 0o755); err != nil {
 			return nil, fmt.Errorf("shard: snapshot dir: %w", err)
@@ -201,6 +220,12 @@ func (r *Router) buildCore(id int, prefix []graph.Edge) (c *shardCore, err error
 	if opt.CacheSpillDir != "" {
 		opt.CacheSpillDir = filepath.Join(opt.CacheSpillDir, fmt.Sprintf("shard-%d", id))
 	}
+	// The rebuilt engine serves whatever version the shared model
+	// carries NOW — not the boot-time one — so spill recovery and
+	// snapshot loads validate against the current version. Callers on
+	// the restart path hold swapMu's read side, which keeps this
+	// consistent with the shared tensors across the build.
+	opt.ModelVersion = r.version.Load()
 	sampler := graph.NewDynamicSampler(dyn, r.model.Cfg.NumNeighbors, graph.MostRecent, 0)
 	eng := core.NewEngine(r.model, sampler, opt)
 	emb := core.Embedder(eng)
@@ -253,6 +278,11 @@ func (r *Router) Embed(ctx context.Context, nodes []int32, ts []float64) (*Resul
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	// The whole scatter-gather runs under the pool swap barrier: a
+	// params swap committing between two legs of one request would
+	// otherwise gather rows from two model versions into one slab.
+	r.swapMu.RLock()
+	defer r.swapMu.RUnlock()
 	if h := r.HealthyShards(); h < r.cfg.Quorum {
 		r.quorumRejects.Add(1)
 		return nil, fmt.Errorf("%w: %d healthy of %d, quorum %d", ErrNoQuorum, h, len(r.shards), r.cfg.Quorum)
@@ -494,6 +524,68 @@ func applyToCore(c *shardCore, e graph.Edge, want graph.IngestResult, divergence
 	return 0
 }
 
+// ParamsVersion returns the model version the pool currently serves.
+func (r *Router) ParamsVersion() uint64 { return r.version.Load() }
+
+// SwapParams atomically swaps the whole pool to the params checkpoint
+// at path, as the given version, in two phases:
+//
+// Prepare: every shard parses and validates its own read of the
+// checkpoint through its own file system (Config.SwapFS). Validation
+// covers the envelope CRC, the tensor count, and every shape, so a
+// nil-error prepare means the commit below cannot fail. Any shard
+// failing — a bit-flipped replica of the file, a torn read — aborts
+// the swap before anything mutates: all-or-nothing, the old version
+// keeps serving everywhere.
+//
+// Commit: under the pool swap barrier (in-flight scatter-gathers and
+// supervisor rebuilds drained, new ones blocked) and every live
+// engine's own swap gate, the shared model's tensors are rewritten
+// once and each engine re-derives its version-dependent state —
+// re-packed int8 weights, re-built time tables, memo caches dropped
+// and re-stamped across hot tier, spill, and pending promotes
+// (core.Engine.FinishSwap). Crashed shards are absent by design:
+// their supervisor rebuild reads the shared model and the advanced
+// pool version, so they come back on the new parameters.
+func (r *Router) SwapParams(path string, version uint64) error {
+	staged := make([]*tgat.StagedParams, len(r.shards))
+	for i := range r.shards {
+		fsys := r.cfg.FS
+		if r.cfg.SwapFS != nil {
+			if f := r.cfg.SwapFS(i); f != nil {
+				fsys = f
+			}
+		}
+		sp, err := r.model.ParseParamsFS(fsys, path)
+		if err != nil {
+			return fmt.Errorf("shard: swap prepare failed on shard %d, rolled back pool-wide: %w", i, err)
+		}
+		staged[i] = sp
+	}
+
+	r.swapMu.Lock()
+	defer r.swapMu.Unlock()
+	var locked []*core.Engine
+	for _, s := range r.shards {
+		if c := s.currentCore(); c != nil {
+			c.eng.SwapLock()
+			locked = append(locked, c.eng)
+		}
+	}
+	// All prepares validated against the same architecture, so any
+	// staged copy commits; they are byte-identical when every replica
+	// of the file is intact.
+	r.model.ApplyParams(staged[0])
+	for _, eng := range locked {
+		eng.FinishSwap(version)
+	}
+	for i := len(locked) - 1; i >= 0; i-- {
+		locked[i].SwapUnlock()
+	}
+	r.version.Store(version)
+	return nil
+}
+
 // RouterStats is the router-level health snapshot for /v1/stats.
 type RouterStats struct {
 	Shards  []Status `json:"shards"`
@@ -511,6 +603,8 @@ type RouterStats struct {
 	SnapshotSaves  int64 `json:"snapshot_saves"`
 	SnapshotErrors int64 `json:"snapshot_errors"`
 	SnapshotLoads  int64 `json:"snapshot_loads"`
+
+	ModelVersion uint64 `json:"model_version"`
 
 	Batching *batcher.Snapshot `json:"batching,omitempty"`
 }
@@ -530,6 +624,7 @@ func (r *Router) Stats() RouterStats {
 		SnapshotSaves:    r.snapshotSaves.Load(),
 		SnapshotErrors:   r.snapshotErrors.Load(),
 		SnapshotLoads:    r.snapshotLoads.Load(),
+		ModelVersion:     r.version.Load(),
 	}
 	for _, s := range r.shards {
 		st.Shards = append(st.Shards, s.status())

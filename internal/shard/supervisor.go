@@ -74,8 +74,15 @@ func (r *Router) restart(s *Shard, cause error) {
 	}
 }
 
-// restartOnce is one rebuild attempt.
+// restartOnce is one rebuild attempt. It runs under the pool swap
+// barrier's read side: a params swap committing mid-rebuild would
+// otherwise let this core pack int8 weights from half-written tensors
+// and warm caches stamped with a version the pool no longer serves.
+// Lock order (swapMu → ingestMu → engine gates) holds: the commit path
+// never takes ingestMu.
 func (r *Router) restartOnce(s *Shard) bool {
+	r.swapMu.RLock()
+	defer r.swapMu.RUnlock()
 	// Capture a stable prefix of the log. Appends may grow r.log past n
 	// concurrently, but entries below n are immutable and the full
 	// slice expression pins the prefix against reallocation races.
@@ -166,6 +173,11 @@ func (r *Router) WarmStart() int {
 		return 0
 	}
 	warmed := 0
+	// Same barrier as restartOnce: snapshot loads validate their stored
+	// model-version stamp against the engine's, so a swap landing
+	// mid-warm must not interleave.
+	r.swapMu.RLock()
+	defer r.swapMu.RUnlock()
 	r.ingestMu.Lock()
 	prefix := r.log[:len(r.log):len(r.log)]
 	r.ingestMu.Unlock()

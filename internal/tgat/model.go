@@ -324,30 +324,93 @@ func (m *Model) LoadParams(path string) error {
 // loadParamStream parses a parameter stream into staging tensors and
 // applies them only after every one has been read and validated.
 func (m *Model) loadParamStream(r io.Reader) error {
+	sp, err := m.parseParamStream(r)
+	if err != nil {
+		return err
+	}
+	m.ApplyParams(sp)
+	return nil
+}
+
+// StagedParams is a fully parsed and shape-validated parameter
+// checkpoint that has not yet been applied to a model — the "prepare"
+// half of the two-phase hot-swap: every shard parses its copy first,
+// and only when all of them succeed does any model mutate
+// (ApplyParams).
+type StagedParams struct {
+	tensors []*tensor.Tensor
+}
+
+// parseParamStream reads and validates a parameter stream against m's
+// architecture without touching m.
+func (m *Model) parseParamStream(r io.Reader) (*StagedParams, error) {
 	br := bufio.NewReader(r)
 	var hdr [4]byte
 	if _, err := io.ReadFull(br, hdr[:]); err != nil {
-		return err
+		return nil, err
 	}
 	count := binary.LittleEndian.Uint32(hdr[:])
 	ps := m.Params()
 	if int(count) != len(ps) {
-		return fmt.Errorf("tgat: checkpoint has %d tensors, model expects %d", count, len(ps))
+		return nil, fmt.Errorf("tgat: checkpoint has %d tensors, model expects %d", count, len(ps))
 	}
 	staged := make([]*tensor.Tensor, len(ps))
 	for i, p := range ps {
 		var t tensor.Tensor
 		if _, err := t.ReadFrom(br); err != nil {
-			return fmt.Errorf("tgat: reading tensor %d: %w", i, err)
+			return nil, fmt.Errorf("tgat: reading tensor %d: %w", i, err)
 		}
 		if !t.SameShape(p) {
-			return fmt.Errorf("tgat: tensor %d shape %v, model expects %v", i, t.Shape(), p.Shape())
+			return nil, fmt.Errorf("tgat: tensor %d shape %v, model expects %v", i, t.Shape(), p.Shape())
 		}
 		staged[i] = &t
 	}
-	// Commit: the whole stream validated; only now touch the model.
-	for i, p := range ps {
-		p.CopyFrom(staged[i])
+	return &StagedParams{tensors: staged}, nil
+}
+
+// ParseParamsFS reads and fully validates a parameter checkpoint
+// (envelope, checksum, tensor count, shapes) against m's architecture
+// WITHOUT applying it. A nil error means ApplyParams cannot fail — the
+// separation that makes an all-or-nothing multi-engine swap possible.
+func (m *Model) ParseParamsFS(fsys checkpoint.FS, path string) (*StagedParams, error) {
+	var sp *StagedParams
+	err := checkpoint.ReadFS(fsys, path, func(version uint32, r io.Reader) error {
+		if version != paramsVersion {
+			return fmt.Errorf("tgat: checkpoint version %d, model reads %d", version, paramsVersion)
+		}
+		var perr error
+		sp, perr = m.parseParamStream(r)
+		return perr
+	})
+	if err != nil {
+		return nil, err
 	}
-	return nil
+	return sp, nil
+}
+
+// ApplyParams copies a staged checkpoint into the model's parameter
+// tensors. The tensors mutate in place, so every engine sharing this
+// model sees the new values; callers must hold the engines' swap
+// barriers (core.Engine.SwapLock) around the call.
+func (m *Model) ApplyParams(sp *StagedParams) {
+	for i, p := range m.Params() {
+		p.CopyFrom(sp.tensors[i])
+	}
+}
+
+// Clone returns a model with the same architecture and feature tables
+// (shared — they are immutable dataset state) but private copies of
+// every trainable parameter, initialized to m's current values. The
+// background fine-tuner trains a clone so the serving model's tensors
+// are never touched outside the swap barrier.
+func (m *Model) Clone() (*Model, error) {
+	c, err := NewModel(m.Cfg, m.NodeFeat, m.EdgeFeat)
+	if err != nil {
+		return nil, err
+	}
+	src := m.Params()
+	for i, p := range c.Params() {
+		p.CopyFrom(src[i])
+	}
+	return c, nil
 }

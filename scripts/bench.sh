@@ -13,6 +13,9 @@
 #   scripts/bench.sh deep     # regenerate the deep-invalidation sweep
 #                             # (3-layer serving under live ingest,
 #                             # selective vs clear-all; BENCH_5.json)
+#   scripts/bench.sh swap     # regenerate the hot-swap sweep (cache
+#                             # re-warm cost, swap pause, bitwise
+#                             # post-swap spot checks; BENCH_6.json)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -31,6 +34,12 @@ fi
 if [ "${1:-}" = "deep" ]; then
   go run ./cmd/tgopt-bench deepsweep -runs "${RUNS:-3}" -o BENCH_5.json
   echo "wrote BENCH_5.json" >&2
+  exit 0
+fi
+
+if [ "${1:-}" = "swap" ]; then
+  go run ./cmd/tgopt-bench swapsweep -runs "${RUNS:-3}" -o BENCH_6.json
+  echo "wrote BENCH_6.json" >&2
   exit 0
 fi
 

@@ -37,6 +37,14 @@ echo "== deep-invalidation gate (3-layer transitive invalidation exactness; race
 go test -race -count=1 -run 'TestTransitive|TestSupport|TestDeepClearAll|TestServeOutOfOrderIngestConvergesToSortedDeep' \
     ./internal/core/ ./internal/serve/
 
+echo "== hot-swap gate (atomic model swap under load: no mixed-version rows, no stale cache; race-enabled)"
+go test -race -count=1 -run 'TestServeSwap|TestRouterSwap|TestRestartAfterSwap|TestEngineSwap|TestSpillRecoveryRejects|TestCacheSnapshotVersion' \
+    ./internal/serve/ ./internal/shard/ ./internal/core/
+go test -count=1 -run 'TestPublishLatest|TestLatestRejects|TestFineTune' ./internal/swap/
+
+echo "== hot-swap sweep smoke (tgopt-bench swapsweep, bitwise post-swap spot checks)"
+go test -count=1 -run 'TestSwapSweep' ./internal/perfbench/
+
 echo "== quantized-path gate (int8 kernels/cache/snapshots under race; AP within 1pp of float32)"
 go test -race -count=1 -run 'TestQuant' ./internal/core/ ./internal/nn/ ./internal/tensor/
 go run ./cmd/tgopt-bench quantacc -max-ap-delta 0.01 > /dev/null
@@ -53,5 +61,6 @@ go test -run='^$' -fuzz='^FuzzCacheReadFrom$' -fuzztime=5s ./internal/core/
 go test -run='^$' -fuzz='^FuzzLoadParams$' -fuzztime=5s ./internal/tgat/
 go test -run='^$' -fuzz='^FuzzIngest$' -fuzztime=5s ./internal/serve/
 go test -run='^$' -fuzz='^FuzzTransitiveInvalidate$' -fuzztime=5s ./internal/core/
+go test -run='^$' -fuzz='^FuzzSwapManifest$' -fuzztime=5s ./internal/swap/
 
 echo "OK"
